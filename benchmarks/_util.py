@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one experiment from DESIGN.md's per-experiment
+index (E1..E13) and emits its table both to stdout and to
+``benchmarks/results/<name>.txt`` so the numbers survive pytest's output
+capture; EXPERIMENTS.md records the reference run.
+
+Benches use ``benchmark.pedantic(fn, rounds=1, iterations=1)``: the
+subject is a whole simulation, so wall-clock per run is the meaningful
+timing and repetition is wasteful.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    print()
+    print(text)
+    path = os.path.join(RESULTS_DIR, "{}.txt".format(name))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def run_once(benchmark, fn: Callable[[], object]):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def lean_params(**overrides):
+    from repro.core.config import CongosParams
+
+    return CongosParams.lean(**overrides)

@@ -1,0 +1,148 @@
+"""E1 — Theorem 1: the price of *strong* confidentiality.
+
+Workload: the proof's oblivious layout — every process injects one rumor
+in the same round; each process joins each destination set independently
+with probability x/n, x = n^(1/2 - 2/c).
+
+Claim reproduced: protocols that confine every causally dependent message
+to the destination set (direct send; gossip restricted to D) pay a total
+message cost tracking Omega(n * x) = Omega(n^{3/2 - 2/c}) — because the
+layout gives them essentially no merging opportunities — while CONGOS
+(weak confidentiality, all-process collaboration) spreads the same
+deliveries over the deadline with a per-round peak that does not explode
+with the pair count.
+"""
+
+import pytest
+
+from repro.analysis.bounds import (
+    strong_confidentiality_lower_bound,
+    theorem1_expected_pairs,
+)
+from repro.audit.delivery import DeliveryAuditor
+from repro.baselines.direct import direct_factory
+from repro.baselines.strongly_confidential import strongly_confidential_factory
+from repro.harness.report import format_table
+from repro.harness.runner import run_congos_scenario, run_with_factory
+from repro.harness.scenarios import theorem1_scenario
+
+from _util import emit, lean_params, run_once
+
+C = 8
+DMAX = 64
+SIZES = (16, 32, 64)
+
+
+def _run_baseline(kind, n, seed=0):
+    scenario = theorem1_scenario(n, rounds=DMAX * 3, seed=seed, c=C, dmax=DMAX)
+    delivery = DeliveryAuditor()
+    if kind == "direct":
+        factory = direct_factory(n, deliver_callback=delivery.record_delivery)
+    else:
+        factory = strongly_confidential_factory(
+            n, seed=seed, deliver_callback=delivery.record_delivery
+        )
+    return run_with_factory(scenario, factory, delivery=delivery)
+
+
+def _pair_count(result):
+    return sum(len(r.dest) for r in result.delivery.rumors.values())
+
+
+def test_e01_strongly_confidential_cost(benchmark):
+    def experiment():
+        rows = []
+        for n in SIZES:
+            expected_pairs = theorem1_expected_pairs(n, C)
+            lb_per_round = strong_confidentiality_lower_bound(n, DMAX, epsilon=2 / C)
+            for kind in ("direct", "sc-gossip"):
+                result = _run_baseline(kind, n)
+                pairs = _pair_count(result)
+                rows.append(
+                    [
+                        n,
+                        kind,
+                        pairs,
+                        round(expected_pairs, 1),
+                        result.stats.total,
+                        round(result.stats.total / max(1, pairs), 2),
+                        result.stats.max_per_round(),
+                        round(lb_per_round, 2),
+                        result.qod.satisfied,
+                    ]
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        [
+            "n",
+            "protocol",
+            "pairs",
+            "E[pairs]=nx",
+            "total_msgs",
+            "msgs/pair",
+            "max/round",
+            "Thm1 LB/round",
+            "qod",
+        ],
+        rows,
+        title="E1  Theorem 1 layout: strongly confidential protocols pay ~n*x total",
+    )
+    emit("e01_strong_confidentiality_lb", table)
+    # Shape assertions: totals track the pair count (no merging headroom).
+    for row in rows:
+        pairs, total = row[2], row[4]
+        assert total >= pairs * 0.9
+        assert row[8] is True
+
+
+def test_e01_congos_contrast(benchmark):
+    def experiment():
+        rows = []
+        for n in (16, 32):
+            scenario = theorem1_scenario(
+                n,
+                rounds=DMAX * 4,
+                seed=0,
+                c=C,
+                dmax=DMAX,
+                params=lean_params(),
+            )
+            result = run_congos_scenario(scenario)
+            direct = _run_baseline("direct", n)
+            rows.append(
+                [
+                    n,
+                    _pair_count(result),
+                    result.stats.max_per_round(),
+                    direct.stats.max_per_round(),
+                    result.stats.total,
+                    direct.stats.total,
+                    result.qod.satisfied,
+                    result.confidentiality.is_clean(),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        [
+            "n",
+            "pairs",
+            "congos max/round",
+            "direct max/round",
+            "congos total",
+            "direct total",
+            "qod",
+            "confidential",
+        ],
+        rows,
+        title=(
+            "E1b  CONGOS vs direct on the same layout: weak confidentiality "
+            "trades a one-round burst for pipelined collaboration"
+        ),
+    )
+    emit("e01b_congos_contrast", table)
+    for row in rows:
+        assert row[6] is True and row[7] is True

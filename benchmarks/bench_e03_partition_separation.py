@@ -1,0 +1,45 @@
+"""E3 — Lemma 5: bit partitions separate every pair of processes.
+
+For every n in the sweep, exhaustively verifies that any two distinct
+process ids land in different groups of some partition (so, if two
+processes survive, at least one partition keeps both of its groups
+alive), and reports the partition-count budget (ceil(log2 n)) the lemma
+charges for this guarantee.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.partitions import BitPartitions
+from repro.harness.report import format_table
+
+from _util import emit, run_once
+
+SIZES = (8, 16, 64, 256, 1024)
+
+
+def test_e03_partition_separation(benchmark):
+    def experiment():
+        rows = []
+        for n in SIZES:
+            partitions = BitPartitions(n)
+            pairs = 0
+            worst_index = -1
+            for p, q in itertools.combinations(range(n), 2):
+                partition = partitions.separating_partition(p, q)
+                assert partition is not None
+                worst_index = max(worst_index, partition)
+                pairs += 1
+            rows.append([n, partitions.count, pairs, worst_index])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        ["n", "partitions (ceil log2 n)", "pairs checked", "max partition used"],
+        rows,
+        title="E3  Lemma 5: every pair separated by some bit partition (exhaustive)",
+    )
+    emit("e03_partition_separation", table)
+    for row in rows:
+        assert row[3] < row[1]

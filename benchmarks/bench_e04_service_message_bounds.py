@@ -1,0 +1,125 @@
+"""E4 — Lemma 7 ([PROXY:MESSAGES] + [GD:MESSAGES]).
+
+The Proxy and GroupDistribution services collectively send at most
+``O(n^{1+C/sqrt(dline)} log n)`` messages per round (gossip substrate
+excluded).  We run steady traffic, take the maximum per-round count
+restricted to the proxy/GD service tags, and compare it to the formula
+instantiated with the *configured* constants — the measured peak must sit
+below the budget the services are allowed (they send
+``formula / |collaborators|`` each, and collaborators can only be
+*under*-counted transiently).
+"""
+
+import math
+
+import pytest
+
+from repro.harness.report import format_table
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import churn_scenario, steady_scenario
+from repro.sim.messages import ServiceTags
+
+from _util import emit, lean_params, run_once
+
+DEADLINE = 64
+SIZES = (16, 32, 64)
+
+
+def formula(params, n, dline):
+    """The Lemma-7 budget with the run's own constants.
+
+    Per partition, each of the two groups collectively sends at most the
+    full fanout formula for each of the two roles (proxy requests and GD
+    deliveries): every sender transmits ``formula / |collaborators|`` and
+    the collaborator census covers the senders.  Budget =
+    2 roles x 2 groups x ceil(log2 n) partitions x formula.
+    """
+    per_group_total = params.service_fanout(n, dline, collaborators=1)
+    partitions = max(1, math.ceil(math.log2(n)))
+    return 2 * 2 * partitions * per_group_total
+
+
+def test_e04_proxy_gd_bound(benchmark):
+    params = lean_params()
+
+    def experiment():
+        rows = []
+        for n in SIZES:
+            for scenario_builder, label in (
+                (steady_scenario, "fault-free"),
+                (churn_scenario, "churn"),
+            ):
+                result = run_congos_scenario(
+                    scenario_builder(
+                        n=n, rounds=360, seed=0, deadline=DEADLINE, params=params
+                    )
+                )
+                measured = result.stats.max_per_round(
+                    services=[ServiceTags.PROXY, ServiceTags.GROUP_DISTRIBUTION]
+                )
+                budget = formula(params, n, DEADLINE)
+                rows.append(
+                    [
+                        n,
+                        label,
+                        measured,
+                        budget,
+                        round(measured / budget, 3),
+                        result.qod.satisfied,
+                    ]
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        ["n", "faults", "max Proxy+GD /round", "Lemma-7 budget", "ratio", "qod"],
+        rows,
+        title=(
+            "E4  Lemma 7: Proxy + GroupDistribution per-round messages stay "
+            "inside the O(n^{1+C/sqrt(d)} log n) budget"
+        ),
+    )
+    emit("e04_service_message_bounds", table)
+    for row in rows:
+        assert row[4] <= 1.0, "Lemma-7 budget exceeded at n={} ({})".format(
+            row[0], row[1]
+        )
+
+
+def test_e04_deadline_dependence(benchmark):
+    """Shorter deadlines must cost more per round (the exponent term)."""
+    params = lean_params()
+
+    def experiment():
+        rows = []
+        for dline in (64, 256, 512):
+            result = run_congos_scenario(
+                steady_scenario(
+                    n=32,
+                    rounds=3 * dline + 200,
+                    seed=0,
+                    deadline=dline,
+                    params=params,
+                )
+            )
+            rows.append(
+                [
+                    dline,
+                    result.stats.max_per_round(
+                        services=[ServiceTags.PROXY, ServiceTags.GROUP_DISTRIBUTION]
+                    ),
+                    params.service_fanout(32, dline, collaborators=1),
+                    result.qod.satisfied,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        ["dline", "max Proxy+GD /round", "per-proc formula", "qod"],
+        rows,
+        title="E4b  Deadline dependence: the n^{C/sqrt(d)} factor shrinks with d",
+    )
+    emit("e04b_deadline_dependence", table)
+    formulas = [row[2] for row in rows]
+    assert formulas == sorted(formulas, reverse=True)

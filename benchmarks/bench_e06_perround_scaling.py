@@ -1,0 +1,129 @@
+"""E6 — Theorem 11: per-round message complexity scaling.
+
+Sweep n at fixed deadline, measure the maximum per-round message count,
+divide out the polylog factor, and fit the polynomial exponent.  The
+theorem predicts ``n^{1 + C/sqrt(dmin)} polylog n``: the fitted exponent
+must sit well below 2 (the trivial all-pairs bound) and *decrease* as the
+deadline grows.
+"""
+
+import pytest
+
+from repro.analysis.fitting import fit_with_polylog
+from repro.harness.report import format_table
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import steady_scenario
+
+from _util import emit, lean_params, run_once
+
+SIZES = (16, 24, 32, 48, 64)
+
+
+def max_per_round(n, deadline, seed=0):
+    params = lean_params()
+    result = run_congos_scenario(
+        steady_scenario(
+            n=n,
+            rounds=3 * deadline + 128,
+            seed=seed,
+            deadline=deadline,
+            rate=1,
+            period=4,
+            params=params,
+        )
+    )
+    assert result.qod.satisfied
+    return result.stats.max_per_round()
+
+
+def test_e06_scaling_exponent(benchmark):
+    def experiment():
+        rows = []
+        fits = {}
+        for deadline in (64, 256):
+            peaks = []
+            for n in SIZES:
+                peak = max_per_round(n, deadline)
+                peaks.append(peak)
+                rows.append([deadline, n, peak])
+            fits[deadline] = fit_with_polylog(SIZES, peaks, polylog_power=2.0)
+        return rows, fits
+
+    rows, fits = run_once(benchmark, experiment)
+    fit_rows = [
+        [
+            deadline,
+            round(fit.exponent, 3),
+            round(fit.r_squared, 3),
+        ]
+        for deadline, fit in sorted(fits.items())
+    ]
+    table = format_table(
+        ["dline", "n", "max msgs/round"],
+        rows,
+        title="E6  Theorem 11: per-round peak vs n",
+    )
+    table += "\n\n" + format_table(
+        ["dline", "fitted exponent (polylog^2 removed)", "R^2"],
+        fit_rows,
+        title="Power-law fit: peak ~ n^alpha * log^2 n",
+    )
+    emit("e06_perround_scaling", table)
+    for deadline, fit in fits.items():
+        assert fit.exponent < 2.0, "super-quadratic scaling at dline={}".format(
+            deadline
+        )
+    # Longer deadlines must not scale worse than shorter ones (small
+    # tolerance for fit noise at these sizes).
+    assert fits[256].exponent <= fits[64].exponent + 0.15
+
+
+def test_e06_deadline_sweep_at_fixed_n(benchmark):
+    """At fixed n and a fixed in-flight rumor population, the per-round
+    peak decreases as dmin grows.
+
+    (A fixed *arrival rate* would not show this: longer deadlines keep
+    more rumors concurrently in flight, masking the n^{C/sqrt(d)} term.
+    The theorem speaks about the cost of the currently active rumors, so
+    we hold the active set constant: one 8-source burst.)
+    """
+    from repro.adversary.injection import ScriptedWorkload
+    from repro.harness.runner import Scenario
+
+    n = 32
+    params = lean_params()
+
+    def experiment():
+        rows = []
+        for deadline in (64, 128, 256, 512):
+            inject_at = 2 * deadline
+            script = [
+                (inject_at, src, deadline, {(src + 5) % n, (src + 9) % n})
+                for src in range(8)
+            ]
+
+            def workload(rng, script=script):
+                return ScriptedWorkload(script, rng)
+
+            scenario = Scenario(
+                name="e6b-{}".format(deadline),
+                n=n,
+                rounds=inject_at + 2 * deadline,
+                seed=0,
+                params=params,
+                workload_factory=workload,
+            )
+            result = run_congos_scenario(scenario)
+            assert result.qod.satisfied
+            rows.append([deadline, result.stats.max_per_round()])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        ["dline", "max msgs/round (n=32, 8-rumor burst)"],
+        rows,
+        title="E6b  Longer deadlines buy cheaper rounds (dmin dependence)",
+    )
+    emit("e06b_deadline_sweep", table)
+    peaks = [row[1] for row in rows]
+    assert peaks[-1] <= peaks[0]

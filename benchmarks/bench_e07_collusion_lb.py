@@ -1,0 +1,79 @@
+"""E7 — Theorem 12: border messages under collusion tolerance.
+
+A tau-collusion-tolerant partition-based protocol must push at least
+tau + 1 *border* fragments (copies crossing from D + {source} to
+outsiders) per rumor whose fragments cover the whole rumor outside D —
+otherwise tau colluders could assemble it.  We run collusion-tolerant
+CONGOS on the Theorem-12 layout (same as Theorem 1's) and count border
+messages with the auditor: the per-rumor border count must grow at least
+linearly in tau, and the measured minimum must respect the tau + 1 floor.
+"""
+
+import pytest
+
+from repro.analysis.bounds import collusion_lower_bound
+from repro.harness.report import format_table
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import theorem1_scenario
+
+from _util import emit, lean_params, run_once
+
+N = 16
+DMAX = 64
+
+
+def test_e07_border_messages(benchmark):
+    def experiment():
+        rows = []
+        per_tau_min = {}
+        for tau in (1, 2, 3):
+            params = lean_params(tau=tau, collusion_direct_factor=16.0)
+            scenario = theorem1_scenario(
+                N, rounds=4 * DMAX, seed=0, c=8, dmax=DMAX, params=params
+            )
+            result = run_congos_scenario(scenario)
+            assert result.qod.satisfied
+            assert result.confidentiality.is_clean()
+            borders = [
+                result.confidentiality.border_messages.get(rid, 0)
+                for rid in result.confidentiality.rumors
+            ]
+            pipelined = [b for b in borders if b > 0]
+            per_rumor_min = min(pipelined) if pipelined else 0
+            per_tau_min[tau] = per_rumor_min
+            rows.append(
+                [
+                    tau,
+                    len(borders),
+                    result.confidentiality.total_border_messages,
+                    per_rumor_min,
+                    tau + 1,
+                    round(collusion_lower_bound(N, DMAX, tau, epsilon=0.25), 2),
+                ]
+            )
+        return rows, per_tau_min
+
+    rows, per_tau_min = run_once(benchmark, experiment)
+    table = format_table(
+        [
+            "tau",
+            "rumors",
+            "total border msgs",
+            "min border/rumor",
+            "Thm-12 floor (tau+1)",
+            "Thm-12 LB/round",
+        ],
+        rows,
+        title=(
+            "E7  Theorem 12: fragment copies crossing the D+{src} border "
+            "grow with the collusion tolerance"
+        ),
+    )
+    emit("e07_collusion_lb", table)
+    for tau, minimum in per_tau_min.items():
+        assert minimum >= tau + 1, (
+            "a rumor shipped fewer than tau+1 border fragments; tau "
+            "colluders could reconstruct it"
+        )
+    totals = [row[2] for row in rows]
+    assert totals == sorted(totals), "border volume should grow with tau"

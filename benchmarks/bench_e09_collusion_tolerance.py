@@ -1,0 +1,131 @@
+"""E9 — Theorem 16: collusion tolerance and its tau^2 cost.
+
+Three measurements on steady traffic:
+
+1. **Safety** — the adaptive greedy coalition of size tau never
+   reconstructs any rumor (Lemma 14 via pooled knowledge).
+2. **Tightness** — a coalition one larger (tau + 1) *can* reconstruct
+   (one member per group of a fully distributed partition).
+3. **Cost** — max per-round messages grow with tau; Theorem 16 charges a
+   tau^2 factor (tau x more partitions, tau x more groups/fragments),
+   which the measured growth must not exceed by more than the polylog
+   slack.
+"""
+
+import pytest
+
+from repro.adversary.collusion import GreedyCoalition
+from repro.harness.report import format_table
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import collusion_scenario
+
+from _util import emit, lean_params, run_once
+
+N = 16
+ROUNDS = 340
+DEADLINE = 64
+
+
+def run_tau(tau, seed=0):
+    params = lean_params(tau=tau, collusion_direct_factor=16.0)
+    return run_congos_scenario(
+        collusion_scenario(
+            n=N,
+            rounds=ROUNDS,
+            seed=seed,
+            tau=tau,
+            deadline=DEADLINE,
+            params=params,
+        )
+    )
+
+
+def test_e09_collusion_tolerance(benchmark):
+    def experiment():
+        rows = []
+        peaks = {}
+        for tau in (1, 2, 3):
+            result = run_tau(tau)
+            assert result.qod.satisfied
+            assert result.confidentiality.is_clean()
+            findings = result.confidentiality.check_coalitions(
+                GreedyCoalition(), tau=tau, n=N
+            )
+            breaches = sum(1 for f in findings if f.reconstructs)
+            oversize = result.confidentiality.check_coalitions(
+                GreedyCoalition(), tau=tau + 1, n=N
+            )
+            oversize_hits = sum(1 for f in oversize if f.reconstructs)
+            peaks[tau] = result.stats.max_per_round()
+            rows.append(
+                [
+                    tau,
+                    result.partition_set.count,
+                    result.partition_set.num_groups,
+                    len(findings),
+                    breaches,
+                    oversize_hits,
+                    peaks[tau],
+                ]
+            )
+        return rows, peaks
+
+    rows, peaks = run_once(benchmark, experiment)
+    ratio_rows = [
+        [
+            tau,
+            round(peaks[tau] / peaks[1], 2),
+            tau ** 2,
+        ]
+        for tau in sorted(peaks)
+    ]
+    table = format_table(
+        [
+            "tau",
+            "partitions",
+            "groups",
+            "rumors",
+            "tau-coalition breaches",
+            "(tau+1)-coalition hits",
+            "max msgs/round",
+        ],
+        rows,
+        title="E9  Theorem 16: coalitions of size <= tau never reconstruct",
+    )
+    table += "\n\n" + format_table(
+        ["tau", "peak ratio vs tau=1", "tau^2 (Thm-16 budget)"],
+        ratio_rows,
+        title="Cost growth vs the tau^2 factor",
+    )
+    emit("e09_collusion_tolerance", table)
+    for row in rows:
+        assert row[4] == 0, "a tau-coalition reconstructed a rumor"
+    # Tightness: at least one rumor falls to an oversized coalition.
+    assert any(row[5] > 0 for row in rows)
+    # Cost growth stays within the tau^2 budget (with slack for the
+    # polylog factors and integer fanout floors).
+    for tau, ratio, budget in ratio_rows:
+        assert ratio <= 2.5 * budget
+
+
+def test_e09_multiple_seeds_no_breach(benchmark):
+    def experiment():
+        breaches = 0
+        rumors = 0
+        for seed in range(4):
+            result = run_tau(2, seed=seed)
+            findings = result.confidentiality.check_coalitions(
+                GreedyCoalition(), tau=2, n=N
+            )
+            rumors += len(findings)
+            breaches += sum(1 for f in findings if f.reconstructs)
+        return breaches, rumors
+
+    breaches, rumors = run_once(benchmark, experiment)
+    emit(
+        "e09b_seed_sweep",
+        "E9b  tau=2 greedy coalitions across 4 seeds: {} breaches / {} rumors".format(
+            breaches, rumors
+        ),
+    )
+    assert breaches == 0

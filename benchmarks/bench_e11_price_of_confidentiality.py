@@ -1,0 +1,183 @@
+"""E11 — the price of confidentiality (Section 1's motivating comparison).
+
+One workload, four ways to serve it:
+
+* **CONGOS** — confidential, collaborative (the paper's contribution);
+* **plain gossip** — cheap and robust, but every process may learn every
+  rumor (the auditor counts the leaks);
+* **direct send** — strongly confidential, no collaboration, no
+  fault-tolerance margin; pays |D| per rumor up front;
+* **LKH key tree** (cost model) — the cryptographic alternative: cheap
+  for stable groups, expensive when every rumor has a fresh destination
+  set and crashes force re-keying.
+"""
+
+import pytest
+
+from repro.audit.delivery import DeliveryAuditor
+from repro.baselines.direct import direct_factory
+from repro.baselines.key_tree import KeyTreeCostModel
+from repro.baselines.plain_gossip import plain_gossip_factory
+from repro.harness.report import format_table
+from repro.harness.runner import run_congos_scenario, run_with_factory
+from repro.harness.scenarios import steady_scenario
+
+from _util import emit, lean_params, run_once
+
+N = 16
+ROUNDS = 360
+DEADLINE = 64
+
+
+def build_scenario(name):
+    return steady_scenario(
+        n=N,
+        rounds=ROUNDS,
+        seed=0,
+        deadline=DEADLINE,
+        rate=1,
+        period=4,
+        dest_size=4,
+        params=lean_params(),
+        name=name,
+    )
+
+
+def run_baseline(kind):
+    scenario = build_scenario(kind)
+    delivery = DeliveryAuditor()
+    if kind == "direct":
+        factory = direct_factory(N, deliver_callback=delivery.record_delivery)
+    else:
+        factory = plain_gossip_factory(
+            N, seed=0, deliver_callback=delivery.record_delivery
+        )
+    return run_with_factory(scenario, factory, delivery=delivery)
+
+
+def key_tree_costs(rumors, mode):
+    model = KeyTreeCostModel(N, mode=mode)
+    for rumor in rumors:
+        model.on_rumor(rumor.rid.src, rumor.dest)
+    return model.report
+
+
+def mean_latency(result):
+    latencies = result.qod.latencies()
+    return round(sum(latencies) / len(latencies), 1) if latencies else None
+
+
+def test_e11_price_of_confidentiality(benchmark):
+    def experiment():
+        congos = run_congos_scenario(build_scenario("congos"))
+        plain = run_baseline("plain")
+        direct = run_baseline("direct")
+        rumors = list(congos.delivery.rumors.values())
+        lkh_cover = key_tree_costs(rumors, "subset-cover")
+        lkh_rekey = key_tree_costs(rumors, "rekey")
+        return congos, plain, direct, lkh_cover, lkh_rekey
+
+    congos, plain, direct, lkh_cover, lkh_rekey = run_once(benchmark, experiment)
+    assert congos.qod.satisfied and plain.qod.satisfied and direct.qod.satisfied
+    rumor_count = congos.rumors_injected
+
+    def leak(result):
+        return result.confidentiality.violation_counts()["plaintext"]
+
+    rows = [
+        [
+            "CONGOS",
+            congos.stats.total,
+            round(congos.stats.total / rumor_count, 1),
+            congos.stats.max_per_round(),
+            mean_latency(congos),
+            leak(congos),
+        ],
+        [
+            "plain gossip",
+            plain.stats.total,
+            round(plain.stats.total / rumor_count, 1),
+            plain.stats.max_per_round(),
+            mean_latency(plain),
+            leak(plain),
+        ],
+        [
+            "direct send",
+            direct.stats.total,
+            round(direct.stats.total / rumor_count, 1),
+            direct.stats.max_per_round(),
+            mean_latency(direct),
+            leak(direct),
+        ],
+        [
+            "LKH subset-cover",
+            lkh_cover.total_messages,
+            round(lkh_cover.mean_per_rumor(), 1),
+            "n/a",
+            "n/a",
+            0,
+        ],
+        [
+            "LKH re-key",
+            lkh_rekey.total_messages,
+            round(lkh_rekey.mean_per_rumor(), 1),
+            "n/a",
+            "n/a",
+            0,
+        ],
+    ]
+    table = format_table(
+        [
+            "protocol",
+            "total msgs",
+            "msgs/rumor",
+            "max/round",
+            "mean latency",
+            "plaintext leaks",
+        ],
+        rows,
+        title=(
+            "E11  Price of confidentiality: same workload across CONGOS, "
+            "plain gossip, direct send and the LKH crypto model"
+        ),
+    )
+    emit("e11_price_of_confidentiality", table)
+    # The claims being reproduced:
+    assert leak(congos) == 0 and leak(direct) == 0
+    assert leak(plain) > 0, "plain gossip must leak — that is its point"
+    # Under per-rumor random destination sets, LKH re-keying costs a
+    # log-factor more than the bare payload multicast per rumor.
+    assert lkh_rekey.mean_per_rumor() > 4
+
+
+def test_e11_lkh_churn_amplification(benchmark):
+    """Crashes force the key server to rotate every affected group key —
+    the paper's 'efficient secret key maintenance under dynamic crashes'
+    concern, quantified."""
+
+    def experiment():
+        import random
+
+        rng = random.Random(3)
+        stable = KeyTreeCostModel(N, mode="rekey")
+        churned = KeyTreeCostModel(N, mode="rekey")
+        group = rng.sample(range(1, N), 5)
+        for step in range(40):
+            stable.on_rumor(0, group)
+            churned.on_rumor(0, group)
+            if step % 4 == 0:
+                churned.on_crash(rng.choice(group))
+        return stable.report, churned.report
+
+    stable, churned = run_once(benchmark, experiment)
+    rows = [
+        ["stable group", stable.total_messages, stable.churn_rekey_messages],
+        ["with churn", churned.total_messages, churned.churn_rekey_messages],
+    ]
+    table = format_table(
+        ["regime", "total msgs", "churn re-key msgs"],
+        rows,
+        title="E11b  LKH under churn: every crash forces root-path re-keying",
+    )
+    emit("e11b_lkh_churn", table)
+    assert churned.total_messages > stable.total_messages

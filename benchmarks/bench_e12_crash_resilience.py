@@ -1,0 +1,92 @@
+"""E12 — robustness under increasing churn (Section 1's Robustness claim).
+
+Crash-rate sweep: at every level, zero admissible deliveries may be
+missed (probability-1 QoD) and confidentiality stays intact; what *is*
+allowed to degrade is the delivered fraction of *inadmissible* pairs and
+the fallback rate, which the table reports.
+"""
+
+import pytest
+
+from repro.harness.report import format_table
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import churn_scenario, steady_scenario
+
+from _util import emit, lean_params, run_once
+
+N = 12
+ROUNDS = 400
+DEADLINE = 64
+CRASH_RATES = (0.0, 0.005, 0.01, 0.02, 0.05)
+
+
+def test_e12_crash_resilience(benchmark):
+    params = lean_params()
+
+    def experiment():
+        rows = []
+        for p_crash in CRASH_RATES:
+            if p_crash == 0.0:
+                scenario = steady_scenario(
+                    n=N, rounds=ROUNDS, seed=1, deadline=DEADLINE, params=params
+                )
+            else:
+                scenario = churn_scenario(
+                    n=N,
+                    rounds=ROUNDS,
+                    seed=1,
+                    deadline=DEADLINE,
+                    p_crash=p_crash,
+                    p_restart=0.25,
+                    params=params,
+                )
+            result = run_congos_scenario(scenario)
+            report = result.qod
+            pairs = len(report.outcomes)
+            admissible = report.admissible_pairs
+            delivered_all = sum(1 for o in report.outcomes if o.delivered)
+            paths = report.path_counts(admissible_only=True)
+            served = sum(paths.values())
+            rows.append(
+                [
+                    p_crash,
+                    result.engine.event_log.summary()["crashes"],
+                    pairs,
+                    admissible,
+                    len(report.missed),
+                    "{:.1%}".format(delivered_all / pairs) if pairs else "n/a",
+                    "{:.1%}".format(paths.get("shoot", 0) / served)
+                    if served
+                    else "n/a",
+                    result.stats.max_per_round(),
+                    result.confidentiality.is_clean(),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        [
+            "p_crash",
+            "crashes",
+            "pairs",
+            "admissible",
+            "missed adm.",
+            "delivered (all)",
+            "fallback",
+            "max/round",
+            "confidential",
+        ],
+        rows,
+        title=(
+            "E12  Crash-rate sweep: admissible deliveries never missed; "
+            "only best-effort coverage degrades"
+        ),
+    )
+    emit("e12_crash_resilience", table)
+    for row in rows:
+        assert row[4] == 0, "missed admissible deliveries at p={}".format(row[0])
+        assert row[8] is True
+    # Churn shrinks the admissible set — the sweep must show the trend.
+    admissible_counts = [row[3] for row in rows]
+    assert admissible_counts[-1] <= admissible_counts[0]

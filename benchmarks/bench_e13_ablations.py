@@ -1,0 +1,172 @@
+"""E13 — ablations of the design choices DESIGN.md calls out.
+
+* **GD target pool** — our default samples from not-yet-hit destinations
+  (makes [GD:CONFIRM] satisfiable); ``"group"`` reproduces the paper's
+  literal uniform-over-the-opposite-group rule.  Both must be correct;
+  the literal rule costs more messages (and, without the reconciliation,
+  would leave own-group destinations unconfirmed — our GD hits them via
+  the destination pool in both modes).
+* **Gossip schedule** — randomized epidemic push vs the deterministic
+  expander schedule (the derandomized option in the spirit of [13]).
+* **Gossip fanout** — the robustness/cost dial of the substrate.
+"""
+
+import pytest
+
+from repro.harness.report import format_table
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import churn_scenario, steady_scenario
+
+from _util import emit, lean_params, run_once
+
+N = 16
+ROUNDS = 360
+DEADLINE = 64
+
+
+def run_variant(params, seed=0, faults=False, deadline=DEADLINE):
+    rounds = max(ROUNDS, 3 * deadline + 160)
+    if faults:
+        scenario = churn_scenario(
+            n=N,
+            rounds=rounds,
+            seed=seed,
+            deadline=deadline,
+            p_crash=0.01,
+            p_restart=0.25,
+            params=params,
+        )
+    else:
+        scenario = steady_scenario(
+            n=N, rounds=rounds, seed=seed, deadline=deadline, params=params
+        )
+    return run_congos_scenario(scenario)
+
+
+def row_for(label, result):
+    paths = result.qod.path_counts(admissible_only=True)
+    served = sum(paths.values())
+    return [
+        label,
+        result.stats.total,
+        result.stats.max_per_round(),
+        len(result.qod.missed),
+        "{:.1%}".format(paths.get("shoot", 0) / served) if served else "n/a",
+        result.confidentiality.is_clean(),
+    ]
+
+
+def test_e13_gd_target_pool(benchmark):
+    # Deadline 256 gives three iterations per block: the destination pool
+    # drains after the first hit wave and saves the later iterations'
+    # sends; the literal group pool keeps sampling (possibly empty)
+    # messages from the whole opposite group.
+    def experiment():
+        dest_pool = run_variant(
+            lean_params(gd_target_pool="destinations"), deadline=256
+        )
+        group_pool = run_variant(lean_params(gd_target_pool="group"), deadline=256)
+        return dest_pool, group_pool
+
+    dest_pool, group_pool = run_once(benchmark, experiment)
+    rows = [
+        row_for("destinations (reconciled)", dest_pool),
+        row_for("group (paper literal)", group_pool),
+    ]
+    table = format_table(
+        ["gd_target_pool", "total msgs", "max/round", "missed", "fallback", "confid."],
+        rows,
+        title="E13a  GroupDistribution target pool ablation",
+    )
+    emit("e13a_gd_target_pool", table)
+    assert dest_pool.qod.satisfied and group_pool.qod.satisfied
+    assert dest_pool.confidentiality.is_clean()
+    assert group_pool.confidentiality.is_clean()
+    # The literal rule wastes sends on non-destinations.
+    assert group_pool.stats.total >= dest_pool.stats.total
+
+
+def test_e13_gossip_schedule(benchmark):
+    def experiment():
+        random_sched = run_variant(lean_params(gossip_schedule="random"), faults=True)
+        expander_sched = run_variant(
+            lean_params(gossip_schedule="expander"), faults=True
+        )
+        return random_sched, expander_sched
+
+    random_sched, expander_sched = run_once(benchmark, experiment)
+    rows = [
+        row_for("random (epidemic)", random_sched),
+        row_for("expander (deterministic)", expander_sched),
+    ]
+    table = format_table(
+        ["schedule", "total msgs", "max/round", "missed", "fallback", "confid."],
+        rows,
+        title="E13b  Gossip substrate schedule ablation (under churn)",
+    )
+    emit("e13b_gossip_schedule", table)
+    assert random_sched.qod.satisfied and expander_sched.qod.satisfied
+
+
+def test_e13_fallback_scope(benchmark):
+    """Figure 2's noted optimization: shooting only unconfirmed
+    destinations saves fallback messages when the pipeline partially
+    succeeded.  Substrate crippled so fallbacks actually fire."""
+
+    def experiment():
+        results = {}
+        for scope in ("all", "unconfirmed"):
+            params = lean_params(
+                fallback_scope=scope,
+                fanout_scale=0.01,
+                min_fanout=1,
+                gossip_fanout_scale=0.2,
+            )
+            results[scope] = run_variant(params, seed=4)
+            assert results[scope].qod.satisfied
+        return results
+
+    results = run_once(benchmark, experiment)
+    from repro.sim.messages import ServiceTags
+
+    rows = []
+    for scope, result in results.items():
+        rows.append(
+            [
+                scope,
+                result.stats.service_total(ServiceTags.CONFIDENTIAL),
+                result.stats.total,
+                len(result.qod.missed),
+                result.confidentiality.is_clean(),
+            ]
+        )
+    table = format_table(
+        ["fallback scope", "fallback msgs", "total msgs", "missed", "confid."],
+        rows,
+        title="E13d  Fallback scope: shoot all vs only-unconfirmed destinations",
+    )
+    emit("e13d_fallback_scope", table)
+    assert (
+        results["unconfirmed"].stats.service_total(ServiceTags.CONFIDENTIAL)
+        <= results["all"].stats.service_total(ServiceTags.CONFIDENTIAL)
+    )
+
+
+def test_e13_gossip_fanout(benchmark):
+    def experiment():
+        rows = []
+        for scale in (0.5, 1.5, 3.0):
+            result = run_variant(lean_params(gossip_fanout_scale=scale))
+            assert result.qod.satisfied
+            rows.append(row_for("scale={}".format(scale), result))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        ["gossip fanout", "total msgs", "max/round", "missed", "fallback", "confid."],
+        rows,
+        title="E13c  Substrate fanout: messages vs fallback-rate trade",
+    )
+    emit("e13c_gossip_fanout", table)
+    totals = [row[1] for row in rows]
+    assert totals == sorted(totals), "fanout should monotonically add traffic"

@@ -1,0 +1,142 @@
+"""E14 — the continuous-gossip black box, studied in isolation.
+
+CONGOS consumes the substrate of [13] purely through its interface
+(DESIGN.md §2).  This bench characterises our implementation of that
+interface so the top-level numbers can be decomposed:
+
+* saturation speed: rounds for one item to reach a whole group, vs the
+  O(log n) epidemic prediction;
+* schedule comparison: randomized push vs the deterministic expander;
+* the reliable-mode guarantee: with the origin flush, admissible items
+  are delivered by their deadline in 100% of trials even with a starved
+  fanout.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.gossip.continuous import ContinuousGossip
+from repro.harness.report import format_table
+
+from _util import emit, run_once
+
+
+class Harness:
+    """Standalone synchronous loop over one gossip instance per member."""
+
+    def __init__(self, size, seed=0, **kwargs):
+        self.size = size
+        self.services = {}
+        self.first_delivery = {}
+        self.sent = 0
+        self.round = 0
+        for pid in range(size):
+            self.services[pid] = ContinuousGossip(
+                pid=pid,
+                n=size,
+                channel="bench",
+                scope=range(size),
+                rng=random.Random(seed * 977 + pid),
+                deliver=self._cb(pid),
+                **kwargs,
+            )
+
+    def _cb(self, pid):
+        def callback(round_no, item):
+            self.first_delivery.setdefault(pid, round_no)
+
+        return callback
+
+    def run_round(self):
+        outgoing = []
+        for pid in range(self.size):
+            outgoing.extend(self.services[pid].send_phase(self.round))
+        self.sent += len(outgoing)
+        for message in outgoing:
+            self.services[message.dst].on_message(self.round, message)
+        for pid in range(self.size):
+            self.services[pid].end_round(self.round)
+        self.round += 1
+
+    def saturation_round(self):
+        if len(self.first_delivery) < self.size:
+            return None
+        return max(self.first_delivery.values())
+
+
+def saturate(size, schedule, seed, deadline=64):
+    harness = Harness(size, seed=seed, schedule=schedule)
+    harness.services[0].inject(0, "item", deadline=deadline, dest=range(size))
+    while harness.saturation_round() is None and harness.round < deadline:
+        harness.run_round()
+    return harness.saturation_round(), harness.sent
+
+
+def test_e14_saturation_speed(benchmark):
+    def experiment():
+        rows = []
+        for size in (16, 32, 64, 128):
+            for schedule in ("random", "expander"):
+                rounds_needed = []
+                messages = []
+                for seed in (0, 1, 2):
+                    sat, sent = saturate(size, schedule, seed)
+                    assert sat is not None, "group failed to saturate"
+                    rounds_needed.append(sat)
+                    messages.append(sent)
+                rows.append(
+                    [
+                        size,
+                        schedule,
+                        max(rounds_needed),
+                        round(2 * math.log2(size), 1),
+                        round(sum(messages) / len(messages), 0),
+                    ]
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        [
+            "group size",
+            "schedule",
+            "worst saturation (rounds)",
+            "2*log2(n) reference",
+            "mean msgs to saturate",
+        ],
+        rows,
+        title=(
+            "E14  Substrate saturation: epidemic push informs a group in "
+            "O(log n) rounds, both schedules"
+        ),
+    )
+    emit("e14_substrate_saturation", table)
+    for row in rows:
+        assert row[2] <= 3 * math.log2(row[0]) + 4
+
+
+def test_e14_reliable_interface_guarantee(benchmark):
+    """The black box promises probability-1 delivery of admissible items
+    (reliable mode); verify across trials with a starved fanout."""
+
+    def experiment():
+        failures = 0
+        trials = 20
+        for seed in range(trials):
+            harness = Harness(24, seed=seed, fanout_scale=0.05, reliable=True)
+            harness.services[0].inject(0, "item", deadline=6, dest=range(24))
+            for _ in range(7):
+                harness.run_round()
+            if harness.saturation_round() is None:
+                failures += 1
+        return failures, trials
+
+    failures, trials = run_once(benchmark, experiment)
+    emit(
+        "e14b_reliable_guarantee",
+        "E14b  reliable-mode delivery with starved fanout: {}/{} trials "
+        "missed the deadline (must be 0)".format(failures, trials),
+    )
+    assert failures == 0

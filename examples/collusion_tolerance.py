@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Collusion tolerance in action (Section 6).
+
+Runs the same confidential traffic at increasing collusion tolerance
+tau = 1, 2, 3 and, for each, unleashes the *adaptive greedy coalition*:
+with perfect hindsight it recruits, per rumor, the outsiders whose pooled
+fragments cover the most groups.  The demo shows:
+
+* coalitions of size tau never reconstruct anything (Theorem 16);
+* coalitions of size tau + 1 typically can (the bound is tight);
+* the cost: partitions, fragments and per-round messages all grow
+  (Theorem 16 charges a tau^2 factor).
+
+Run:  python examples/collusion_tolerance.py
+"""
+
+from repro.adversary.collusion import GreedyCoalition
+from repro.harness.report import banner, format_table
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import collusion_scenario
+from repro.core.config import CongosParams
+
+N = 16
+ROUNDS = 340
+DEADLINE = 64
+
+
+def main() -> None:
+    print(banner("Collusion tolerance sweep (greedy adaptive coalitions)"))
+    rows = []
+    base_peak = None
+    for tau in (1, 2, 3):
+        params = CongosParams.lean(tau=tau, collusion_direct_factor=16.0)
+        result = run_congos_scenario(
+            collusion_scenario(
+                n=N,
+                rounds=ROUNDS,
+                seed=5,
+                tau=tau,
+                deadline=DEADLINE,
+                params=params,
+            )
+        )
+        assert result.qod.satisfied
+        assert result.confidentiality.is_clean()
+        within = result.confidentiality.check_coalitions(
+            GreedyCoalition(), tau=tau, n=N
+        )
+        beyond = result.confidentiality.check_coalitions(
+            GreedyCoalition(), tau=tau + 1, n=N
+        )
+        peak = result.stats.max_per_round()
+        if base_peak is None:
+            base_peak = peak
+        rows.append(
+            [
+                tau,
+                result.partition_set.count,
+                result.partition_set.num_groups,
+                "{}/{}".format(
+                    sum(f.reconstructs for f in within), len(within)
+                ),
+                "{}/{}".format(
+                    sum(f.reconstructs for f in beyond), len(beyond)
+                ),
+                peak,
+                "{:.2f}x".format(peak / base_peak),
+                "{}x".format(tau ** 2),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "tau",
+                "partitions",
+                "groups",
+                "tau-coalition wins",
+                "(tau+1)-coalition wins",
+                "peak msgs/round",
+                "measured growth",
+                "Thm-16 budget",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading the table: a coalition within the configured tolerance "
+        "never reconstructs a rumor; one extra colluder flips the game — "
+        "exactly where the paper says the boundary is.  The price is the "
+        "growing partition/fragment machinery, bounded by tau^2."
+    )
+
+
+if __name__ == "__main__":
+    main()

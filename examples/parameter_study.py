@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Parameter study with the sweep machinery.
+
+Sweeps system size and churn intensity across seed replicates, printing
+the aggregate table an operator would use to size a deployment: per-round
+peak traffic, fallback rate, and the two invariants (which must read
+``True`` in every cell — they are probability-1 guarantees, not tuning
+outcomes).
+
+Run:  python examples/parameter_study.py
+"""
+
+from repro.analysis.sweeps import grid, sweep_congos
+from repro.core.config import CongosParams
+from repro.harness.report import banner, format_table
+from repro.harness.scenarios import churn_scenario, steady_scenario
+
+
+def main() -> None:
+    params = CongosParams.lean()
+
+    print(banner("Sweep 1: system size (fault-free steady traffic)"))
+    size_sweep = sweep_congos(
+        steady_scenario,
+        grid(n=[8, 12, 16]),
+        seeds=(0, 1),
+        rounds=300,
+        deadline=64,
+        params=params,
+    )
+    print(format_table(size_sweep.table_headers(), size_sweep.table_rows()))
+    assert size_sweep.all_satisfied() and size_sweep.all_clean()
+
+    print(banner("Sweep 2: churn intensity (n=12)"))
+    churn_sweep = sweep_congos(
+        churn_scenario,
+        grid(p_crash=[0.005, 0.02, 0.05]),
+        seeds=(0, 1),
+        n=12,
+        rounds=360,
+        deadline=64,
+        p_restart=0.25,
+        params=params,
+    )
+    print(format_table(churn_sweep.table_headers(), churn_sweep.table_rows()))
+    assert churn_sweep.all_satisfied() and churn_sweep.all_clean()
+
+    print(
+        "\nPeaks grow gently with n (Theorem 11's n^{1+o(1)} polylog n); "
+        "churn never breaks the invariants — it only shrinks how much the "
+        "protocol owes (admissibility) and occasionally wakes the fallback."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""What does confidentiality cost?  (Section 1 / Section 3 / E11.)
+
+Serves one identical workload four ways and prints the trade-offs:
+
+* plain gossip       — fast & cheap, leaks everything to everyone;
+* direct send        — leak-free, but no collaboration: the source pays
+                       |D| messages in a single round and gets no help if
+                       the network misbehaves;
+* strongly confidential gossip — collaboration confined to each rumor's
+                       destination set: Theorem 1 territory, total cost
+                       tracks the pair count;
+* CONGOS             — fragments let *everyone* collaborate while nobody
+                       outside D can read anything.
+
+Also prices the cryptographic alternative (LKH key trees) on the same
+rumor stream.
+
+Run:  python examples/price_of_confidentiality.py
+"""
+
+from repro.audit.delivery import DeliveryAuditor
+from repro.baselines.direct import direct_factory
+from repro.baselines.key_tree import KeyTreeCostModel
+from repro.baselines.plain_gossip import plain_gossip_factory
+from repro.baselines.strongly_confidential import strongly_confidential_factory
+from repro.core.config import CongosParams
+from repro.harness.report import banner, format_table
+from repro.harness.runner import run_congos_scenario, run_with_factory
+from repro.harness.scenarios import steady_scenario
+
+N = 16
+ROUNDS = 360
+DEADLINE = 64
+
+
+def scenario(name):
+    return steady_scenario(
+        n=N,
+        rounds=ROUNDS,
+        seed=9,
+        deadline=DEADLINE,
+        rate=1,
+        period=4,
+        dest_size=4,
+        params=CongosParams.lean(),
+        name=name,
+    )
+
+
+def run_baseline(kind):
+    sc = scenario(kind)
+    delivery = DeliveryAuditor()
+    factories = {
+        "plain": lambda: plain_gossip_factory(
+            N, seed=9, deliver_callback=delivery.record_delivery
+        ),
+        "direct": lambda: direct_factory(
+            N, deliver_callback=delivery.record_delivery
+        ),
+        "sc-gossip": lambda: strongly_confidential_factory(
+            N, seed=9, deliver_callback=delivery.record_delivery
+        ),
+    }
+    return run_with_factory(sc, factories[kind](), delivery=delivery)
+
+
+def describe(label, result, rumor_count):
+    latencies = result.qod.latencies()
+    return [
+        label,
+        result.stats.total,
+        round(result.stats.total / rumor_count, 1),
+        result.stats.max_per_round(),
+        round(sum(latencies) / len(latencies), 1) if latencies else "-",
+        result.confidentiality.violation_counts()["plaintext"],
+        "yes" if result.qod.satisfied else "NO",
+    ]
+
+
+def main() -> None:
+    print(banner("The price of confidentiality: one workload, four protocols"))
+    congos = run_congos_scenario(scenario("congos"))
+    rumor_count = congos.rumors_injected
+    rows = [describe("CONGOS", congos, rumor_count)]
+    for kind in ("plain", "direct", "sc-gossip"):
+        rows.append(describe(kind, run_baseline(kind), rumor_count))
+
+    lkh = KeyTreeCostModel(N, mode="rekey")
+    for rumor in congos.delivery.rumors.values():
+        lkh.on_rumor(rumor.rid.src, rumor.dest)
+    rows.append(
+        [
+            "LKH re-key (model)",
+            lkh.report.total_messages,
+            round(lkh.report.mean_per_rumor(), 1),
+            "-",
+            "-",
+            0,
+            "n/a",
+        ]
+    )
+
+    print()
+    print(
+        format_table(
+            [
+                "protocol",
+                "total msgs",
+                "msgs/rumor",
+                "peak/round",
+                "mean latency",
+                "plaintext leaks",
+                "QoD",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nHow to read this: plain gossip is the efficiency ceiling but "
+        "leaks every rumor to bystanders; direct send is leak-free but "
+        "un-collaborative (and its per-round peak IS the workload burst); "
+        "CONGOS pays a polylog-factor premium in messages to get "
+        "collaboration *and* confidentiality; and the key-tree model shows "
+        "why the paper argues crypto re-keying struggles when every rumor "
+        "has a fresh destination set."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,177 @@
+"""Coalition strategies for the honest-but-curious collusion model.
+
+Collusion (Section 6) is an *information-sharing* notion: curious
+processes follow the protocol but pool everything they receive.  A
+coalition for rumor ``rho`` may contain any processes outside
+``rho.D + {source}``; under ``CRRI(tau)`` its size is at most ``tau``.
+
+The strategies here select coalitions against which the audit evaluates
+confidentiality.  :class:`GreedyCoalition` is the adaptive worst case the
+paper allows: with full hindsight it picks, per rumor and per partition,
+outsiders whose pooled fragments cover as many groups as possible —
+if even this coalition cannot reconstruct, no coalition of the same size
+can (for that partition's holders).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.gossip.rumor import RumorId
+
+__all__ = ["CoalitionStrategy", "StaticRandomCoalition", "GreedyCoalition", "min_cover_size"]
+
+# Knowledge view handed to strategies: for one rumor,
+#   holders[(partition, group)] = set of OUTSIDER pids holding that fragment.
+HolderMap = Mapping[Tuple[int, int], Set[int]]
+
+
+def min_cover_size(
+    holders: HolderMap, partition: int, num_groups: int
+) -> Optional[int]:
+    """Minimum number of outsiders jointly holding all groups of a partition.
+
+    Returns ``None`` when some group's fragment never left the protocol's
+    allowed set (no coalition of outsiders can reconstruct via this
+    partition).  Exact branch-and-bound set cover — group counts are small
+    (``tau + 1``), so this is cheap.
+    """
+    group_holders: List[Set[int]] = []
+    for group in range(num_groups):
+        pids = holders.get((partition, group), set())
+        if not pids:
+            return None
+        group_holders.append(set(pids))
+
+    best: List[Optional[int]] = [None]
+
+    def search(index: int, chosen: Set[int]) -> None:
+        if best[0] is not None and len(chosen) >= best[0]:
+            return
+        if index == len(group_holders):
+            best[0] = len(chosen)
+            return
+        covered = chosen & group_holders[index]
+        if covered:
+            search(index + 1, chosen)
+            return
+        for pid in sorted(group_holders[index]):
+            search(index + 1, chosen | {pid})
+
+    search(0, set())
+    return best[0]
+
+
+class CoalitionStrategy:
+    """Selects a coalition of outsiders for one rumor."""
+
+    def select(
+        self,
+        rid: RumorId,
+        outsiders: FrozenSet[int],
+        holders: HolderMap,
+        num_partitions: int,
+        num_groups: int,
+        tau: int,
+    ) -> Set[int]:
+        raise NotImplementedError
+
+
+class StaticRandomCoalition(CoalitionStrategy):
+    """Oblivious coalition: ``tau`` uniform outsiders, fixed per rumor."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def select(
+        self,
+        rid: RumorId,
+        outsiders: FrozenSet[int],
+        holders: HolderMap,
+        num_partitions: int,
+        num_groups: int,
+        tau: int,
+    ) -> Set[int]:
+        pool = sorted(outsiders)
+        return set(self.rng.sample(pool, min(tau, len(pool))))
+
+
+class GreedyCoalition(CoalitionStrategy):
+    """Adaptive worst case: maximise distinct fragment coverage.
+
+    For each partition, take the minimum cover if it fits in ``tau``;
+    otherwise pick the ``tau`` outsiders covering the most groups of the
+    best partition.  If this coalition cannot reconstruct the rumor, no
+    ``tau``-coalition can reconstruct it through any single partition.
+    """
+
+    def select(
+        self,
+        rid: RumorId,
+        outsiders: FrozenSet[int],
+        holders: HolderMap,
+        num_partitions: int,
+        num_groups: int,
+        tau: int,
+    ) -> Set[int]:
+        # First preference: a full cover within budget.
+        for partition in range(num_partitions):
+            cover = self._cover_for_partition(
+                holders, partition, num_groups, tau
+            )
+            if cover is not None:
+                return cover
+        # Fall back to the largest partial coverage.
+        best: Set[int] = set()
+        best_groups = -1
+        for partition in range(num_partitions):
+            coalition, groups = self._greedy_partial(
+                holders, partition, num_groups, tau
+            )
+            if groups > best_groups:
+                best, best_groups = coalition, groups
+        return best
+
+    @staticmethod
+    def _cover_for_partition(
+        holders: HolderMap, partition: int, num_groups: int, tau: int
+    ) -> Optional[Set[int]]:
+        size = min_cover_size(holders, partition, num_groups)
+        if size is None or size > tau:
+            return None
+        # Reconstruct one minimal cover greedily (size is known feasible).
+        chosen: Set[int] = set()
+        for group in range(num_groups):
+            pids = holders.get((partition, group), set())
+            if chosen & pids:
+                continue
+            chosen.add(min(pids))
+        return chosen if len(chosen) <= tau else None
+
+    @staticmethod
+    def _greedy_partial(
+        holders: HolderMap, partition: int, num_groups: int, tau: int
+    ) -> Tuple[Set[int], int]:
+        coalition: Set[int] = set()
+        covered: Set[int] = set()
+        while len(coalition) < tau:
+            best_pid, best_gain = None, 0
+            candidates: Dict[int, Set[int]] = {}
+            for group in range(num_groups):
+                if group in covered:
+                    continue
+                for pid in holders.get((partition, group), set()):
+                    if pid in coalition:
+                        continue
+                    candidates.setdefault(pid, set()).add(group)
+            for pid, groups in sorted(candidates.items()):
+                if len(groups) > best_gain:
+                    best_pid, best_gain = pid, len(groups)
+            if best_pid is None:
+                break
+            coalition.add(best_pid)
+            for group in range(num_groups):
+                if best_pid in holders.get((partition, group), set()):
+                    covered.add(group)
+        return coalition, len(covered)

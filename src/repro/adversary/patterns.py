@@ -1,0 +1,87 @@
+"""Scripted (oblivious) adversarial patterns.
+
+An *oblivious* adversary fixes its whole pattern before the execution
+starts — the setting of the lower bounds (Theorems 1 and 12).  These
+classes replay fixed crash/restart scripts; combine with a workload via
+:class:`~repro.adversary.base.ComposedAdversary`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.adversary.base import Adversary
+from repro.sim.engine import AdversaryView
+from repro.sim.events import RoundDecision
+
+__all__ = ["ScriptedFaults", "AlternatingPartitionFaults"]
+
+
+class ScriptedFaults(Adversary):
+    """Replay explicit ``(round, 'crash'|'restart', pid)`` triples."""
+
+    def __init__(self, script: Sequence[Tuple[int, str, int]]):
+        self._by_round: Dict[int, List[Tuple[str, int]]] = {}
+        for round_no, kind, pid in script:
+            if kind not in ("crash", "restart"):
+                raise ValueError("unknown fault kind {!r}".format(kind))
+            self._by_round.setdefault(round_no, []).append((kind, pid))
+
+    def round_start(self, view: AdversaryView) -> RoundDecision:
+        decision = RoundDecision()
+        for kind, pid in self._by_round.get(view.round, []):
+            if kind == "crash" and view.is_alive(pid):
+                decision.crashes.add(pid)
+            elif kind == "restart" and not view.is_alive(pid):
+                decision.restarts.add(pid)
+        return decision
+
+
+class AlternatingPartitionFaults(Adversary):
+    """Cyclically crash/restart whole pid blocks (heavy scripted churn).
+
+    Divides ``[n]`` into ``blocks`` contiguous chunks; chunk ``i`` is down
+    during phase ``i`` of every cycle of ``period`` rounds.  ``immune``
+    pids are skipped.  A stress pattern in which, at any time, a constant
+    fraction of the system is dead, yet every pair of immune processes is
+    continuously alive.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        blocks: int = 4,
+        period: int = 64,
+        immune: Iterable[int] = (),
+        start_round: int = 0,
+    ):
+        if blocks < 2 or period < blocks:
+            raise ValueError("need blocks >= 2 and period >= blocks")
+        self.n = n
+        self.blocks = blocks
+        self.period = period
+        self.immune: Set[int] = set(immune)
+        self.start_round = start_round
+
+    def _block_of(self, pid: int) -> int:
+        chunk = max(1, (self.n + self.blocks - 1) // self.blocks)
+        return min(pid // chunk, self.blocks - 1)
+
+    def _down_block(self, round_no: int) -> int:
+        phase_len = self.period // self.blocks
+        return ((round_no - self.start_round) // phase_len) % self.blocks
+
+    def round_start(self, view: AdversaryView) -> RoundDecision:
+        decision = RoundDecision()
+        if view.round < self.start_round:
+            return decision
+        down = self._down_block(view.round)
+        for pid in range(self.n):
+            if pid in self.immune:
+                continue
+            should_be_down = self._block_of(pid) == down
+            if should_be_down and view.is_alive(pid):
+                decision.crashes.add(pid)
+            elif not should_be_down and not view.is_alive(pid):
+                decision.restarts.add(pid)
+        return decision

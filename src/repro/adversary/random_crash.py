@@ -1,0 +1,132 @@
+"""Randomized churn: i.i.d. and bursty crash/restart fault models.
+
+These exercise the paper's robustness claim that "processes may crash and
+restart at any time; there is no bound on the number of crashed processes
+at any given time".  ``immune`` pids are never crashed — benches use it to
+keep a (source, destination) pair continuously alive so that some rumors
+stay admissible under arbitrarily heavy churn.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence, Set
+
+from repro.adversary.base import Adversary
+from repro.sim.engine import AdversaryView
+from repro.sim.events import RoundDecision
+
+__all__ = ["ChurnAdversary", "BurstCrashAdversary", "CrashOnceAdversary"]
+
+
+class ChurnAdversary(Adversary):
+    """Every round: alive processes crash w.p. ``p_crash``, crashed ones
+    restart w.p. ``p_restart``."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        p_crash: float,
+        p_restart: float,
+        immune: Iterable[int] = (),
+        start_round: int = 0,
+        stop_round: Optional[int] = None,
+        min_alive: int = 1,
+    ):
+        if not 0 <= p_crash <= 1 or not 0 <= p_restart <= 1:
+            raise ValueError("probabilities must be in [0, 1]")
+        self.rng = rng
+        self.p_crash = p_crash
+        self.p_restart = p_restart
+        self.immune: Set[int] = set(immune)
+        self.start_round = start_round
+        self.stop_round = stop_round
+        self.min_alive = min_alive
+
+    def round_start(self, view: AdversaryView) -> RoundDecision:
+        decision = RoundDecision()
+        round_no = view.round
+        if round_no < self.start_round:
+            return decision
+        if self.stop_round is not None and round_no >= self.stop_round:
+            return decision
+        alive = view.alive_pids()
+        crashed = view.crashed_pids()
+        alive_count = len(alive)
+        for pid in sorted(alive):
+            if pid in self.immune:
+                continue
+            if alive_count - len(decision.crashes) <= self.min_alive:
+                break
+            if self.rng.random() < self.p_crash:
+                decision.crashes.add(pid)
+        for pid in sorted(crashed):
+            if self.rng.random() < self.p_restart:
+                decision.restarts.add(pid)
+        return decision
+
+
+class BurstCrashAdversary(Adversary):
+    """Crash a fraction of the alive set at given rounds; restart later.
+
+    ``bursts`` maps round -> fraction of the (non-immune) alive set to
+    crash.  ``restart_after`` rounds later, all crashed processes restart.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        bursts: dict,
+        restart_after: Optional[int] = None,
+        immune: Iterable[int] = (),
+    ):
+        self.rng = rng
+        self.bursts = dict(bursts)
+        self.restart_after = restart_after
+        self.immune: Set[int] = set(immune)
+        self._restart_rounds: dict = {}
+
+    def round_start(self, view: AdversaryView) -> RoundDecision:
+        decision = RoundDecision()
+        round_no = view.round
+        due = self._restart_rounds.pop(round_no, None)
+        if due:
+            decision.restarts |= {pid for pid in due if not view.is_alive(pid)}
+        fraction = self.bursts.get(round_no)
+        if fraction:
+            candidates = sorted(
+                pid
+                for pid in view.alive_pids()
+                if pid not in self.immune and pid not in decision.restarts
+            )
+            count = int(len(candidates) * fraction)
+            victims = set(self.rng.sample(candidates, min(count, len(candidates))))
+            decision.crashes |= victims
+            if self.restart_after is not None and victims:
+                key = round_no + self.restart_after
+                self._restart_rounds.setdefault(key, set()).update(victims)
+        return decision
+
+
+class CrashOnceAdversary(Adversary):
+    """Crash specific pids at a specific round (optionally restart later)."""
+
+    def __init__(
+        self,
+        victims: Sequence[int],
+        crash_round: int,
+        restart_round: Optional[int] = None,
+    ):
+        self.victims = list(victims)
+        self.crash_round = crash_round
+        self.restart_round = restart_round
+        if restart_round is not None and restart_round <= crash_round:
+            raise ValueError("restart must come after the crash")
+
+    def round_start(self, view: AdversaryView) -> RoundDecision:
+        decision = RoundDecision()
+        if view.round == self.crash_round:
+            decision.crashes |= {p for p in self.victims if view.is_alive(p)}
+        elif self.restart_round is not None and view.round == self.restart_round:
+            decision.restarts |= {p for p in self.victims if not view.is_alive(p)}
+        return decision

@@ -1,0 +1,103 @@
+"""Closed-form versions of the paper's complexity bounds.
+
+These formulas are the *claims* the benches compare measurements against.
+They are exact transcriptions of the theorem statements (up to the
+polylog/constant slack the statements themselves leave unspecified, which
+callers control via the ``constant`` and ``polylog_power`` knobs).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "congos_upper_bound",
+    "collusion_upper_bound",
+    "strong_confidentiality_lower_bound",
+    "collusion_lower_bound",
+    "groupgossip_upper_bound",
+    "theorem1_expected_pairs",
+]
+
+
+def _polylog(n: int, power: float) -> float:
+    return max(1.0, math.log2(max(2, n))) ** power
+
+
+def groupgossip_upper_bound(
+    n: int, dmin: int, constant: float = 1.0, polylog_power: float = 1.0
+) -> float:
+    """The [13] black box: ``O(n^{1+6/cbrt(dmin)} polylog n)`` per round."""
+    if dmin < 1:
+        raise ValueError("dmin must be positive")
+    exponent = 1.0 + 6.0 / (dmin ** (1.0 / 3.0))
+    return constant * (n ** exponent) * _polylog(n, polylog_power)
+
+
+def congos_upper_bound(
+    n: int,
+    dmin: int,
+    constant: float = 1.0,
+    polylog_power: float = 2.0,
+    fanout_exponent_constant: float = 48.0,
+) -> float:
+    """Theorem 11: ``O((n^{1+48/sqrt(dmin)} + n^{1+6/cbrt(dmin)}) polylog n)``.
+
+    ``fanout_exponent_constant`` substitutes the paper's 48 when comparing
+    against runs configured with a smaller constant (the *shape* check).
+    """
+    if dmin < 1:
+        raise ValueError("dmin must be positive")
+    proxy_term = n ** (1.0 + fanout_exponent_constant / math.sqrt(dmin))
+    gossip_term = n ** (1.0 + 6.0 / (dmin ** (1.0 / 3.0)))
+    return constant * (proxy_term + gossip_term) * _polylog(n, polylog_power)
+
+
+def collusion_upper_bound(
+    n: int,
+    dmin: int,
+    tau: int,
+    constant: float = 1.0,
+    polylog_power: float = 2.0,
+    fanout_exponent_constant: float = 48.0,
+) -> float:
+    """Theorem 16: the Theorem-11 bound multiplied by ``tau^2``."""
+    if tau < 1:
+        raise ValueError("tau must be >= 1")
+    return (tau ** 2) * congos_upper_bound(
+        n,
+        dmin,
+        constant=constant,
+        polylog_power=polylog_power,
+        fanout_exponent_constant=fanout_exponent_constant,
+    )
+
+
+def strong_confidentiality_lower_bound(
+    n: int, dmax: int, epsilon: float = 0.5, constant: float = 1.0
+) -> float:
+    """Theorem 1: ``Omega(n^{3/2 - eps} / dmax)`` per round."""
+    if not 0 < epsilon < 1.5:
+        raise ValueError("epsilon must be in (0, 1.5)")
+    if dmax < 1:
+        raise ValueError("dmax must be positive")
+    return constant * (n ** (1.5 - epsilon)) / dmax
+
+
+def collusion_lower_bound(
+    n: int, dmax: int, tau: int, epsilon: float = 0.5, constant: float = 1.0
+) -> float:
+    """Theorem 12: ``Omega(min(n tau, n^{3/2 - eps}) / dmax)`` per round."""
+    if tau < 1:
+        raise ValueError("tau must be >= 1")
+    return constant * min(n * tau, n ** (1.5 - epsilon)) / dmax
+
+
+def theorem1_expected_pairs(n: int, c: int) -> float:
+    """Expected (source, destination) pairs in the Theorem-1 layout.
+
+    The proof lower-bounds the pair count by ``n x / 2`` w.h.p.; the
+    expectation is ``n * (n-1) * x/n ~= n x``.
+    """
+    x = n ** (0.5 - 2.0 / c)
+    return n * (n - 1) * (x / n)

@@ -1,0 +1,71 @@
+"""Run statistics helpers: aggregation across seeds, w.h.p. checks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+__all__ = ["Summary", "summarize", "all_runs_hold", "binomial_upper_p"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    ordered = sorted(float(v) for v in values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = sum((v - mean) ** 2 for v in ordered) / count
+    mid = count // 2
+    if count % 2:
+        median = ordered[mid]
+    else:
+        median = (ordered[mid - 1] + ordered[mid]) / 2
+    return Summary(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        median=median,
+    )
+
+
+def all_runs_hold(flags: Sequence[bool]) -> bool:
+    """Probability-1 claims must hold in *every* run, not on average."""
+    return all(flags)
+
+
+def binomial_upper_p(successes: int, trials: int) -> float:
+    """A crude upper confidence bound on a failure probability.
+
+    With ``trials`` independent runs and ``failures = trials - successes``
+    observed, returns ``(failures + 1) / (trials + 1)`` — the rule-of-one
+    style bound used to report w.h.p. claims from finitely many runs.
+    """
+    if trials < 1 or not 0 <= successes <= trials:
+        raise ValueError("invalid binomial sample")
+    failures = trials - successes
+    return (failures + 1) / (trials + 1)

@@ -1,0 +1,141 @@
+"""Parameter sweeps with seed replication.
+
+The benches each hand-roll one sweep; this module provides the general
+machinery for interactive exploration: run a scenario family over a
+parameter grid, replicate each cell across seeds, and aggregate the
+metrics the paper cares about (per-round peak, totals, QoD verdicts,
+fallback rates) into :class:`~repro.analysis.stats.Summary` rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.analysis.stats import Summary, summarize
+from repro.harness.runner import RunResult, Scenario, run_congos_scenario
+
+__all__ = ["CellResult", "SweepResult", "sweep_congos", "grid"]
+
+ScenarioBuilder = Callable[..., Scenario]
+
+
+def grid(**axes: Sequence) -> List[Dict[str, object]]:
+    """Cartesian product of named axes as a list of kwargs dicts.
+
+    >>> grid(n=[8, 16], deadline=[64])
+    [{'n': 8, 'deadline': 64}, {'n': 16, 'deadline': 64}]
+    """
+    names = sorted(axes)
+    combos = itertools.product(*(axes[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+@dataclass
+class CellResult:
+    """Aggregated metrics of one grid cell across its seed replicates."""
+
+    cell: Dict[str, object]
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def seeds(self) -> int:
+        return len(self.runs)
+
+    def all_satisfied(self) -> bool:
+        return all(run.qod.satisfied for run in self.runs)
+
+    def all_clean(self) -> bool:
+        return all(run.confidentiality.is_clean() for run in self.runs)
+
+    def peak_summary(self) -> Summary:
+        return summarize([run.stats.max_per_round() for run in self.runs])
+
+    def total_summary(self) -> Summary:
+        return summarize([run.stats.total for run in self.runs])
+
+    def fallback_rate(self) -> float:
+        shots = served = 0
+        for run in self.runs:
+            paths = run.qod.path_counts(admissible_only=True)
+            shots += paths.get("shoot", 0)
+            served += sum(paths.values())
+        return shots / served if served else 0.0
+
+    def latency_summary(self) -> Summary:
+        latencies: List[float] = []
+        for run in self.runs:
+            latencies.extend(run.qod.latencies())
+        return summarize(latencies) if latencies else summarize([0])
+
+
+@dataclass
+class SweepResult:
+    """All cells of a sweep."""
+
+    cells: List[CellResult]
+
+    def all_satisfied(self) -> bool:
+        return all(cell.all_satisfied() for cell in self.cells)
+
+    def all_clean(self) -> bool:
+        return all(cell.all_clean() for cell in self.cells)
+
+    def series(
+        self, x_axis: str, metric: Callable[[CellResult], float]
+    ) -> List[Tuple[object, float]]:
+        """Project the sweep onto ``(cell[x_axis], metric(cell))`` pairs."""
+        return [(cell.cell[x_axis], metric(cell)) for cell in self.cells]
+
+    def table_rows(self) -> List[List[object]]:
+        rows = []
+        for cell in self.cells:
+            peak = cell.peak_summary()
+            rows.append(
+                [
+                    *[cell.cell[key] for key in sorted(cell.cell)],
+                    cell.seeds,
+                    round(peak.mean, 1),
+                    int(peak.maximum),
+                    round(cell.fallback_rate(), 4),
+                    cell.all_satisfied(),
+                    cell.all_clean(),
+                ]
+            )
+        return rows
+
+    def table_headers(self) -> List[str]:
+        if not self.cells:
+            return []
+        return [
+            *sorted(self.cells[0].cell),
+            "seeds",
+            "peak mean",
+            "peak max",
+            "fallback",
+            "qod",
+            "clean",
+        ]
+
+
+def sweep_congos(
+    builder: ScenarioBuilder,
+    cells: Iterable[Mapping[str, object]],
+    seeds: Sequence[int] = (0, 1),
+    **fixed: object,
+) -> SweepResult:
+    """Run ``builder(**fixed, **cell, seed=s)`` for every cell and seed.
+
+    ``builder`` is any scenario builder from :mod:`repro.harness.scenarios`
+    (they all accept ``n``, ``rounds``, ``seed`` plus their own knobs).
+    """
+    results: List[CellResult] = []
+    for cell in cells:
+        cell_dict = dict(cell)
+        runs = []
+        for seed in seeds:
+            scenario = builder(seed=seed, **fixed, **cell_dict)
+            runs.append(run_congos_scenario(scenario))
+        results.append(CellResult(cell=cell_dict, runs=runs))
+    return SweepResult(cells=results)

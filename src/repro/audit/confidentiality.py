@@ -1,0 +1,349 @@
+"""Confidentiality auditing (Definition 2, Lemma 3, Lemma 14).
+
+The auditor is an engine observer, entirely outside the protocol: it
+inspects every *delivered* message's payload for knowledge atoms (rumor
+plaintexts and XOR fragments) and maintains, per process, everything that
+process has ever learned — including across crashes, because a curious
+process could have copied data out before crashing.
+
+Checks provided:
+
+* **plaintext violations** — a process outside ``D + {source}`` received
+  the rumor plaintext;
+* **reconstruction violations** — a single outsider collected all groups
+  of some partition (it can XOR the rumor together);
+* **multiplicity breaches** — an outsider holds two or more fragments of
+  the *same* partition (the invariant behind Lemma 14's "no process that
+  is not in the destination set learns more than one fragment"); not yet
+  a reconstruction for ``tau + 1 > 2``, but a protocol bug;
+* **coalition analysis** — for any ``tau`` and coalition strategy, could
+  the pooled knowledge reconstruct a rumor (Theorem 16's guarantee is
+  "no" for coalitions of size ``<= tau``);
+* **border messages** — fragment copies crossing from ``D + {source}`` to
+  outsiders, the quantity Theorem 12's lower bound counts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.adversary.collusion import CoalitionStrategy, min_cover_size
+from repro.gossip.rumor import Rumor, RumorId
+from repro.sim.engine import SimObserver
+from repro.sim.messages import Message, reveals_of
+
+__all__ = [
+    "Violation",
+    "CoalitionFinding",
+    "ConfidentialityAuditor",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One confidentiality breach."""
+
+    kind: str  # "plaintext" | "reconstruction" | "multiplicity"
+    rid: RumorId
+    pid: int
+    round_no: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class CoalitionFinding:
+    """Result of a coalition check for one rumor."""
+
+    rid: RumorId
+    coalition: FrozenSet[int]
+    reconstructs: bool
+    partition: Optional[int] = None
+
+
+class ConfidentialityAuditor(SimObserver):
+    """Tracks knowledge flow and detects confidentiality breaches."""
+
+    def __init__(self, num_partitions: int, num_groups: int):
+        self.num_partitions = num_partitions
+        self.num_groups = num_groups
+        # rid -> rumor metadata
+        self.rumors: Dict[RumorId, Rumor] = {}
+        self.sources: Dict[RumorId, int] = {}
+        # pid -> set of knowledge atoms
+        self.knowledge: Dict[int, Set[Tuple]] = defaultdict(set)
+        # (rid, partition, group) -> pids holding the fragment
+        self.fragment_holders: Dict[Tuple[RumorId, int, int], Set[int]] = defaultdict(set)
+        # rid -> pids who saw the plaintext
+        self.plaintext_holders: Dict[RumorId, Set[int]] = defaultdict(set)
+        self.violations: List[Violation] = []
+        # rid -> number of fragment copies crossing the D+{src} border
+        self.border_messages: Dict[RumorId, int] = defaultdict(int)
+        self.total_border_messages = 0
+        self._allowed_cache: Dict[RumorId, FrozenSet[int]] = {}
+        # Gossip items are immutable and re-broadcast many times; cache the
+        # atoms of each item once (keyed by its uid) and remember which
+        # items each process has already absorbed.
+        self._item_atoms: Dict[Tuple, Tuple[Tuple, ...]] = {}
+        self._seen_items: Dict[int, Set[Tuple]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # Observer hooks
+    # ------------------------------------------------------------------
+
+    def on_inject(self, round_no: int, pid: int, rumor: object) -> None:
+        if not isinstance(rumor, Rumor):
+            return
+        self.rumors[rumor.rid] = rumor
+        self.sources[rumor.rid] = pid
+        self.knowledge[pid].add(("plaintext", rumor.rid))
+        self.plaintext_holders[rumor.rid].add(pid)
+
+    def on_deliver(self, round_no: int, message: Message) -> None:
+        dst = message.dst
+        crossed_border: Set[RumorId] = set()
+        payload = message.payload
+        if isinstance(payload, tuple):
+            # A gossip batch: avoid re-walking items this process has seen.
+            seen = self._seen_items[dst]
+            for item in payload:
+                uid = getattr(item, "uid", None)
+                if uid is None:
+                    self._absorb_atoms(
+                        round_no, message.src, dst, reveals_of(item), crossed_border
+                    )
+                    continue
+                atoms = self._item_atoms.get(uid)
+                if atoms is None:
+                    atoms = tuple(reveals_of(item))
+                    self._item_atoms[uid] = atoms
+                # Border copies are counted per message even for repeats
+                # (Theorem 12 counts message copies, not novel fragments).
+                for atom in atoms:
+                    if atom[0] == "fragment":
+                        rid = atom[1]
+                        if rid not in crossed_border and self._is_border(
+                            rid, message.src, dst
+                        ):
+                            crossed_border.add(rid)
+                if uid in seen:
+                    continue
+                seen.add(uid)
+                self._absorb_atoms(round_no, message.src, dst, atoms, None)
+        else:
+            self._absorb_atoms(
+                round_no, message.src, dst, message.reveals(), crossed_border
+            )
+        for rid in crossed_border:
+            self.border_messages[rid] += 1
+            self.total_border_messages += 1
+
+    def _absorb_atoms(
+        self,
+        round_no: int,
+        src: int,
+        dst: int,
+        atoms,
+        crossed_border: Optional[Set[RumorId]],
+    ) -> None:
+        known = self.knowledge[dst]
+        for atom in atoms:
+            if atom[0] == "fragment":
+                rid = atom[1]
+                if (
+                    crossed_border is not None
+                    and rid not in crossed_border
+                    and self._is_border(rid, src, dst)
+                ):
+                    crossed_border.add(rid)
+                if atom in known:
+                    continue
+                known.add(atom)
+                _, rid, partition, group = atom
+                self.fragment_holders[(rid, partition, group)].add(dst)
+                self._check_fragments(round_no, rid, partition, dst)
+            elif atom[0] == "plaintext":
+                if atom in known:
+                    continue
+                known.add(atom)
+                rid = atom[1]
+                self.plaintext_holders[rid].add(dst)
+                self._check_plaintext(round_no, rid, dst)
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+
+    def allowed_set(self, rid: RumorId) -> FrozenSet[int]:
+        """Processes allowed to know the rumor: ``D`` plus the source."""
+        cached = self._allowed_cache.get(rid)
+        if cached is not None:
+            return cached
+        rumor = self.rumors.get(rid)
+        if rumor is None:
+            return frozenset()
+        allowed = set(rumor.dest)
+        source = self.sources.get(rid)
+        if source is not None:
+            allowed.add(source)
+        result = frozenset(allowed)
+        self._allowed_cache[rid] = result
+        return result
+
+    def outsiders(self, rid: RumorId, n: int) -> FrozenSet[int]:
+        return frozenset(range(n)) - self.allowed_set(rid)
+
+    def _is_border(self, rid: RumorId, src: int, dst: int) -> bool:
+        allowed = self.allowed_set(rid)
+        return src in allowed and dst not in allowed
+
+    def _check_plaintext(self, round_no: int, rid: RumorId, pid: int) -> None:
+        if rid not in self.rumors:
+            return
+        if pid not in self.allowed_set(rid):
+            self.violations.append(
+                Violation(
+                    kind="plaintext",
+                    rid=rid,
+                    pid=pid,
+                    round_no=round_no,
+                    detail="plaintext delivered outside destination set",
+                )
+            )
+
+    def _check_fragments(
+        self, round_no: int, rid: RumorId, partition: int, pid: int
+    ) -> None:
+        if rid not in self.rumors or pid in self.allowed_set(rid):
+            return
+        held = [
+            group
+            for group in range(self.num_groups)
+            if pid in self.fragment_holders.get((rid, partition, group), ())
+        ]
+        if len(held) >= 2:
+            self.violations.append(
+                Violation(
+                    kind="multiplicity",
+                    rid=rid,
+                    pid=pid,
+                    round_no=round_no,
+                    detail="outsider holds groups {} of partition {}".format(
+                        held, partition
+                    ),
+                )
+            )
+        if len(held) == self.num_groups:
+            self.violations.append(
+                Violation(
+                    kind="reconstruction",
+                    rid=rid,
+                    pid=pid,
+                    round_no=round_no,
+                    detail="outsider completed partition {}".format(partition),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Coalition analysis (Section 6)
+    # ------------------------------------------------------------------
+
+    def holder_map(
+        self, rid: RumorId, n: int
+    ) -> Dict[Tuple[int, int], Set[int]]:
+        """(partition, group) -> outsiders holding that fragment."""
+        outsiders = self.outsiders(rid, n)
+        holders: Dict[Tuple[int, int], Set[int]] = {}
+        for partition in range(self.num_partitions):
+            for group in range(self.num_groups):
+                pids = self.fragment_holders.get((rid, partition, group), set())
+                outside = {p for p in pids if p in outsiders}
+                if outside:
+                    holders[(partition, group)] = outside
+        return holders
+
+    def min_coalition_size(self, rid: RumorId, n: int) -> Optional[int]:
+        """Smallest outsider coalition that could reconstruct the rumor.
+
+        ``None`` means no coalition of outsiders can reconstruct at all
+        (some fragment of every partition never left the allowed set).
+        """
+        holders = self.holder_map(rid, n)
+        best: Optional[int] = None
+        for partition in range(self.num_partitions):
+            size = min_cover_size(holders, partition, self.num_groups)
+            if size is not None and (best is None or size < best):
+                best = size
+        return best
+
+    def coalition_reconstructs(
+        self, rid: RumorId, coalition: Set[int], n: int
+    ) -> Tuple[bool, Optional[int]]:
+        """Can this specific coalition pool a complete partition?"""
+        outsiders = self.outsiders(rid, n)
+        effective = set(coalition) & set(outsiders)
+        # Pooled plaintext counts too (a leak, but checked elsewhere).
+        for partition in range(self.num_partitions):
+            covered = 0
+            for group in range(self.num_groups):
+                holders = self.fragment_holders.get((rid, partition, group), set())
+                if holders & effective:
+                    covered += 1
+            if covered == self.num_groups:
+                return True, partition
+        return False, None
+
+    def check_coalitions(
+        self,
+        strategy: CoalitionStrategy,
+        tau: int,
+        n: int,
+    ) -> List[CoalitionFinding]:
+        """Evaluate one coalition per rumor under ``strategy``."""
+        findings: List[CoalitionFinding] = []
+        for rid in self.rumors:
+            outsiders = self.outsiders(rid, n)
+            if not outsiders:
+                continue
+            holders = self.holder_map(rid, n)
+            coalition = strategy.select(
+                rid,
+                outsiders,
+                holders,
+                self.num_partitions,
+                self.num_groups,
+                tau,
+            )
+            reconstructs, partition = self.coalition_reconstructs(rid, coalition, n)
+            findings.append(
+                CoalitionFinding(
+                    rid=rid,
+                    coalition=frozenset(coalition),
+                    reconstructs=reconstructs,
+                    partition=partition,
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def violation_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {"plaintext": 0, "reconstruction": 0, "multiplicity": 0}
+        for violation in self.violations:
+            counts[violation.kind] = counts.get(violation.kind, 0) + 1
+        return counts
+
+    def is_clean(self) -> bool:
+        """No plaintext or reconstruction violations (Definition 2)."""
+        counts = self.violation_counts()
+        return counts["plaintext"] == 0 and counts["reconstruction"] == 0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "rumors": len(self.rumors),
+            "violations": self.violation_counts(),
+            "border_messages": self.total_border_messages,
+        }

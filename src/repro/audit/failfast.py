@@ -1,0 +1,64 @@
+"""Fail-fast invariant monitoring.
+
+The auditors collect evidence and judge at the end of a run; during
+protocol development you usually want the opposite — stop the simulation
+at the *first* round in which an invariant breaks, with the offending
+round number in hand.  :class:`FailFastMonitor` wraps a
+:class:`~repro.audit.confidentiality.ConfidentialityAuditor` and raises
+:class:`InvariantViolation` from within the engine loop the moment a
+violation is recorded.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.audit.confidentiality import ConfidentialityAuditor, Violation
+from repro.sim.engine import Engine, SimObserver
+
+__all__ = ["InvariantViolation", "FailFastMonitor"]
+
+
+class InvariantViolation(AssertionError):
+    """Raised when a monitored invariant breaks mid-run."""
+
+    def __init__(self, round_no: int, violations: Sequence[Violation]):
+        self.round_no = round_no
+        self.violations = list(violations)
+        super().__init__(
+            "round {}: {} confidentiality violation(s), first: {}".format(
+                round_no,
+                len(self.violations),
+                self.violations[0] if self.violations else None,
+            )
+        )
+
+
+class FailFastMonitor(SimObserver):
+    """Stops the run at the first confidentiality violation.
+
+    ``strict`` additionally treats multiplicity breaches (an outsider
+    holding two fragments of one partition — not yet a reconstruction,
+    but always a protocol bug) as fatal.
+    """
+
+    def __init__(
+        self,
+        auditor: ConfidentialityAuditor,
+        strict: bool = True,
+    ):
+        self.auditor = auditor
+        self.strict = strict
+        self._seen = 0
+
+    def _fatal(self, violation: Violation) -> bool:
+        if violation.kind in ("plaintext", "reconstruction"):
+            return True
+        return self.strict and violation.kind == "multiplicity"
+
+    def on_round_end(self, round_no: int, engine: Engine) -> None:
+        new = self.auditor.violations[self._seen:]
+        self._seen = len(self.auditor.violations)
+        fatal = [v for v in new if self._fatal(v)]
+        if fatal:
+            raise InvariantViolation(round_no, fatal)

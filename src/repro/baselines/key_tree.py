@@ -1,0 +1,178 @@
+"""Logical-Key-Hierarchy (LKH) cost model: the cryptographic alternative.
+
+The paper's introduction discusses multicast-security schemes in which
+"the processes may be arranged as leaves on a binary tree, where each
+internal node of the tree contains a cryptographic key; each process is
+given access to every key found on the root-to-leaf path" — and argues
+they are efficient for *stable* groups but expensive "when the groups are
+changing rapidly, or when there are no fixed groups, i.e., when each
+rumor has a different destination set".
+
+This module quantifies that claim without implementing actual
+cryptography (key bits are irrelevant to message complexity):
+
+* :func:`subtree_cover` — the classic complete-subtree method: the number
+  of encryptions needed to address an arbitrary destination set ``D`` is
+  the size of the minimal set of maximal subtrees whose leaves are exactly
+  ``D`` (``O(|D| log(n/|D|))`` in the worst case).
+* :class:`KeyTreeCostModel` — per-rumor send cost under three regimes:
+  fresh per-rumor groups (subset-cover every time), re-keyed persistent
+  groups (pay ``O(log n)`` per membership change since the previous rumor
+  of the same source), and churn re-keying (every crash forces key
+  rotation on the victim's root path).
+
+Bench E11 runs this model against the same workloads as CONGOS.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+__all__ = [
+    "subtree_cover",
+    "tree_height",
+    "rekey_cost",
+    "KeyTreeCostModel",
+    "KeyTreeReport",
+]
+
+
+def tree_height(n: int) -> int:
+    """Height of the complete binary key tree over ``n`` leaves."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return max(1, math.ceil(math.log2(n))) if n > 1 else 1
+
+
+def subtree_cover(n: int, dest: Iterable[int]) -> List[Tuple[int, int]]:
+    """Minimal complete-subtree cover of ``dest`` in a tree over ``[n]``.
+
+    Returns the cover as ``(level, index)`` pairs, where level 0 holds the
+    leaves.  A subtree is included iff *all* of its leaves (restricted to
+    ``[n]``) are in ``dest`` and its parent is not fully covered.  The
+    cover size is the number of encryptions a broadcast to exactly
+    ``dest`` requires under the complete-subtree method.
+    """
+    members: Set[int] = set(dest)
+    if not members:
+        return []
+    if not members <= set(range(n)):
+        raise ValueError("destination set contains pids outside [n)")
+    height = tree_height(n)
+    cover: List[Tuple[int, int]] = []
+
+    def walk(lo: int, level: int) -> None:
+        span = 1 << level
+        real = range(lo, min(lo + span, n))
+        hit = sum(1 for pid in real if pid in members)
+        if hit == 0:
+            return
+        if hit == len(real):
+            cover.append((level, lo // span))
+            return
+        walk(lo, level - 1)
+        walk(lo + span // 2, level - 1)
+
+    walk(0, height)
+    return cover
+
+
+def rekey_cost(n: int, changes: int) -> int:
+    """Messages to re-key after ``changes`` membership changes.
+
+    Each join/leave refreshes the keys on one root-to-leaf path; every
+    refreshed key is communicated to the two sibling subtrees —
+    ``2 * height`` messages per change (the standard LKH bound).
+    """
+    return changes * 2 * tree_height(n)
+
+
+@dataclass
+class KeyTreeReport:
+    """Aggregate cost of serving a rumor sequence with LKH."""
+
+    rumors: int = 0
+    payload_messages: int = 0
+    rekey_messages: int = 0
+    churn_rekey_messages: int = 0
+    per_rumor: List[int] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        return self.payload_messages + self.rekey_messages + self.churn_rekey_messages
+
+    def mean_per_rumor(self) -> float:
+        if not self.per_rumor:
+            return 0.0
+        return sum(self.per_rumor) / len(self.per_rumor)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "rumors": self.rumors,
+            "payload_messages": self.payload_messages,
+            "rekey_messages": self.rekey_messages,
+            "churn_rekey_messages": self.churn_rekey_messages,
+            "total": self.total_messages,
+            "mean_per_rumor": round(self.mean_per_rumor(), 2),
+        }
+
+
+class KeyTreeCostModel:
+    """Accounts LKH traffic for a stream of rumors and faults.
+
+    Modes
+    -----
+    ``"subset-cover"``
+        Stateless: every rumor is one multicast under a fresh subset
+        cover — ``cover_size`` encrypted copies (counted as messages).
+    ``"rekey"``
+        Stateful per source: the source maintains a group key for its
+        previous destination set and pays ``2 log n`` messages per member
+        joined/left since its last rumor, plus one payload multicast.
+    """
+
+    def __init__(self, n: int, mode: str = "subset-cover"):
+        if mode not in ("subset-cover", "rekey"):
+            raise ValueError("mode must be 'subset-cover' or 'rekey'")
+        self.n = n
+        self.mode = mode
+        self._previous_group: Dict[int, FrozenSet[int]] = {}
+        self.report = KeyTreeReport()
+
+    def on_rumor(self, src: int, dest: Iterable[int]) -> int:
+        """Account one rumor; returns its message cost."""
+        members = frozenset(dest)
+        cost = 0
+        if self.mode == "subset-cover":
+            cost = max(1, len(subtree_cover(self.n, members)))
+            self.report.payload_messages += cost
+        else:
+            previous = self._previous_group.get(src, frozenset())
+            changes = len(previous ^ members)
+            rekey = rekey_cost(self.n, changes)
+            self.report.rekey_messages += rekey
+            self.report.payload_messages += 1
+            self._previous_group[src] = members
+            cost = rekey + 1
+        self.report.rumors += 1
+        self.report.per_rumor.append(cost)
+        return cost
+
+    def on_crash(self, pid: int) -> int:
+        """A crashed member must be evicted from every group key it held.
+
+        Conservative model: one root-path re-key per group currently
+        containing the victim.
+        """
+        cost = 0
+        for src, group in self._previous_group.items():
+            if pid in group:
+                cost += rekey_cost(self.n, 1)
+                self._previous_group[src] = group - {pid}
+        if self.mode == "subset-cover":
+            # Stateless mode still rotates the victim's path keys once.
+            cost += rekey_cost(self.n, 1)
+        self.report.churn_rekey_messages += cost
+        return cost

@@ -1,0 +1,280 @@
+"""The ConfidentialGossip coordinator (Figures 2, 5 and 8).
+
+This is the top of the CONGOS stack at each process.  It
+
+* splits injected rumors and feeds the per-partition services (done by
+  :class:`~repro.core.congos.CongosNode`, which owns the wiring);
+* collects fragments returned by GroupDistribution and **reassembles**
+  rumors as soon as all groups of some partition are present;
+* assembles the ``hitSetM`` matrix from AllGossip distribution shares and
+  **confirms** its own rumors once, for some partition, every group's
+  hitSet covers the destination set (Figure 8, lines 38-46);
+* fires the **fallback**: when a rumor it initiated reaches its deadline
+  unconfirmed, the source sends the full rumor directly to every
+  destination ("shoot", Figure 8 lines 47-53) — this is what makes
+  Quality of Delivery hold with probability 1 (Lemma 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.config import CongosParams
+from repro.core.group_distribution import DistributionShare, HitEntry
+from repro.core.partitions import PartitionSet
+from repro.core.splitting import Fragment, merge_fragments
+from repro.gossip.rumor import Rumor, RumorId
+from repro.gossip.service import SubService
+from repro.sim.messages import Message, ServiceTags
+
+__all__ = [
+    "CachedRumor",
+    "ConfidentialGossipCoordinator",
+    "DeliveryRecord",
+    "DirectRumor",
+]
+
+DeliverCallback = Callable[[int, int, RumorId, bytes, str], None]
+"""Delivery hook: ``(pid, round_no, rid, data, path)``."""
+
+
+@dataclass
+class CachedRumor:
+    """Source-side record of an own rumor awaiting confirmation."""
+
+    rumor: Rumor
+    dline: int
+    injected_at: int
+    confirmed_at: Optional[int] = None
+
+    @property
+    def fallback_round(self) -> int:
+        return self.injected_at + self.rumor.deadline
+
+
+@dataclass(frozen=True)
+class DirectRumor:
+    """A full rumor sent point-to-point by its source.
+
+    ``path`` distinguishes the deliberate direct-send route (short
+    deadlines / Theorem-16 case 1) from the deadline fallback ("shoot"),
+    so benches can report fallback rates.
+    """
+
+    rumor: Rumor
+    path: str  # "direct" | "shoot"
+
+    def reveals(self):
+        return self.rumor.reveals()
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """How and when a rumor was delivered locally."""
+
+    rid: RumorId
+    data: bytes
+    round_no: int
+    path: str  # "local" | "reassembled" | "shoot" | "direct"
+
+
+class ConfidentialGossipCoordinator(SubService):
+    """ConfidentialGossip service state at one process."""
+
+    CHANNEL = "shoot"
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        params: CongosParams,
+        partition_set: PartitionSet,
+        deliver_callback: Optional[DeliverCallback] = None,
+    ):
+        super().__init__(pid, n, ServiceTags.CONFIDENTIAL, self.CHANNEL)
+        self.params = params
+        self.partition_set = partition_set
+        self.deliver_callback = deliver_callback
+
+        self.rumor_cache: Dict[RumorId, CachedRumor] = {}
+        self.hit_matrix: Dict[Tuple[int, int, int], Set[HitEntry]] = {}
+        self.fragment_store: Dict[Tuple[RumorId, int], Dict[int, Fragment]] = {}
+        self.deliveries: Dict[RumorId, DeliveryRecord] = {}
+        self._pending_direct: List[Rumor] = []
+        self._dirty_confirmations = False
+
+        # Run statistics.
+        self.fallbacks = 0
+        self.confirmations = 0
+        self.reassemblies = 0
+        self.direct_sends = 0
+
+    # ------------------------------------------------------------------
+    # Upstream API (called by CongosNode)
+    # ------------------------------------------------------------------
+
+    def register(self, round_no: int, rumor: Rumor, dline: int) -> None:
+        """Track an own rumor going through the pipeline."""
+        self.rumor_cache[rumor.rid] = CachedRumor(
+            rumor=rumor, dline=dline, injected_at=round_no
+        )
+
+    def direct_send(self, round_no: int, rumor: Rumor) -> None:
+        """Queue a rumor for immediate direct delivery (short deadline or
+        Theorem-16 case 1)."""
+        self._pending_direct.append(rumor)
+        self.direct_sends += 1
+
+    def deliver_local(
+        self, round_no: int, rid: RumorId, data: bytes, path: str
+    ) -> None:
+        """Record a delivery to this process's user (idempotent)."""
+        if rid in self.deliveries:
+            return
+        record = DeliveryRecord(rid=rid, data=data, round_no=round_no, path=path)
+        self.deliveries[rid] = record
+        if self.deliver_callback is not None:
+            self.deliver_callback(self.pid, round_no, rid, data, path)
+
+    def on_fragment(self, round_no: int, fragment: Fragment) -> None:
+        """A fragment delivered by some GroupDistribution[l]."""
+        key = (fragment.rid, fragment.partition)
+        bucket = self.fragment_store.setdefault(key, {})
+        if fragment.group in bucket:
+            return
+        bucket[fragment.group] = fragment
+        if len(bucket) == fragment.total_groups:
+            data = merge_fragments([bucket[g] for g in sorted(bucket)])
+            self.reassemblies += 1
+            self.deliver_local(round_no, fragment.rid, data, "reassembled")
+
+    def on_distribution_share(self, round_no: int, share: DistributionShare) -> None:
+        """AllGossip record: fold into hitSetM, re-check confirmations."""
+        key = (share.dline, share.partition, share.group)
+        self.hit_matrix.setdefault(key, set()).update(share.hits)
+        self._dirty_confirmations = True
+
+    # ------------------------------------------------------------------
+    # Engine phases
+    # ------------------------------------------------------------------
+
+    def send_phase(self, round_no: int) -> List[Message]:
+        if self._dirty_confirmations:
+            self._check_confirmations(round_no)
+        messages: List[Message] = []
+        for rumor in self._pending_direct:
+            messages.extend(self._shoot(rumor, "direct"))
+        self._pending_direct = []
+        expired: List[RumorId] = []
+        for rid, cached in self.rumor_cache.items():
+            if cached.confirmed_at is not None:
+                continue
+            if round_no >= cached.fallback_round:
+                targets = set(cached.rumor.dest)
+                if self.params.fallback_scope == "unconfirmed":
+                    targets -= self._covered_destinations(cached)
+                messages.extend(
+                    self._shoot(cached.rumor, "shoot", targets=targets)
+                )
+                self.fallbacks += 1
+                expired.append(rid)
+        for rid in expired:
+            del self.rumor_cache[rid]
+        return messages
+
+    def on_message(self, round_no: int, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, Rumor):
+            payload = DirectRumor(payload, "shoot")
+        if not isinstance(payload, DirectRumor):
+            raise TypeError(
+                "unexpected coordinator payload {!r}".format(type(payload))
+            )
+        rumor = payload.rumor
+        self.deliver_local(round_no, rumor.rid, rumor.data, payload.path)
+
+    def end_round(self, round_no: int) -> None:
+        if self._dirty_confirmations:
+            self._check_confirmations(round_no)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def delivered(self) -> Dict[RumorId, bytes]:
+        return {rid: record.data for rid, record in self.deliveries.items()}
+
+    def is_confirmed(self, rid: RumorId) -> bool:
+        cached = self.rumor_cache.get(rid)
+        return cached is not None and cached.confirmed_at is not None
+
+    def pending_rumors(self) -> List[RumorId]:
+        return [
+            rid
+            for rid, cached in self.rumor_cache.items()
+            if cached.confirmed_at is None
+        ]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _shoot(
+        self,
+        rumor: Rumor,
+        path: str,
+        targets: Optional[Set[int]] = None,
+    ) -> List[Message]:
+        """Send the full rumor straight to (a subset of) its destinations."""
+        messages = []
+        payload = DirectRumor(rumor, path)
+        recipients = rumor.dest if targets is None else targets
+        for dst in sorted(recipients):
+            if dst == self.pid:
+                continue
+            messages.append(self.make_message(dst, payload, size=1))
+        return messages
+
+    def _covered_destinations(self, cached: CachedRumor) -> Set[int]:
+        """Destinations already hit with every group's fragment in some
+        partition (they have reassembled the rumor — [GD:CONFIRM] holds
+        per destination, so skipping them in the fallback is safe)."""
+        covered: Set[int] = set()
+        rid = cached.rumor.rid
+        for dst in cached.rumor.dest:
+            for partition in range(self.partition_set.count):
+                if all(
+                    (dst, rid)
+                    in self.hit_matrix.get(
+                        (cached.dline, partition, group), ()
+                    )
+                    for group in range(self.partition_set.num_groups)
+                ):
+                    covered.add(dst)
+                    break
+        return covered
+
+    def _check_confirmations(self, round_no: int) -> None:
+        self._dirty_confirmations = False
+        for cached in self.rumor_cache.values():
+            if cached.confirmed_at is not None:
+                continue
+            if self._covered(cached):
+                cached.confirmed_at = round_no
+                self.confirmations += 1
+
+    def _covered(self, cached: CachedRumor) -> bool:
+        """Figure 8 lines 41-46: some partition covers the whole
+        destination set in the hitSet of *every* group."""
+        need = {(dst, cached.rumor.rid) for dst in cached.rumor.dest}
+        if not need:
+            return True
+        for partition in range(self.partition_set.count):
+            if all(
+                need
+                <= self.hit_matrix.get((cached.dline, partition, group), set())
+                for group in range(self.partition_set.num_groups)
+            ):
+                return True
+        return False

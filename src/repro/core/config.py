@@ -1,0 +1,208 @@
+"""CONGOS protocol parameters.
+
+The paper's analysis fixes large constants (the ``48`` in the fanout
+exponent, deadline caps of ``c log^6 n``) so that union bounds hold for
+astronomically large ``n``.  A faithful *executable* reproduction keeps
+every such constant as a parameter: :meth:`CongosParams.paper_defaults`
+records the literal values from the paper, while the plain constructor
+defaults are calibrated for simulation at ``n <= 512`` so that the *shape*
+of the complexity claims is measurable (see DESIGN.md, Section 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["CongosParams", "default_deadline_cap"]
+
+
+def default_deadline_cap(n: int, constant: float = 1.0) -> int:
+    """The paper's deadline cap ``c * log^6 n`` (Section 4.2)."""
+    if n < 2:
+        return 1
+    return max(4, int(constant * math.log2(n) ** 6))
+
+
+@dataclass(frozen=True)
+class CongosParams:
+    """All tunables of the CONGOS protocol stack.
+
+    Attributes
+    ----------
+    tau:
+        Collusion tolerance.  ``tau=1`` is the base algorithm of Section 4
+        (the paper views it as "a collusion of a process with itself"):
+        two groups per partition, ``log n`` bit partitions.  ``tau >= 2``
+        switches to the Section 6 variant: ``tau+1`` groups per partition
+        and ``~ c tau log n`` random partitions.
+    fanout_exponent_constant:
+        The ``48`` of ``Theta(n^{1+48/sqrt(dline)} log n / |collab|)``.
+    fanout_scale, min_fanout:
+        Multiplier / floor applied to the per-process fanout formula.
+    gossip_fanout_scale:
+        Fanout multiplier of the continuous-gossip substrate
+        (``ceil(scale * log2(group))`` targets per round).
+    gossip_schedule:
+        ``"random"`` or ``"expander"`` for the gossip substrate.
+    gossip_reliable:
+        Whether substrate instances flush at expiry (probability-1 delivery
+        inside the black box; CONGOS does not need it thanks to its own
+        fallback, so the default is off).
+    direct_send_threshold:
+        Rumors with deadlines at or below this are sent directly by their
+        source (Section 5 assumes ``dline > 48``).
+    deadline_cap:
+        Upper trim for deadlines; ``None`` means "use c*log^6 n", which at
+        simulation scale never binds.
+    partition_count_constant:
+        The ``c`` of the ``c tau log n`` random partitions (Section 6.2).
+    gd_target_pool:
+        ``"destinations"`` (default): GroupDistribution samples targets
+        from the not-yet-hit destinations of its fragments — the
+        reconciliation described in DESIGN.md that makes confirmation
+        sound.  ``"group"`` reproduces the paper's literal rule (uniform
+        over the opposite group, possibly sending empty messages).
+    fallback_scope:
+        ``"all"`` (the paper's main rule): an unconfirmed rumor is shot to
+        its whole destination set at the deadline.  ``"unconfirmed"``
+        implements Figure 2's noted optimization — shoot only destinations
+        whose hit records do not already cover them in some partition.
+    """
+
+    tau: int = 1
+    fanout_exponent_constant: float = 2.0
+    fanout_scale: float = 0.5
+    min_fanout: int = 2
+    gossip_fanout_scale: float = 2.0
+    gossip_schedule: str = "random"
+    gossip_reliable: bool = False
+    direct_send_threshold: int = 48
+    deadline_cap: Optional[int] = None
+    deadline_cap_constant: float = 1.0
+    partition_count_constant: float = 1.0
+    gd_target_pool: str = "destinations"
+    collusion_direct_factor: float = 4.0
+    fallback_scope: str = "all"
+
+    def __post_init__(self) -> None:
+        if self.tau < 1:
+            raise ValueError("tau must be >= 1")
+        if self.fanout_exponent_constant < 0:
+            raise ValueError("fanout exponent constant must be non-negative")
+        if self.fanout_scale <= 0:
+            raise ValueError("fanout scale must be positive")
+        if self.min_fanout < 1:
+            raise ValueError("min_fanout must be >= 1")
+        if self.gossip_schedule not in ("random", "expander"):
+            raise ValueError("gossip_schedule must be 'random' or 'expander'")
+        if self.direct_send_threshold < 1:
+            raise ValueError("direct_send_threshold must be >= 1")
+        if self.gd_target_pool not in ("destinations", "group"):
+            raise ValueError("gd_target_pool must be 'destinations' or 'group'")
+        if self.deadline_cap is not None and self.deadline_cap < 4:
+            raise ValueError("deadline_cap must be >= 4")
+        if self.fallback_scope not in ("all", "unconfirmed"):
+            raise ValueError("fallback_scope must be 'all' or 'unconfirmed'")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        """Groups per partition: ``tau + 1`` (Section 6.2)."""
+        return self.tau + 1
+
+    def effective_deadline_cap(self, n: int) -> int:
+        if self.deadline_cap is not None:
+            return self.deadline_cap
+        return default_deadline_cap(n, self.deadline_cap_constant)
+
+    def service_fanout(self, n: int, dline: int, collaborators: int) -> int:
+        """Per-process targets for Proxy / GroupDistribution sends.
+
+        Implements ``Theta(n^{1+C/sqrt(dline)} log n / |collaborators|)``
+        from Figures 3/4, with ``C = fanout_exponent_constant`` and the
+        ``Theta`` constant ``fanout_scale``.
+        """
+        if dline < 1:
+            raise ValueError("dline must be positive")
+        collab = max(1, collaborators)
+        exponent = 1.0 + self.fanout_exponent_constant / math.sqrt(dline)
+        total = self.fanout_scale * (n ** exponent) * max(1.0, math.log2(max(2, n)))
+        return max(self.min_fanout, math.ceil(total / collab))
+
+    def proxy_uptime(self, dline: int) -> int:
+        """Continuous uptime the Proxy service requires (a block)."""
+        return dline // 4
+
+    def gd_uptime(self, dline: int) -> int:
+        """Continuous uptime GroupDistribution requires (2*dline/3)."""
+        return (2 * dline) // 3
+
+    def collusion_forces_direct(self, n: int) -> bool:
+        """Theorem 16 case 1: if ``tau >= n / log^2 n``, send directly.
+
+        The rule belongs to the Section-6 collusion-tolerant variant; the
+        base algorithm (``tau = 1``) always runs the pipeline.
+
+        ``collusion_direct_factor`` relaxes the threshold to
+        ``tau >= factor * n / log^2 n``: the paper's constant (1) makes
+        every tau >= 2 direct below n ~ 128, which is the regime all
+        simulations live in; any constant preserves the asymptotics, and
+        :meth:`paper_defaults` restores the literal 1.
+        """
+        if self.tau == 1:
+            return False
+        if n < 2:
+            return True
+        threshold = self.collusion_direct_factor * n / (math.log2(n) ** 2)
+        return self.tau >= threshold
+
+    def partition_count(self, n: int) -> int:
+        """Number of partitions to use.
+
+        ``ceil(log2 n)`` bit partitions in the base algorithm; about
+        ``c * tau * log n`` random partitions in collusion mode.
+        """
+        log_n = max(1, math.ceil(math.log2(max(2, n))))
+        if self.tau == 1:
+            return log_n
+        return max(1, math.ceil(self.partition_count_constant * self.tau * log_n))
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def paper_defaults(cls, **overrides: object) -> "CongosParams":
+        """The literal constants from the paper.
+
+        Only useful analytically — at simulation scale the fanout formula
+        with ``C = 48`` saturates every group immediately.
+        """
+        params = cls(
+            fanout_exponent_constant=48.0,
+            fanout_scale=1.0,
+            direct_send_threshold=48,
+            deadline_cap=None,
+            deadline_cap_constant=1.0,
+            collusion_direct_factor=1.0,
+        )
+        return replace(params, **overrides) if overrides else params
+
+    @classmethod
+    def lean(cls, **overrides: object) -> "CongosParams":
+        """Frugal settings for large-n sweeps (shape experiments)."""
+        params = cls(
+            fanout_exponent_constant=1.0,
+            fanout_scale=0.25,
+            min_fanout=1,
+            gossip_fanout_scale=1.5,
+        )
+        return replace(params, **overrides) if overrides else params
+
+    def with_tau(self, tau: int) -> "CongosParams":
+        return replace(self, tau=tau)

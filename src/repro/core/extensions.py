@@ -1,0 +1,226 @@
+"""Section-7 extensions: reducing the metadata leak.
+
+CONGOS keeps rumor *contents* confidential but leaks metadata: rumor
+existence, source, sequence number, and destination sets.  Section 7
+sketches three mitigations, all implemented here:
+
+* **Pseudorandom identifiers** (:func:`pseudonymize_rid`) — replace the
+  per-source sequence number with a pseudorandom token so observers cannot
+  count a source's rumors from identifiers alone.
+* **Destination-set hiding** (:func:`expand_destination_hiding`) — replace
+  one rumor with ``n`` single-destination rumors: real content (wrapped so
+  only intended recipients recognise it) for destinations, random bytes
+  for everyone else.  Message complexity is unchanged; message *volume*
+  (size) grows by ``~n/|D|``, which bench E10 measures.
+* **Existence hiding** (:class:`CoverTrafficWorkload`) — continuously
+  inject content-free cover rumors so observers cannot count real ones.
+
+A real deployment would authenticate the "real" wrapper with per-recipient
+MACs; the simulation uses a plaintext marker, which preserves exactly the
+property the paper claims (an outsider learns only that *it* is not a
+destination, never who is).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Optional, Sequence
+
+from repro.adversary.injection import InjectionWorkload
+from repro.gossip.rumor import Rumor, RumorId
+from repro.sim.engine import AdversaryView
+from repro.sim.events import RoundDecision
+
+__all__ = [
+    "REAL_MARKER",
+    "pseudonymize_rid",
+    "expand_destination_hiding",
+    "extract_hidden_payload",
+    "CoverTrafficWorkload",
+    "DestinationHidingWorkload",
+    "is_cover_rumor",
+]
+
+REAL_MARKER = b"\x00CONGOS-REAL\x00"
+_COVER_SEQ_BASE = 1 << 40  # cover rumors use a disjoint sequence range
+
+
+def pseudonymize_rid(rid: RumorId, secret: bytes) -> RumorId:
+    """Replace the sequence number with a pseudorandom token (Section 7).
+
+    Deterministic given ``secret`` (so the source can recognise its own
+    confirmations) but unlinkable without it.  The source id remains — the
+    paper notes hiding *who gossips* is largely unavoidable.
+    """
+    digest = hashlib.sha256()
+    digest.update(secret)
+    digest.update(str(rid.src).encode("utf-8"))
+    digest.update(b"/")
+    digest.update(str(rid.seq).encode("utf-8"))
+    token = int.from_bytes(digest.digest()[:6], "big")
+    return RumorId(src=rid.src, seq=token)
+
+
+def expand_destination_hiding(
+    rumor: Rumor, n: int, rng: random.Random
+) -> List[Rumor]:
+    """Split one rumor into ``n`` single-destination rumors (Section 7).
+
+    "When a rumor rho is injected at process p_i, the source creates n new
+    rumors, each with a single process in its destination set.  For every
+    process in rho.D, the new rumor contains a copy of the injected
+    rumor's content.  For the remaining new rumors, the contents ... are
+    chosen at random."
+    """
+    wrapped = REAL_MARKER + rumor.data
+    out: List[Rumor] = []
+    for pid in range(n):
+        if pid == rumor.rid.src:
+            continue
+        if pid in rumor.dest:
+            data = wrapped
+        else:
+            data = rng.randbytes(len(wrapped))
+        out.append(
+            Rumor(
+                rid=RumorId(rumor.rid.src, rumor.rid.seq * n + pid),
+                data=data,
+                deadline=rumor.deadline,
+                dest=frozenset({pid}),
+                injected_at=rumor.injected_at,
+            )
+        )
+    return out
+
+
+def extract_hidden_payload(data: bytes) -> Optional[bytes]:
+    """Recover the real payload from a destination-hiding rumor, if any.
+
+    Returns ``None`` for chaff (random contents) — which is all a
+    non-destination ever receives.
+    """
+    if data.startswith(REAL_MARKER):
+        return data[len(REAL_MARKER):]
+    return None
+
+
+def is_cover_rumor(rumor: Rumor) -> bool:
+    """True for content-free rumors injected by the cover workload."""
+    return rumor.rid.seq >= _COVER_SEQ_BASE
+
+
+class DestinationHidingWorkload(InjectionWorkload):
+    """Wraps a workload, applying destination hiding to every injection.
+
+    Each rumor the inner workload would inject is replaced by its ``n - 1``
+    single-destination sub-rumors (real content wrapped for destinations,
+    chaff for everyone else), spread over consecutive rounds at the same
+    source (the model allows one injection per process per round).
+
+    Observers (and the QoD auditor) see only the sub-rumors: the
+    destination set is hidden from *everything* outside the source — which
+    is the point.
+    """
+
+    def __init__(self, inner: InjectionWorkload, n: int, rng: random.Random):
+        super().__init__(rng, payload_size=inner.payload_size)
+        self.inner = inner
+        self.n = n
+        # (round -> list of (src, sub-rumor)) pending emission
+        self._queue = {}
+
+    def round_start(self, view: AdversaryView) -> RoundDecision:
+        decision = RoundDecision()
+        inner_decision = self.inner.round_start(view)
+        for src, rumor in inner_decision.injections:
+            subs = expand_destination_hiding(rumor, self.n, self.rng)
+            for offset, sub in enumerate(subs):
+                self._queue.setdefault(view.round + offset, []).append((src, sub))
+        emitted = set()
+        for src, sub in self._queue.pop(view.round, []):
+            if src in emitted:
+                # One injection per process per round: push the overflow
+                # (overlapping expansions of the same source) to tomorrow.
+                self._queue.setdefault(view.round + 1, []).append((src, sub))
+                continue
+            if not view.is_alive(src):
+                continue
+            emitted.add(src)
+            self.injected.append(sub)
+            decision.injections.append((src, sub))
+        # Faults decided by sibling adversaries are merged later; crashes
+        # from the inner decision (none for workloads) pass through.
+        decision.crashes |= inner_decision.crashes
+        decision.restarts |= inner_decision.restarts
+        return decision
+
+
+class CoverTrafficWorkload(InjectionWorkload):
+    """Continuously injects fake rumors to hide how many real ones exist.
+
+    Compose with a real workload via
+    :class:`~repro.adversary.base.ComposedAdversary`; the two must not
+    inject at the same process in the same round, so cover traffic picks
+    its sources from a reserved stride (callers choose non-overlapping
+    ``offset``/``stride`` against the real workload, or accept the
+    composition error as a loud misconfiguration signal).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        rng: random.Random,
+        rate: int = 1,
+        period: int = 4,
+        dest_size: int = 4,
+        deadline: int = 128,
+        start_round: int = 0,
+        stop_round: Optional[int] = None,
+        payload_size: int = 16,
+        sources: Optional[Sequence[int]] = None,
+    ):
+        super().__init__(rng, payload_size)
+        self.n = n
+        self.rate = rate
+        self.period = period
+        self.dest_size = dest_size
+        self.deadline = deadline
+        self.start_round = start_round
+        self.stop_round = stop_round
+        self.sources = list(sources) if sources is not None else list(range(n))
+        self._cover_seqs = {}
+
+    def _next_cover_seq(self, src: int) -> int:
+        seq = self._cover_seqs.get(src, 0)
+        self._cover_seqs[src] = seq + 1
+        return _COVER_SEQ_BASE + seq
+
+    def round_start(self, view: AdversaryView) -> RoundDecision:
+        decision = RoundDecision()
+        round_no = view.round
+        if round_no < self.start_round:
+            return decision
+        if self.stop_round is not None and round_no >= self.stop_round:
+            return decision
+        if (round_no - self.start_round) % self.period:
+            return decision
+        alive_sources = [p for p in self.sources if view.is_alive(p)]
+        if not alive_sources:
+            return decision
+        for src in self.rng.sample(
+            alive_sources, min(self.rate, len(alive_sources))
+        ):
+            dest = self.random_destinations(self.n, self.dest_size, exclude=(src,))
+            if not dest:
+                continue
+            rumor = Rumor(
+                rid=RumorId(src, self._next_cover_seq(src)),
+                data=self.rng.randbytes(self.payload_size),
+                deadline=self.deadline,
+                dest=frozenset(dest),
+                injected_at=round_no,
+            )
+            self.injected.append(rumor)
+            decision.injections.append((src, rumor))
+        return decision

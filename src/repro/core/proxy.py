@@ -1,0 +1,372 @@
+"""The Proxy service (Figures 3, 6 and 9).
+
+A process in group ``b`` of partition ``l`` may not gossip directly with
+the other groups — it would risk learning their fragments.  Instead it
+*samples* processes of each other group as proxies: it hands them the
+fragment destined for their group, they cache it, gossip it inside their
+own group (via GroupGossip[l]), and acknowledge.  Requesters that receive
+no acknowledgment blacklist the sampled proxies (``failed-proxies``) and
+retry next iteration; same-group requesters collaborate by sharing the
+blacklist and a collaborator census through GroupGossip[l], which divides
+the fanout budget among them.
+
+Timing (one block = ``dline/4`` rounds, iterations of ``isqrt(dline)+2``):
+
+* block round 0      — if alive for a full block, collect waiting
+  fragments; ``status = active`` iff there is something to push;
+* iteration round 0  — requesters send proxy requests;
+* iteration round 1  — inject the GroupGossip share (proxy buffer +
+  failed-proxies + collaborator heartbeat); it spreads over the
+  ``isqrt(dline)``-round gossip window;
+* iteration last round — proxies acknowledge; requesters blacklist
+  non-acknowledging targets;
+* block last round   — hand all fragments received for *this* group
+  (the ``partial-rumors``) up to the coordinator, which feeds
+  GroupDistribution for the next block.
+
+Key invariant ([PROXY:CONFIDENTIAL], used by Lemma 3): a request to a
+member of group ``a`` only ever carries fragments whose ``group == a``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.core.config import CongosParams
+from repro.core.partitions import PartitionSet
+from repro.core.splitting import Fragment
+from repro.gossip.continuous import ContinuousGossip
+from repro.gossip.service import SubService
+from repro.sim.clock import BlockSchedule
+from repro.sim.messages import KnowledgeAtom, Message, ServiceTags
+
+__all__ = ["ProxyRequest", "ProxyAck", "ProxyShare", "ProxyService"]
+
+# Status values (Figure 9 uses {idle, active}; "waiting" is the state of a
+# process that restarted mid-block and must wait for the next block).
+WAITING = "waiting"
+IDLE = "idle"
+ACTIVE = "active"
+
+
+@dataclass(frozen=True)
+class ProxyRequest:
+    """Fragments handed to a sampled proxy of another group."""
+
+    sender: int
+    fragments: Tuple[Fragment, ...]
+
+    def reveals(self) -> Iterator[KnowledgeAtom]:
+        for fragment in self.fragments:
+            for atom in fragment.reveals():
+                yield atom
+
+
+@dataclass(frozen=True)
+class ProxyAck:
+    """Acknowledgment that proxying succeeded.  Carries no rumor data."""
+
+    sender: int
+
+
+@dataclass(frozen=True)
+class ProxyShare:
+    """The per-iteration GroupGossip share of the Proxy service.
+
+    ``fragments`` are the sender's proxy-buffer contents (fragments *for
+    this group*, received from other-group requesters); ``failed_proxies``
+    is the shared blacklist; ``collaborator`` marks the sender as an
+    active requester for the census.
+    """
+
+    sender: int
+    fragments: Tuple[Fragment, ...]
+    failed_proxies: FrozenSet[int]
+    collaborator: bool
+
+    def reveals(self) -> Iterator[KnowledgeAtom]:
+        for fragment in self.fragments:
+            for atom in fragment.reveals():
+                yield atom
+
+
+class ProxyService(SubService):
+    """Proxy[l] at one process, for one deadline class."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        channel: str,
+        dline: int,
+        partition: int,
+        partition_set: PartitionSet,
+        params: CongosParams,
+        rng: random.Random,
+        gossip: ContinuousGossip,
+        on_group_fragments: Callable[[int, List[Fragment]], None],
+        wakeup: int,
+    ):
+        super().__init__(pid, n, ServiceTags.PROXY, channel)
+        self.dline = dline
+        self.partition = partition
+        self.partition_set = partition_set
+        self.params = params
+        self.rng = rng
+        self.gossip = gossip
+        self.on_group_fragments = on_group_fragments
+        self.wakeup = wakeup
+        self.schedule = BlockSchedule(dline)
+        self.my_group = partition_set.group_of(partition, pid)
+        self.other_groups = [
+            g for g in range(partition_set.num_groups) if g != self.my_group
+        ]
+
+        self.status = WAITING
+        self.waiting: List[Tuple[int, Fragment]] = []  # (arrival round, fragment)
+        self.my_fragments: Dict[int, List[Fragment]] = {}  # group -> fragments
+        self.proxy_buffer: Dict[Tuple, Fragment] = {}
+        self._buffer_new: List[Fragment] = []
+        self.partial_rumors: Dict[Tuple, Fragment] = {}
+        self.failed_proxies: Set[int] = set()
+        self.ack_pending: Set[int] = set()
+        self.acked_groups: Set[int] = set()
+        self.collaborators: Set[int] = {pid}
+        self._collaborators_next: Set[int] = set()
+        self._targets_this_iteration: Dict[int, Set[int]] = {}
+        self._acks_this_iteration: Set[int] = set()
+
+        # Run statistics (read by tests and benches).
+        self.requests_sent = 0
+        self.acks_sent = 0
+        self.blocks_active = 0
+
+    # ------------------------------------------------------------------
+    # Upstream API
+    # ------------------------------------------------------------------
+
+    def distribute(self, round_no: int, fragments: Iterable[Fragment]) -> None:
+        """Queue fragments for other groups; picked up at the next block.
+
+        The arrival round is recorded so that a fragment injected exactly
+        at a block-start round is *not* collected by that same block (the
+        paper collects "fragments injected since the last block began").
+        """
+        for fragment in fragments:
+            if fragment.group == self.my_group:
+                raise ValueError(
+                    "fragment for own group {} must go through GroupGossip, "
+                    "not the Proxy".format(self.my_group)
+                )
+            self.waiting.append((round_no, fragment))
+
+    def catch_up(self, round_no: int) -> None:
+        """Initialise block state for a service instantiated mid-block.
+
+        Protocol instances are materialised lazily (an optimisation over
+        the paper's "run every instance at all times"), so a service may
+        be created after its block's start round.  The hosting process has
+        been alive the whole time; give the service the state it would
+        have had if it had existed at the block boundary.
+        """
+        block_start = self.schedule.block_start(self.schedule.block_of(round_no))
+        if round_no > block_start and self.status == WAITING:
+            self._begin_block(block_start)
+
+    def on_share(self, round_no: int, share: ProxyShare) -> None:
+        """A ProxyShare delivered by GroupGossip[l] (same group only)."""
+        self.failed_proxies.update(share.failed_proxies)
+        if share.collaborator:
+            self._collaborators_next.add(share.sender)
+        for fragment in share.fragments:
+            if fragment.group != self.my_group:
+                continue
+            if not fragment.expired(round_no):
+                self.partial_rumors.setdefault(fragment.uid, fragment)
+
+    # ------------------------------------------------------------------
+    # Engine phases
+    # ------------------------------------------------------------------
+
+    def send_phase(self, round_no: int) -> List[Message]:
+        if self.schedule.is_block_start(round_no):
+            self._begin_block(round_no)
+        messages: List[Message] = []
+        position = self.schedule.round_in_iteration(round_no)
+        if position == 0:
+            self._begin_iteration()
+            if self.status == ACTIVE:
+                messages.extend(self._send_requests(round_no))
+        elif position == 1:
+            self._inject_share(round_no)
+        if (
+            self.schedule.is_iteration_last_round(round_no)
+            and self.status != WAITING
+            and self.ack_pending
+        ):
+            for requester in sorted(self.ack_pending):
+                messages.append(self.make_message(requester, ProxyAck(self.pid)))
+                self.acks_sent += 1
+            self.ack_pending.clear()
+        return messages
+
+    def on_message(self, round_no: int, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, ProxyRequest):
+            if self.status == WAITING:
+                return  # restarted mid-block: no proxying until next block
+            for fragment in payload.fragments:
+                if fragment.group != self.my_group:
+                    raise AssertionError(
+                        "[PROXY:CONFIDENTIAL] violated: received fragment for "
+                        "group {} in group {}".format(fragment.group, self.my_group)
+                    )
+                if fragment.expired(round_no):
+                    continue
+                if fragment.uid not in self.proxy_buffer:
+                    self.proxy_buffer[fragment.uid] = fragment
+                    self._buffer_new.append(fragment)
+            self.ack_pending.add(payload.sender)
+        elif isinstance(payload, ProxyAck):
+            self._acks_this_iteration.add(payload.sender)
+        else:
+            raise TypeError("unexpected proxy payload {!r}".format(type(payload)))
+
+    def end_round(self, round_no: int) -> None:
+        if self.schedule.is_iteration_last_round(round_no):
+            self._settle_iteration()
+        if self.schedule.is_block_last_round(round_no) and self.status != WAITING:
+            fragments = [
+                fragment
+                for fragment in self.partial_rumors.values()
+                if not fragment.expired(round_no)
+            ]
+            if fragments:
+                self.on_group_fragments(round_no, fragments)
+            self.partial_rumors.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _begin_block(self, round_no: int) -> None:
+        uptime = round_no - self.wakeup
+        if uptime < self.params.proxy_uptime(self.dline):
+            self.status = WAITING
+            return
+        fresh = [
+            fragment
+            for arrival, fragment in self.waiting
+            if arrival < round_no and not fragment.expired(round_no)
+        ]
+        self.waiting = [
+            (arrival, fragment)
+            for arrival, fragment in self.waiting
+            if arrival >= round_no and not fragment.expired(round_no)
+        ]
+        self.my_fragments = {}
+        for fragment in fresh:
+            self.my_fragments.setdefault(fragment.group, []).append(fragment)
+        if self.my_fragments:
+            self.status = ACTIVE
+            self.blocks_active += 1
+        else:
+            self.status = IDLE
+        self.failed_proxies = set()
+        self.proxy_buffer = {}
+        self._buffer_new = []
+        self.ack_pending = set()
+        self.acked_groups = set()
+        self.collaborators = set(
+            self.partition_set.members(self.partition, self.my_group)
+        )
+        self._collaborators_next = set()
+        self._targets_this_iteration = {}
+        self._acks_this_iteration = set()
+
+    def _begin_iteration(self) -> None:
+        if self._collaborators_next:
+            self.collaborators = self._collaborators_next | {self.pid}
+        self._collaborators_next = set()
+        self._targets_this_iteration = {}
+        self._acks_this_iteration = set()
+
+    def _send_requests(self, round_no: int) -> List[Message]:
+        messages: List[Message] = []
+        fanout = self.params.service_fanout(
+            self.n, self.dline, len(self.collaborators)
+        )
+        for group in self.other_groups:
+            if group in self.acked_groups:
+                continue
+            fragments = tuple(
+                f
+                for f in self.my_fragments.get(group, [])
+                if not f.expired(round_no)
+            )
+            if not fragments:
+                continue
+            pool = sorted(
+                self.partition_set.members(self.partition, group)
+                - self.failed_proxies
+            )
+            if not pool:
+                # Everyone blacklisted: desperation reset (the blacklist is
+                # heuristic; retrying beats deadlock).
+                pool = sorted(self.partition_set.members(self.partition, group))
+            count = min(fanout, len(pool))
+            targets = pool if count == len(pool) else self.rng.sample(pool, count)
+            self._targets_this_iteration[group] = set(targets)
+            request = ProxyRequest(self.pid, fragments)
+            for target in targets:
+                messages.append(
+                    self.make_message(target, request, size=len(fragments))
+                )
+                self.requests_sent += 1
+        return messages
+
+    def _inject_share(self, round_no: int) -> None:
+        if self.status == WAITING:
+            return
+        is_collaborator = self.status == ACTIVE
+        new_fragments = tuple(self._buffer_new)
+        self._buffer_new = []
+        if not is_collaborator and not new_fragments and not self.failed_proxies:
+            return  # nothing to contribute this iteration
+        share = ProxyShare(
+            sender=self.pid,
+            fragments=new_fragments,
+            failed_proxies=frozenset(self.failed_proxies),
+            collaborator=is_collaborator,
+        )
+        self.gossip.inject(
+            round_no,
+            share,
+            deadline=self.schedule.gossip_deadline,
+            dest=range(self.n),
+            uid=(self.channel, "share", self.pid, round_no),
+        )
+
+    def _settle_iteration(self) -> None:
+        if self.status != ACTIVE:
+            self._targets_this_iteration = {}
+            self._acks_this_iteration = set()
+            return
+        for group, targets in self._targets_this_iteration.items():
+            acked_from_group = {
+                pid for pid in self._acks_this_iteration if pid in targets
+            }
+            if acked_from_group:
+                self.acked_groups.add(group)
+            self.failed_proxies.update(targets - self._acks_this_iteration)
+        pending = [
+            g
+            for g in self.other_groups
+            if self.my_fragments.get(g) and g not in self.acked_groups
+        ]
+        if self.my_fragments and not pending:
+            self.status = IDLE
+        self._targets_this_iteration = {}
+        self._acks_this_iteration = set()

@@ -1,0 +1,243 @@
+"""The continuous-gossip service (the paper's black box, Section 4.2).
+
+CONGOS consumes a *Continuous Gossip* service [13] purely through its
+interface:
+
+* ``inject(payload, deadline, dest)`` — any process, any round;
+* every *admissible* item (origin alive throughout, recipient alive
+  throughout) is delivered to its destinations by the deadline;
+* per-round message complexity is bounded.
+
+This implementation uses randomized epidemic push (or a deterministic
+expander schedule) with per-target batching of all active items.  Delivery
+is w.h.p. by default; with ``reliable=True`` the origin additionally
+flushes the item directly to its destination scope in the expiry round,
+upgrading admissible delivery to probability 1 — at the cost of a message
+burst, which is why CONGOS instead relies on its own top-level fallback for
+the probability-1 guarantee (see DESIGN.md Section 2).
+
+Every send passes through a :class:`~repro.gossip.filter.GroupFilter`:
+a filtered instance (GroupGossip[l]) physically cannot address a process
+outside its group.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.gossip.epidemic import default_fanout
+from repro.gossip.expander import ShiftExpander
+from repro.gossip.filter import GroupFilter
+from repro.gossip.rumor import GossipItem
+from repro.gossip.service import SubService
+from repro.sim.messages import Message, ServiceTags
+
+__all__ = ["ContinuousGossip"]
+
+DeliverCallback = Callable[[int, GossipItem], None]
+
+
+class ContinuousGossip(SubService):
+    """One continuous-gossip instance at one process.
+
+    Parameters
+    ----------
+    scope:
+        The set of pids this instance may talk to (its group); enforced by
+        an internal :class:`GroupFilter`.
+    deliver:
+        Callback ``(round_no, item)`` fired once per item delivered to this
+        process (i.e. this pid is in the item's destination set).
+    fanout_scale:
+        Multiplier on ``log2(|scope|)`` for the per-round push fanout.
+    schedule:
+        ``"random"`` (epidemic push) or ``"expander"`` (deterministic
+        circulant schedule, the derandomized option in the spirit of [13]).
+    reliable:
+        If True, the origin direct-sends each of its items to the item's
+        in-scope destinations in the expiry round (probability-1 delivery
+        for admissible items).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        channel: str,
+        scope: Iterable[int],
+        rng: random.Random,
+        deliver: Optional[DeliverCallback] = None,
+        service: str = ServiceTags.GROUP_GOSSIP,
+        fanout_scale: float = 2.0,
+        schedule: str = "random",
+        reliable: bool = False,
+        resend_horizon: Optional[int] = None,
+    ):
+        super().__init__(pid, n, service, channel)
+        self.filter = GroupFilter(scope)
+        if pid not in self.filter.scope:
+            raise ValueError(
+                "process {} is not in the scope of channel {!r}".format(pid, channel)
+            )
+        self.rng = rng
+        self.deliver = deliver
+        self.fanout_scale = fanout_scale
+        self.reliable = reliable
+        if schedule not in ("random", "expander"):
+            raise ValueError("unknown schedule {!r}".format(schedule))
+        self.schedule = schedule
+        self._expander: Optional[ShiftExpander] = None
+        if schedule == "expander":
+            degree = default_fanout(len(self.filter.scope), fanout_scale)
+            self._expander = ShiftExpander(self.filter.scope, degree)
+
+        self._active: Dict[Tuple, GossipItem] = {}
+        self._seen: set = set()
+        self._pending_delivery: List[GossipItem] = []
+        self._inject_seq = 0
+        # Target-selection caches (the scope is immutable).
+        self._peers: List[int] = sorted(self.filter.scope - {pid})
+        self._fanout: int = default_fanout(len(self.filter.scope), fanout_scale)
+        # How long an item keeps being re-broadcast.  Epidemic push
+        # saturates the scope in O(log |scope|) rounds w.h.p.; re-sending
+        # beyond ~2x that only inflates message sizes.  None = auto.
+        if resend_horizon is None:
+            resend_horizon = max(
+                8, 2 * math.ceil(math.log2(max(2, len(self.filter.scope)))) + 4
+            )
+        self.resend_horizon = resend_horizon
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+
+    def inject(
+        self,
+        round_no: int,
+        payload: object,
+        deadline: int,
+        dest: Iterable[int],
+        uid: Optional[Tuple] = None,
+    ) -> GossipItem:
+        """Start gossiping ``payload`` to ``dest`` with the given deadline.
+
+        The destination set is intersected with the scope (processes the
+        filter would block are "effectively failed" for this instance).
+        The injecting process, if in the destination set, is delivered the
+        payload immediately.
+        """
+        if deadline < 1:
+            raise ValueError("gossip deadline must be >= 1 round")
+        if uid is None:
+            uid = (self.channel, self.pid, round_no, self._inject_seq)
+            self._inject_seq += 1
+        if uid in self._seen:
+            raise ValueError("duplicate gossip uid {!r}".format(uid))
+        item = GossipItem(
+            uid=uid,
+            origin=self.pid,
+            payload=payload,
+            expiry=round_no + deadline,
+            dest=self.filter.restrict(dest),
+            born=round_no,
+        )
+        self._seen.add(uid)
+        self._active[uid] = item
+        if self.pid in item.dest and self.deliver is not None:
+            self.deliver(round_no, item)
+        return item
+
+    # ------------------------------------------------------------------
+    # Engine phases
+    # ------------------------------------------------------------------
+
+    def send_phase(self, round_no: int) -> List[Message]:
+        self._expire(round_no)
+        if not self._active:
+            return []
+        horizon = self.resend_horizon
+        items = tuple(
+            item
+            for item in self._active.values()
+            if round_no - item.born <= horizon
+        )
+        messages: List[Message] = []
+        targets: List[int] = []
+        if items:
+            targets = self._choose_targets(round_no)
+            for target in targets:
+                messages.append(self.make_message(target, items, size=len(items)))
+        if self.reliable:
+            messages.extend(self._flush_expiring(round_no, set(targets)))
+        return self.filter.apply(messages)
+
+    def on_message(self, round_no: int, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, tuple):
+            raise TypeError(
+                "gossip channel {!r} received non-batch payload".format(self.channel)
+            )
+        for item in payload:
+            self._absorb(round_no, item)
+
+    def end_round(self, round_no: int) -> None:
+        pending, self._pending_delivery = self._pending_delivery, []
+        if self.deliver is None:
+            return
+        for item in pending:
+            self.deliver(round_no, item)
+
+    # ------------------------------------------------------------------
+    # Queries (tests, audits)
+    # ------------------------------------------------------------------
+
+    def active_items(self) -> List[GossipItem]:
+        return list(self._active.values())
+
+    def has_active(self) -> bool:
+        return bool(self._active)
+
+    def knows(self, uid: Tuple) -> bool:
+        return uid in self._seen
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _choose_targets(self, round_no: int) -> List[int]:
+        if not self._peers or self._fanout <= 0:
+            return []
+        if self._expander is not None:
+            return self._expander.targets(self.pid, round_no)[: self._fanout]
+        if len(self._peers) <= self._fanout:
+            return self._peers
+        return self.rng.sample(self._peers, self._fanout)
+
+    def _flush_expiring(self, round_no: int, already: set) -> List[Message]:
+        flushes: List[Message] = []
+        for item in self._active.values():
+            if item.origin != self.pid or item.expiry != round_no:
+                continue
+            batch = (item,)
+            for dst in sorted(item.dest):
+                if dst == self.pid or dst in already:
+                    continue
+                flushes.append(self.make_message(dst, batch, size=1))
+        return flushes
+
+    def _absorb(self, round_no: int, item: GossipItem) -> None:
+        if item.uid in self._seen:
+            return
+        self._seen.add(item.uid)
+        if item.expired(round_no):
+            return
+        self._active[item.uid] = item
+        if self.pid in item.dest:
+            self._pending_delivery.append(item)
+
+    def _expire(self, round_no: int) -> None:
+        dead = [uid for uid, item in self._active.items() if item.expired(round_no)]
+        for uid in dead:
+            del self._active[uid]

@@ -1,0 +1,70 @@
+"""Epidemic (rumor-spreading) primitives.
+
+The continuous-gossip substrate and the plain-gossip baseline both build on
+classic randomized push: each informed process forwards to a few targets
+chosen uniformly at random each round, which informs an n-process group in
+``O(log n)`` rounds w.h.p. (Karp et al., FOCS 2000 — reference [19] of the
+paper).  This module centralises target selection and fanout policy.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import FrozenSet, List, Sequence
+
+__all__ = ["default_fanout", "choose_push_targets", "rounds_to_saturate"]
+
+
+def default_fanout(scope_size: int, scale: float = 2.0, minimum: int = 1) -> int:
+    """Push fanout for a group of ``scope_size`` processes.
+
+    ``ceil(scale * log2(scope_size))`` targets per round informs the group
+    within ``O(log n)`` rounds with failure probability polynomially small
+    in the group size; ``scale`` trades messages for speed.
+    """
+    if scope_size <= 1:
+        return 0
+    fanout = math.ceil(scale * math.log2(scope_size))
+    return max(minimum, min(fanout, scope_size - 1))
+
+
+def choose_push_targets(
+    rng: random.Random,
+    scope: Sequence[int],
+    self_pid: int,
+    fanout: int,
+    exclude: FrozenSet[int] = frozenset(),
+) -> List[int]:
+    """Choose up to ``fanout`` distinct targets from ``scope``.
+
+    Never selects ``self_pid`` or anything in ``exclude``.  When the
+    candidate pool is smaller than ``fanout`` the whole pool is returned
+    (deterministically ordered), since sampling more is impossible.
+    """
+    if fanout <= 0:
+        return []
+    candidates = [p for p in scope if p != self_pid and p not in exclude]
+    if not candidates:
+        return []
+    if len(candidates) <= fanout:
+        return sorted(candidates)
+    return rng.sample(candidates, fanout)
+
+
+def rounds_to_saturate(scope_size: int, fanout: int) -> int:
+    """A safe upper estimate of rounds for push to inform the whole group.
+
+    Push roughly multiplies the informed set by ``1 + fanout`` per round
+    until half the group is informed, then halves the uninformed set each
+    round; ``2 * ceil(log(scope_size))`` rounds is a comfortable bound used
+    to size gossip deadlines in examples and tests.
+    """
+    if scope_size <= 1:
+        return 0
+    if fanout <= 0:
+        raise ValueError("fanout must be positive for saturation")
+    growth = 1 + fanout
+    to_half = math.ceil(math.log(scope_size, growth)) if scope_size > 1 else 0
+    drain = math.ceil(math.log2(scope_size))
+    return max(1, to_half + drain)

@@ -1,0 +1,136 @@
+"""Rumors and gossip items.
+
+A :class:`Rumor` is the application-level object of the paper (Section 2):
+a triple ``<z, d, D>`` of data, deadline duration and destination set, plus
+an identifier and provenance.  A :class:`GossipItem` is the lower-level unit
+circulated by a continuous-gossip service instance (a rumor fragment, a
+hitSet share, a confirmation record, ...), with its own absolute expiry
+round and destination scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Optional, Tuple
+
+from repro.sim.messages import KnowledgeAtom, plaintext_atom, reveals_of
+
+__all__ = ["RumorId", "Rumor", "GossipItem", "make_rumor"]
+
+
+@dataclass(frozen=True, order=True)
+class RumorId:
+    """Globally unique rumor identifier: (source pid, per-source counter).
+
+    Section 7 notes the counter could be replaced by a pseudorandom
+    identifier to leak less metadata; :mod:`repro.core.extensions` does so.
+    """
+
+    src: int
+    seq: int
+
+    def __str__(self) -> str:
+        return "r{}:{}".format(self.src, self.seq)
+
+
+@dataclass(frozen=True)
+class Rumor:
+    """The paper's rumor triple ``<z, d, D>`` with provenance.
+
+    Attributes
+    ----------
+    rid:
+        Unique identifier (source pid + per-source sequence number).
+    data:
+        The confidential payload ``z`` as bytes.
+    deadline:
+        Deadline *duration* ``d`` in rounds: the rumor must reach every
+        admissible destination by round ``injected_at + deadline``.
+    dest:
+        The destination set ``D`` (pids allowed to learn ``data``).
+    injected_at:
+        The round the rumor entered the system (set by the workload).
+    """
+
+    rid: RumorId
+    data: bytes
+    deadline: int
+    dest: FrozenSet[int]
+    injected_at: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline < 1:
+            raise ValueError("deadline must be at least one round")
+        if not isinstance(self.data, bytes):
+            raise TypeError("rumor data must be bytes")
+
+    @property
+    def expiry(self) -> int:
+        """Last round by which the rumor must be delivered."""
+        return self.injected_at + self.deadline
+
+    def is_active(self, round_no: int) -> bool:
+        """Active = injected no later than ``round_no``, deadline not past."""
+        return self.injected_at <= round_no <= self.expiry
+
+    def reveals(self) -> Iterator[KnowledgeAtom]:
+        """Carrying a full rumor reveals its plaintext."""
+        yield plaintext_atom(self.rid)
+
+    def __str__(self) -> str:
+        return "Rumor({}, d={}, |D|={})".format(self.rid, self.deadline, len(self.dest))
+
+
+_SEQUENCES = {}
+
+
+def make_rumor(
+    src: int,
+    data: bytes,
+    deadline: int,
+    dest,
+    injected_at: int = 0,
+    seq: Optional[int] = None,
+) -> Rumor:
+    """Convenience constructor assigning per-source sequence numbers.
+
+    Explicit ``seq`` overrides the automatic counter (workload generators
+    manage their own counters to stay deterministic and thread-free; the
+    module-level counter exists for interactive/example use).
+    """
+    if seq is None:
+        seq = _SEQUENCES.get(src, 0)
+        _SEQUENCES[src] = seq + 1
+    return Rumor(
+        rid=RumorId(src, seq),
+        data=data,
+        deadline=deadline,
+        dest=frozenset(dest),
+        injected_at=injected_at,
+    )
+
+
+@dataclass(frozen=True)
+class GossipItem:
+    """One unit circulated by a continuous-gossip service.
+
+    ``uid`` must be unique within the service instance (channel).  The
+    service promises to hand ``payload`` to every process in ``dest`` (that
+    is inside the service's scope and alive long enough) by round
+    ``expiry``; what the payload *is* — a fragment, a hitSet, a collaborator
+    heartbeat — is opaque to the service.
+    """
+
+    uid: Tuple
+    origin: int
+    payload: object
+    expiry: int
+    dest: FrozenSet[int]
+    born: int = 0
+
+    def reveals(self) -> Iterator[KnowledgeAtom]:
+        """A gossip item reveals whatever its payload reveals."""
+        return reveals_of(self.payload)
+
+    def expired(self, round_no: int) -> bool:
+        return round_no > self.expiry

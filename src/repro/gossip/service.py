@@ -1,0 +1,106 @@
+"""Sub-service plumbing inside a node.
+
+A protocol node (e.g. :class:`repro.core.congos.CongosNode`) is a stack of
+cooperating *sub-services* — exactly the architecture of the paper's
+Figure 1: ConfidentialGossip, Proxy[l], GroupDistribution[l], GroupGossip[l]
+(behind a Filter) and AllGossip, all sharing one Network.
+
+Each sub-service owns a ``channel`` (unique routing key) and a coarse
+``service`` tag (for metrics).  The :class:`ServiceHost` mixin collects the
+sub-services of a node, fans the inbox out by channel, and runs the phases
+in a fixed, deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.messages import Message
+
+__all__ = ["SubService", "ServiceHost"]
+
+
+class SubService:
+    """One service instance at one process."""
+
+    def __init__(self, pid: int, n: int, service: str, channel: str):
+        self.pid = pid
+        self.n = n
+        self.service = service
+        self.channel = channel
+
+    # -- engine-driven phases ------------------------------------------
+
+    def send_phase(self, round_no: int) -> List[Message]:
+        """Messages this service sends this round."""
+        return []
+
+    def on_message(self, round_no: int, message: Message) -> None:
+        """One delivered message addressed to this service's channel."""
+
+    def end_round(self, round_no: int) -> None:
+        """Called after all of this round's messages were dispatched."""
+
+    # -- helpers --------------------------------------------------------
+
+    def make_message(
+        self, dst: int, payload: object, size: int = 1
+    ) -> Message:
+        return Message(
+            src=self.pid,
+            dst=dst,
+            service=self.service,
+            payload=payload,
+            size=size,
+            channel=self.channel,
+        )
+
+
+class ServiceHost:
+    """Orders sub-services and routes messages between them.
+
+    Phase order is the registration order for sends, and likewise for
+    ``end_round`` — register upstream services (gossip substrates) before
+    the services consuming their deliveries so that, within a round,
+    information flows in the paper's direction (network -> gossip ->
+    proxy/GD -> coordinator).
+    """
+
+    def __init__(self) -> None:
+        self._services: List[SubService] = []
+        self._by_channel: Dict[str, SubService] = {}
+
+    def register(self, service: SubService) -> SubService:
+        if service.channel in self._by_channel:
+            raise ValueError("duplicate channel {!r}".format(service.channel))
+        self._services.append(service)
+        self._by_channel[service.channel] = service
+        return service
+
+    @property
+    def services(self) -> List[SubService]:
+        return list(self._services)
+
+    def service_for(self, channel: str) -> Optional[SubService]:
+        return self._by_channel.get(channel)
+
+    def collect_sends(self, round_no: int) -> List[Message]:
+        outgoing: List[Message] = []
+        for service in self._services:
+            outgoing.extend(service.send_phase(round_no))
+        return outgoing
+
+    def dispatch(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        """Route messages to their channels; return unroutable messages."""
+        unrouted: List[Message] = []
+        for message in inbox:
+            service = self._by_channel.get(message.channel)
+            if service is None:
+                unrouted.append(message)
+            else:
+                service.on_message(round_no, message)
+        return unrouted
+
+    def finish_round(self, round_no: int) -> None:
+        for service in self._services:
+            service.end_round(round_no)

@@ -1,0 +1,186 @@
+"""Command-line launcher: ``python -m repro.harness.cli <command>``.
+
+Commands
+--------
+``run``
+    Run an audited CONGOS scenario and print its summary.
+``scenarios``
+    List the available scenario builders.
+``partitions``
+    Inspect the partition family a deployment would use.
+``bounds``
+    Print the paper's closed-form bounds for given parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict
+
+from repro.analysis.bounds import (
+    collusion_lower_bound,
+    collusion_upper_bound,
+    congos_upper_bound,
+    strong_confidentiality_lower_bound,
+)
+from repro.core.config import CongosParams
+from repro.core.congos import build_partition_set
+from repro.harness import scenarios as scenario_module
+from repro.harness.report import format_kv, format_table
+from repro.harness.runner import run_congos_scenario
+
+SCENARIOS: Dict[str, Callable] = {
+    "steady": scenario_module.steady_scenario,
+    "churn": scenario_module.churn_scenario,
+    "proxy-killer": scenario_module.proxy_killer_scenario,
+    "group-killer": scenario_module.group_killer_scenario,
+    "source-killer": scenario_module.source_killer_scenario,
+    "rolling-blackout": scenario_module.rolling_blackout_scenario,
+    "burst": scenario_module.burst_scenario,
+    "theorem1": scenario_module.theorem1_scenario,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Confidential Gossip (ICDCS 2011) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an audited CONGOS scenario")
+    run.add_argument("scenario", choices=sorted(SCENARIOS))
+    run.add_argument("-n", type=int, default=16, help="process count")
+    run.add_argument("--rounds", type=int, default=400)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--deadline", type=int, default=128)
+    run.add_argument("--tau", type=int, default=1, help="collusion tolerance")
+    run.add_argument("--json", action="store_true", help="emit JSON summary")
+
+    sub.add_parser("scenarios", help="list available scenarios")
+
+    partitions = sub.add_parser("partitions", help="inspect a partition family")
+    partitions.add_argument("-n", type=int, default=16)
+    partitions.add_argument("--tau", type=int, default=1)
+    partitions.add_argument("--seed", type=int, default=0)
+
+    bounds = sub.add_parser("bounds", help="print the paper's bounds")
+    bounds.add_argument("-n", type=int, default=64)
+    bounds.add_argument("--dmin", type=int, default=128)
+    bounds.add_argument("--dmax", type=int, default=128)
+    bounds.add_argument("--tau", type=int, default=1)
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    params = CongosParams(tau=args.tau) if args.tau > 1 else CongosParams()
+    builder = SCENARIOS[args.scenario]
+    kwargs = dict(
+        n=args.n,
+        rounds=args.rounds,
+        seed=args.seed,
+        params=params,
+    )
+    if args.scenario == "theorem1":
+        kwargs["dmax"] = args.deadline
+    elif args.scenario == "collusion":
+        kwargs["tau"] = args.tau
+        kwargs["deadline"] = args.deadline
+    else:
+        kwargs["deadline"] = args.deadline
+    result = run_congos_scenario(builder(**kwargs))
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, default=str))
+    else:
+        print(format_kv(sorted(summary["messages"].items()), title="Messages"))
+        print()
+        print(format_kv(sorted(summary["qod"].items()), title="Quality of Delivery"))
+        print()
+        print(
+            format_kv(
+                sorted(summary["confidentiality"].items()), title="Confidentiality"
+            )
+        )
+        print()
+        print(format_kv(sorted(summary["faults"].items()), title="CRRI events"))
+    ok = result.qod.satisfied and result.confidentiality.is_clean()
+    return 0 if ok else 1
+
+
+def cmd_scenarios(_: argparse.Namespace) -> int:
+    rows = []
+    for name, builder in sorted(SCENARIOS.items()):
+        doc = (builder.__doc__ or "").strip().splitlines()
+        rows.append([name, doc[0] if doc else ""])
+    print(format_table(["scenario", "description"], rows))
+    return 0
+
+
+def cmd_partitions(args: argparse.Namespace) -> int:
+    params = CongosParams(tau=args.tau) if args.tau > 1 else CongosParams()
+    partitions = build_partition_set(args.n, params, args.seed)
+    rows = []
+    for index in range(partitions.count):
+        sizes = [
+            len(partitions.members(index, group))
+            for group in range(partitions.num_groups)
+        ]
+        rows.append([index, sizes])
+    print(
+        format_table(
+            ["partition", "group sizes"],
+            rows,
+            title="{} partitions of {} groups over n={}".format(
+                partitions.count, partitions.num_groups, args.n
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    pairs = [
+        (
+            "Thm 11 upper (per round)",
+            congos_upper_bound(args.n, args.dmin),
+        ),
+        (
+            "Thm 16 upper (tau={})".format(args.tau),
+            collusion_upper_bound(args.n, args.dmin, args.tau),
+        ),
+        (
+            "Thm 1 lower (strong conf.)",
+            strong_confidentiality_lower_bound(args.n, args.dmax),
+        ),
+        (
+            "Thm 12 lower (tau={})".format(args.tau),
+            collusion_lower_bound(args.n, args.dmax, args.tau),
+        ),
+    ]
+    print(
+        format_kv(
+            pairs,
+            title="Paper bounds at n={}, dmin={}, dmax={}".format(
+                args.n, args.dmin, args.dmax
+            ),
+        )
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "scenarios": cmd_scenarios,
+        "partitions": cmd_partitions,
+        "bounds": cmd_bounds,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

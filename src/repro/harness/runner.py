@@ -1,0 +1,171 @@
+"""Experiment runner: build an audited simulation, run it, collect verdicts.
+
+The runner owns the standard wiring used by tests, examples and benches:
+
+* a :class:`~repro.core.congos.CongosNode` factory (or a baseline factory)
+  with the :class:`~repro.audit.delivery.DeliveryAuditor` as the delivery
+  callback;
+* a :class:`~repro.audit.confidentiality.ConfidentialityAuditor` observing
+  every delivered message;
+* a :class:`~repro.adversary.base.ComposedAdversary` of the scenario's
+  workload and fault model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.adversary.base import Adversary, ComposedAdversary
+from repro.audit.confidentiality import ConfidentialityAuditor
+from repro.audit.delivery import DeliveryAuditor, QoDReport
+from repro.core.config import CongosParams
+from repro.core.congos import build_partition_set, congos_factory
+from repro.core.partitions import PartitionSet
+from repro.sim.engine import Engine, SimObserver
+from repro.sim.metrics import MessageStats
+from repro.sim.rng import derive_rng
+
+__all__ = ["Scenario", "RunResult", "run_congos_scenario", "run_with_factory"]
+
+WorkloadFactory = Callable[[random.Random], Adversary]
+FaultFactory = Callable[[random.Random, PartitionSet, int], Adversary]
+
+
+@dataclass
+class Scenario:
+    """A named, reproducible experiment configuration."""
+
+    name: str
+    n: int
+    rounds: int
+    seed: int
+    params: CongosParams = field(default_factory=CongosParams)
+    workload_factory: Optional[WorkloadFactory] = None
+    fault_factory: Optional[FaultFactory] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("scenarios need at least two processes")
+        if self.rounds < 1:
+            raise ValueError("scenarios need at least one round")
+
+
+@dataclass
+class RunResult:
+    """Everything a bench or test wants to know about one run."""
+
+    scenario: Scenario
+    engine: Engine
+    stats: MessageStats
+    qod: QoDReport
+    confidentiality: ConfidentialityAuditor
+    delivery: DeliveryAuditor
+    workload: Optional[Adversary]
+    partition_set: PartitionSet
+
+    @property
+    def rumors_injected(self) -> int:
+        return len(self.delivery.rumors)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario.name,
+            "n": self.scenario.n,
+            "rounds": self.scenario.rounds,
+            "rumors": self.rumors_injected,
+            "messages": self.stats.summary(),
+            "qod": self.qod.summary(),
+            "confidentiality": self.confidentiality.summary(),
+            "faults": self.engine.event_log.summary(),
+        }
+
+
+def run_congos_scenario(
+    scenario: Scenario,
+    observers: Iterable[SimObserver] = (),
+    partition_set: Optional[PartitionSet] = None,
+) -> RunResult:
+    """Run CONGOS under the scenario's workload and faults, fully audited."""
+    resolved_partitions = (
+        partition_set
+        if partition_set is not None
+        else build_partition_set(scenario.n, scenario.params, scenario.seed)
+    )
+    delivery = DeliveryAuditor()
+    factory = congos_factory(
+        scenario.n,
+        params=scenario.params,
+        seed=scenario.seed,
+        deliver_callback=delivery.record_delivery,
+        partition_set=resolved_partitions,
+    )
+    return run_with_factory(
+        scenario,
+        factory,
+        delivery=delivery,
+        observers=observers,
+        partition_set=resolved_partitions,
+    )
+
+
+def run_with_factory(
+    scenario: Scenario,
+    node_factory: Callable[[int], object],
+    delivery: Optional[DeliveryAuditor] = None,
+    observers: Iterable[SimObserver] = (),
+    partition_set: Optional[PartitionSet] = None,
+) -> RunResult:
+    """Run any protocol factory (CONGOS or a baseline) under a scenario.
+
+    Baselines that do not use partitions still get a partition set for the
+    confidentiality auditor's bookkeeping (fragment checks are vacuous for
+    protocols that never fragment).
+    """
+    resolved_partitions = (
+        partition_set
+        if partition_set is not None
+        else build_partition_set(scenario.n, scenario.params, scenario.seed)
+    )
+    resolved_delivery = delivery if delivery is not None else DeliveryAuditor()
+    confidentiality = ConfidentialityAuditor(
+        num_partitions=resolved_partitions.count,
+        num_groups=resolved_partitions.num_groups,
+    )
+    parts: List[Adversary] = []
+    workload: Optional[Adversary] = None
+    if scenario.workload_factory is not None:
+        workload = scenario.workload_factory(
+            derive_rng(scenario.seed, "workload", scenario.name)
+        )
+        parts.append(workload)
+    if scenario.fault_factory is not None:
+        parts.append(
+            scenario.fault_factory(
+                derive_rng(scenario.seed, "faults", scenario.name),
+                resolved_partitions,
+                scenario.n,
+            )
+        )
+    adversary: Adversary = ComposedAdversary(parts)
+    engine = Engine(
+        n=scenario.n,
+        node_factory=node_factory,
+        adversary=adversary,
+        observers=[resolved_delivery, confidentiality, *observers],
+        seed=scenario.seed,
+    )
+    engine.run(scenario.rounds)
+    qod = resolved_delivery.report(engine)
+    return RunResult(
+        scenario=scenario,
+        engine=engine,
+        stats=engine.stats,
+        qod=qod,
+        confidentiality=confidentiality,
+        delivery=resolved_delivery,
+        workload=workload,
+        partition_set=resolved_partitions,
+    )

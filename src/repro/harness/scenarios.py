@@ -1,0 +1,359 @@
+"""Canonical scenario builders used by tests, examples and benches.
+
+Every scenario leaves a *warmup* (one deadline's worth of rounds with no
+injections, so Proxy/GroupDistribution uptime requirements are met and
+deliveries go through the pipeline rather than the fallback) and a
+*drain* (injections stop early enough that every rumor's deadline falls
+inside the run, so the QoD report judges all of them).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.adversary.adaptive import (
+    GroupKillerAdversary,
+    ProxyKillerAdversary,
+    SourceKillerAdversary,
+)
+from repro.adversary.injection import (
+    BurstWorkload,
+    GroupTrafficWorkload,
+    SteadyWorkload,
+    Theorem1Workload,
+)
+from repro.adversary.patterns import AlternatingPartitionFaults
+from repro.adversary.random_crash import ChurnAdversary
+from repro.core.config import CongosParams
+from repro.harness.runner import Scenario
+
+__all__ = [
+    "injection_window",
+    "steady_scenario",
+    "churn_scenario",
+    "proxy_killer_scenario",
+    "group_killer_scenario",
+    "source_killer_scenario",
+    "rolling_blackout_scenario",
+    "burst_scenario",
+    "theorem1_scenario",
+    "collusion_scenario",
+]
+
+
+def injection_window(rounds: int, deadline: int) -> tuple:
+    """(start, stop) rounds for injections: warmup + drain margins."""
+    start = min(deadline, max(1, rounds // 4))
+    stop = max(start + 1, rounds - deadline - 4)
+    return start, stop
+
+
+def steady_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    deadline: int = 128,
+    rate: int = 1,
+    period: int = 4,
+    dest_size: int = 4,
+    params: Optional[CongosParams] = None,
+    name: str = "steady",
+) -> Scenario:
+    """Fault-free steady traffic: the baseline happy path."""
+    resolved = params if params is not None else CongosParams()
+    start, stop = injection_window(rounds, deadline)
+
+    def workload(rng: random.Random) -> SteadyWorkload:
+        return SteadyWorkload(
+            n=n,
+            rng=rng,
+            rate=rate,
+            period=period,
+            dest_size=dest_size,
+            deadlines=(deadline,),
+            start_round=start,
+            stop_round=stop,
+        )
+
+    return Scenario(
+        name=name,
+        n=n,
+        rounds=rounds,
+        seed=seed,
+        params=resolved,
+        workload_factory=workload,
+        description="fault-free steady injections, deadline={}".format(deadline),
+    )
+
+
+def churn_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    deadline: int = 128,
+    p_crash: float = 0.01,
+    p_restart: float = 0.2,
+    rate: int = 1,
+    period: int = 4,
+    dest_size: int = 4,
+    immune: Sequence[int] = (),
+    params: Optional[CongosParams] = None,
+    name: str = "churn",
+) -> Scenario:
+    """Random crash/restart churn on top of steady traffic."""
+    base = steady_scenario(
+        n, rounds, seed, deadline, rate, period, dest_size, params, name
+    )
+
+    def faults(rng: random.Random, partitions, n_: int) -> ChurnAdversary:
+        return ChurnAdversary(
+            rng=rng,
+            p_crash=p_crash,
+            p_restart=p_restart,
+            immune=immune,
+            min_alive=max(2, n // 4),
+        )
+
+    base.fault_factory = faults
+    base.description = "churn p_crash={} p_restart={}".format(p_crash, p_restart)
+    return base
+
+
+def proxy_killer_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    deadline: int = 128,
+    budget_per_round: Optional[int] = None,
+    total_budget: Optional[int] = None,
+    restart_after: Optional[int] = None,
+    params: Optional[CongosParams] = None,
+    name: str = "proxy-killer",
+) -> Scenario:
+    """The adaptive proxy-killing attack of Section 1 / Lemma 8.
+
+    Budgets default to system-size-proportional values with restarts, so
+    the attack is sustained pressure rather than instant extinction.
+    """
+    base = steady_scenario(
+        n, rounds, seed, deadline, rate=1, period=8, dest_size=3, params=params, name=name
+    )
+    per_round = budget_per_round if budget_per_round is not None else max(1, n // 8)
+    total = total_budget if total_budget is not None else max(2, n // 3)
+    revive = restart_after if restart_after is not None else deadline // 2
+
+    def faults(rng: random.Random, partitions, n_: int) -> ProxyKillerAdversary:
+        return ProxyKillerAdversary(
+            budget_per_round=per_round,
+            total_budget=total,
+            restart_after=revive,
+        )
+
+    base.fault_factory = faults
+    base.description = "adaptive proxy killer, budget {}/{}".format(
+        budget_per_round, total_budget
+    )
+    return base
+
+
+def group_killer_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    deadline: int = 128,
+    partition: int = 0,
+    group: int = 0,
+    crash_round: Optional[int] = None,
+    params: Optional[CongosParams] = None,
+    name: str = "group-killer",
+) -> Scenario:
+    """Wipe out one group of one partition mid-run (Lemma 5's motivation).
+
+    The sources/destinations are not spared on purpose: admissibility does
+    the bookkeeping, and the surviving partitions must carry the rest.
+    """
+    base = steady_scenario(
+        n, rounds, seed, deadline, rate=1, period=8, dest_size=3, params=params, name=name
+    )
+    when = crash_round if crash_round is not None else rounds // 2
+
+    def faults(rng: random.Random, partitions, n_: int) -> GroupKillerAdversary:
+        members = partitions.members(partition, group)
+        return GroupKillerAdversary(
+            members=set(members),
+            crash_round=when,
+            restart_round=min(rounds - 1, when + deadline),
+        )
+
+    base.fault_factory = faults
+    base.description = "kill group {} of partition {} at round {}".format(
+        group, partition, when
+    )
+    return base
+
+
+def source_killer_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    deadline: int = 128,
+    kill_probability: float = 0.5,
+    params: Optional[CongosParams] = None,
+    name: str = "source-killer",
+) -> Scenario:
+    """Sources die right after injecting (inadmissible rumors)."""
+    base = steady_scenario(
+        n, rounds, seed, deadline, rate=1, period=8, dest_size=3, params=params, name=name
+    )
+
+    def faults(rng: random.Random, partitions, n_: int) -> SourceKillerAdversary:
+        return SourceKillerAdversary(rng=rng, kill_probability=kill_probability)
+
+    base.fault_factory = faults
+    base.description = "kill sources after injection (p={})".format(kill_probability)
+    return base
+
+
+def rolling_blackout_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    deadline: int = 128,
+    blocks: int = 4,
+    immune: Sequence[int] = (0, 1),
+    params: Optional[CongosParams] = None,
+    name: str = "rolling-blackout",
+) -> Scenario:
+    """A quarter of the system is always down, rotating every period.
+
+    Only ``immune`` processes stay continuously alive; traffic is between
+    them, so their rumors remain admissible throughout.
+    """
+    resolved = params if params is not None else CongosParams()
+    start, stop = injection_window(rounds, deadline)
+    immune_list = list(immune)
+
+    def workload(rng: random.Random) -> GroupTrafficWorkload:
+        return GroupTrafficWorkload(
+            participants=immune_list,
+            rng=rng,
+            deadline=deadline,
+            period=8,
+            start_round=start,
+            stop_round=stop,
+        )
+
+    def faults(rng: random.Random, partitions, n_: int) -> AlternatingPartitionFaults:
+        return AlternatingPartitionFaults(
+            n=n,
+            blocks=blocks,
+            period=max(blocks * 4, deadline // 2),
+            immune=immune_list,
+        )
+
+    return Scenario(
+        name=name,
+        n=n,
+        rounds=rounds,
+        seed=seed,
+        params=resolved,
+        workload_factory=workload,
+        fault_factory=faults,
+        description="rotating blackout of 1/{} of the system".format(blocks),
+    )
+
+
+def burst_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    deadline: int = 128,
+    bursts: int = 2,
+    dest_size: int = 4,
+    params: Optional[CongosParams] = None,
+    name: str = "burst",
+) -> Scenario:
+    """Every process injects simultaneously, a few times."""
+    resolved = params if params is not None else CongosParams()
+    start, stop = injection_window(rounds, deadline)
+    gap = max(1, (stop - start) // max(1, bursts))
+    burst_rounds = [start + i * gap for i in range(bursts)]
+
+    def workload(rng: random.Random) -> BurstWorkload:
+        return BurstWorkload(
+            n=n,
+            rng=rng,
+            burst_rounds=burst_rounds,
+            dest_size=dest_size,
+            deadline=deadline,
+        )
+
+    return Scenario(
+        name=name,
+        n=n,
+        rounds=rounds,
+        seed=seed,
+        params=resolved,
+        workload_factory=workload,
+        description="full-system bursts at {}".format(burst_rounds),
+    )
+
+
+def theorem1_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    c: int = 8,
+    dmax: int = 128,
+    inject_round: Optional[int] = None,
+    params: Optional[CongosParams] = None,
+    name: str = "theorem1",
+) -> Scenario:
+    """The oblivious lower-bound layout of Theorems 1/12."""
+    resolved = params if params is not None else CongosParams()
+    when = inject_round if inject_round is not None else min(dmax, rounds // 4)
+
+    def workload(rng: random.Random) -> Theorem1Workload:
+        return Theorem1Workload(
+            n=n, rng=rng, c=c, dmax=dmax, inject_round=when
+        )
+
+    return Scenario(
+        name=name,
+        n=n,
+        rounds=rounds,
+        seed=seed,
+        params=resolved,
+        workload_factory=workload,
+        description="Theorem-1 layout: c={}, dmax={}".format(c, dmax),
+    )
+
+
+def collusion_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    tau: int,
+    deadline: int = 128,
+    rate: int = 1,
+    period: int = 8,
+    dest_size: int = 4,
+    params: Optional[CongosParams] = None,
+    name: Optional[str] = None,
+) -> Scenario:
+    """Steady traffic under the collusion-tolerant variant (Section 6.2)."""
+    resolved = (
+        params.with_tau(tau) if params is not None else CongosParams(tau=tau)
+    )
+    return steady_scenario(
+        n=n,
+        rounds=rounds,
+        seed=seed,
+        deadline=deadline,
+        rate=rate,
+        period=period,
+        dest_size=dest_size,
+        params=resolved,
+        name=name if name is not None else "collusion-tau{}".format(tau),
+    )

@@ -1,0 +1,144 @@
+"""Round clock and block/iteration arithmetic.
+
+The paper's CONGOS protocol divides time into *blocks* of ``dline/4`` rounds,
+and each block into *iterations* of ``isqrt(dline) + 2`` rounds (Figures 3/4
+and Section 4.2).  Blocks are globally aligned: every process derives the
+current block from the global round counter, which is what allows a restarted
+process (with no durable state) to rejoin the protocol at the next block
+boundary.
+
+This module centralises that arithmetic so the Proxy, GroupDistribution and
+ConfidentialGossip services, as well as the analysis code, all agree on it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["BlockSchedule", "RoundClock"]
+
+
+@dataclass(frozen=True)
+class BlockSchedule:
+    """Block/iteration timing derived from a trimmed deadline ``dline``.
+
+    Attributes
+    ----------
+    dline:
+        The trimmed, power-of-two deadline this schedule serves.
+    block_len:
+        ``dline // 4`` — the length of one block, in rounds.
+    iteration_len:
+        ``isqrt(dline) + 2`` — the length of one iteration, in rounds.
+    iterations_per_block:
+        How many whole iterations fit in a block.
+    """
+
+    dline: int
+
+    def __post_init__(self) -> None:
+        if self.dline < 4:
+            raise ValueError("dline must be >= 4, got {}".format(self.dline))
+
+    @property
+    def block_len(self) -> int:
+        return self.dline // 4
+
+    @property
+    def iteration_len(self) -> int:
+        return math.isqrt(self.dline) + 2
+
+    @property
+    def iterations_per_block(self) -> int:
+        return self.block_len // self.iteration_len
+
+    @property
+    def gossip_deadline(self) -> int:
+        """Deadline used for GroupGossip shares inside an iteration."""
+        return max(1, math.isqrt(self.dline))
+
+    @property
+    def allgossip_deadline(self) -> int:
+        """Deadline for the end-of-block AllGossip confirmation rumor."""
+        return max(1, self.block_len - 1)
+
+    def block_of(self, round_no: int) -> int:
+        """The (global) block index containing ``round_no``."""
+        return round_no // self.block_len
+
+    def block_start(self, block: int) -> int:
+        """First round of block ``block``."""
+        return block * self.block_len
+
+    def block_end(self, block: int) -> int:
+        """Last round of block ``block``."""
+        return (block + 1) * self.block_len - 1
+
+    def round_in_block(self, round_no: int) -> int:
+        """Offset of ``round_no`` within its block (0-based)."""
+        return round_no % self.block_len
+
+    def is_block_start(self, round_no: int) -> bool:
+        return self.round_in_block(round_no) == 0
+
+    def is_block_last_round(self, round_no: int) -> bool:
+        return self.round_in_block(round_no) == self.block_len - 1
+
+    def iteration_of(self, round_no: int) -> int:
+        """Iteration index within the block, or -1 in the slack tail.
+
+        Rounds beyond ``iterations_per_block * iteration_len`` in a block do
+        not belong to any iteration; services idle (or let gossip tails
+        drain) during the slack tail.
+        """
+        offset = self.round_in_block(round_no)
+        iteration = offset // self.iteration_len
+        if iteration >= self.iterations_per_block:
+            return -1
+        return iteration
+
+    def round_in_iteration(self, round_no: int) -> int:
+        """Offset of ``round_no`` within its iteration (0-based), or -1."""
+        if self.iteration_of(round_no) < 0:
+            return -1
+        return self.round_in_block(round_no) % self.iteration_len
+
+    def is_iteration_last_round(self, round_no: int) -> bool:
+        position = self.round_in_iteration(round_no)
+        return position == self.iteration_len - 1
+
+    def describe(self, round_no: int) -> str:
+        """A human-readable position string, for traces."""
+        return "round={} block={} iter={} pos={}".format(
+            round_no,
+            self.block_of(round_no),
+            self.iteration_of(round_no),
+            self.round_in_iteration(round_no),
+        )
+
+
+class RoundClock:
+    """The global synchronous round counter.
+
+    Processes have access to a global clock (Section 2), which is how a
+    restarted process re-synchronises with block boundaries.  The clock is
+    owned by the engine; everything else holds a read-only reference.
+    """
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise ValueError("start round must be non-negative")
+        self._round = start
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def advance(self) -> int:
+        """Move to the next round and return the new round number."""
+        self._round += 1
+        return self._round
+
+    def __repr__(self) -> str:
+        return "RoundClock(round={})".format(self._round)

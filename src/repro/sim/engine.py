@@ -1,0 +1,292 @@
+"""The synchronous round engine.
+
+One engine round implements the model of Section 2 exactly:
+
+1. **Adversary, round start** — the CRRI adversary observes the full system
+   state and decides crashes, restarts and rumor injections.  Round-start
+   crashes silence a process for the whole round; restarts bring a process
+   back with *empty* volatile state (it re-reads the global clock).
+2. **Injections** — at most one rumor per alive process per round.
+3. **Send phase** — every alive process produces its messages for the round.
+4. **Adversary, mid round** — the adversary observes the outgoing messages
+   (it is adaptive: "decisions ... based on the random choices being made in
+   round t itself") and may crash more processes; for processes on a
+   crash/restart boundary this round it chooses which of their messages are
+   lost.
+5. **Delivery** — the reliable network routes every surviving message.
+6. **Receive phase** — alive processes consume their inboxes and finish
+   local computation.
+
+Observers (auditors, tracers) are notified of every event so that
+confidentiality and quality-of-delivery can be checked from outside the
+protocol, with no cooperation from protocol code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.sim.clock import RoundClock
+from repro.sim.events import (
+    CrashEvent,
+    EventLog,
+    InjectEvent,
+    MidRoundDecision,
+    RestartEvent,
+    RoundDecision,
+)
+from repro.sim.messages import Message
+from repro.sim.metrics import MessageStats
+from repro.sim.network import Network
+from repro.sim.process import NodeBehavior, ProcessShell
+from repro.sim.rng import SeedSequence
+
+__all__ = ["SimObserver", "AdversaryView", "Engine"]
+
+
+class SimObserver:
+    """Hook interface for auditors and tracers.  All methods optional."""
+
+    def on_round_begin(self, round_no: int) -> None:
+        pass
+
+    def on_crash(self, round_no: int, pid: int, mid_round: bool) -> None:
+        pass
+
+    def on_restart(self, round_no: int, pid: int) -> None:
+        pass
+
+    def on_inject(self, round_no: int, pid: int, rumor: object) -> None:
+        pass
+
+    def on_deliver(self, round_no: int, message: Message) -> None:
+        pass
+
+    def on_round_end(self, round_no: int, engine: "Engine") -> None:
+        pass
+
+
+class AdversaryView:
+    """What an adversary can see.
+
+    The paper's adversary is omniscient, so the view deliberately exposes
+    the engine itself; polite adversaries restrict themselves to the helper
+    accessors.
+    """
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+
+    @property
+    def round(self) -> int:
+        return self.engine.round
+
+    @property
+    def n(self) -> int:
+        return self.engine.n
+
+    @property
+    def event_log(self) -> EventLog:
+        return self.engine.event_log
+
+    def alive_pids(self) -> Set[int]:
+        return self.engine.alive_pids()
+
+    def crashed_pids(self) -> Set[int]:
+        return set(range(self.engine.n)) - self.engine.alive_pids()
+
+    def is_alive(self, pid: int) -> bool:
+        return self.engine.shells[pid].alive
+
+    def touched_this_round(self) -> Set[int]:
+        """Pids already crashed or restarted in the current round.
+
+        The model allows one crash-or-restart per process per round; a
+        mid-round adversary must not touch these again (the engine raises
+        if it does).
+        """
+        return set(self.engine._touched_this_round)
+
+    def behavior(self, pid: int) -> Optional[NodeBehavior]:
+        """Omniscient access to a process's internal state."""
+        return self.engine.shells[pid].behavior
+
+
+class _NullAdversary:
+    """Fault-free, injection-free adversary used when none is supplied."""
+
+    def round_start(self, view: AdversaryView) -> RoundDecision:
+        return RoundDecision()
+
+    def mid_round(
+        self, view: AdversaryView, outgoing: List[Message]
+    ) -> MidRoundDecision:
+        return MidRoundDecision()
+
+
+class Engine:
+    """Drives ``n`` processes through synchronous rounds under an adversary."""
+
+    def __init__(
+        self,
+        n: int,
+        node_factory: Callable[[int], NodeBehavior],
+        adversary: Optional[object] = None,
+        observers: Iterable[SimObserver] = (),
+        seed: int = 0,
+        start_round: int = 0,
+    ):
+        if n <= 0:
+            raise ValueError("need at least one process")
+        self.n = n
+        self.seeds = SeedSequence(seed)
+        self.clock = RoundClock(start_round)
+        self.stats = MessageStats()
+        self.network = Network(n, self.stats)
+        self.event_log = EventLog()
+        self.adversary = adversary if adversary is not None else _NullAdversary()
+        self.observers: List[SimObserver] = list(observers)
+        self.shells: Dict[int, ProcessShell] = {}
+        for pid in range(n):
+            shell = ProcessShell(pid, node_factory)
+            shell.start(self.clock.round)
+            self.shells[pid] = shell
+        self.view = AdversaryView(self)
+        self.rounds_executed = 0
+        self._touched_this_round: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def round(self) -> int:
+        return self.clock.round
+
+    def alive_pids(self) -> Set[int]:
+        return {pid for pid, shell in self.shells.items() if shell.alive}
+
+    def behavior(self, pid: int) -> Optional[NodeBehavior]:
+        return self.shells[pid].behavior
+
+    def add_observer(self, observer: SimObserver) -> None:
+        self.observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+
+    def run(self, rounds: int) -> None:
+        """Execute ``rounds`` consecutive rounds."""
+        for _ in range(rounds):
+            self.run_round()
+
+    def run_round(self) -> None:
+        round_no = self.clock.round
+        for observer in self.observers:
+            observer.on_round_begin(round_no)
+
+        decision = self._round_start_decision(round_no)
+        touched = self._apply_round_start(round_no, decision)
+        self._touched_this_round = touched
+        self._apply_injections(round_no, decision)
+
+        outgoing: List[Message] = []
+        for pid in sorted(self.shells):
+            outgoing.extend(self.shells[pid].send_phase(round_no))
+
+        mid = self._mid_round_decision(round_no, outgoing, touched)
+        boundary = set(touched)
+        for pid in mid.crashes:
+            self._crash(round_no, pid, mid_round=True)
+            boundary.add(pid)
+
+        outcome = self.network.route(
+            round_no,
+            outgoing,
+            alive_after_round=self.alive_pids(),
+            boundary_pids=boundary,
+            adversary_drops=mid.dropped_messages,
+        )
+        for message in outcome.delivered:
+            for observer in self.observers:
+                observer.on_deliver(round_no, message)
+
+        for pid in sorted(self.shells):
+            shell = self.shells[pid]
+            if shell.alive:
+                shell.receive_phase(round_no, outcome.inboxes.get(pid, []))
+
+        for observer in self.observers:
+            observer.on_round_end(round_no, self)
+        self.rounds_executed += 1
+        self.clock.advance()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _round_start_decision(self, round_no: int) -> RoundDecision:
+        decision = self.adversary.round_start(self.view)
+        if decision.crashes & decision.restarts:
+            raise ValueError(
+                "a process may crash or restart at most once per round"
+            )
+        return decision
+
+    def _apply_round_start(
+        self, round_no: int, decision: RoundDecision
+    ) -> Set[int]:
+        touched: Set[int] = set()
+        for pid in sorted(decision.crashes):
+            self._crash(round_no, pid, mid_round=False)
+            touched.add(pid)
+        for pid in sorted(decision.restarts):
+            self._restart(round_no, pid)
+            touched.add(pid)
+        return touched
+
+    def _apply_injections(self, round_no: int, decision: RoundDecision) -> None:
+        injected: Set[int] = set()
+        for pid, rumor in decision.injections:
+            if pid in injected:
+                raise ValueError(
+                    "at most one rumor per process per round (pid {})".format(pid)
+                )
+            shell = self.shells[pid]
+            if not shell.alive:
+                raise ValueError(
+                    "cannot inject at crashed process {}".format(pid)
+                )
+            injected.add(pid)
+            self.event_log.record_injection(InjectEvent(pid, round_no, rumor))
+            for observer in self.observers:
+                observer.on_inject(round_no, pid, rumor)
+            shell.inject(round_no, rumor)
+
+    def _mid_round_decision(
+        self, round_no: int, outgoing: List[Message], touched: Set[int]
+    ) -> MidRoundDecision:
+        mid = self.adversary.mid_round(self.view, outgoing)
+        for pid in mid.crashes:
+            if pid in touched:
+                raise ValueError(
+                    "process {} already crashed/restarted this round".format(pid)
+                )
+            if not self.shells[pid].alive:
+                raise ValueError(
+                    "cannot mid-round crash dead process {}".format(pid)
+                )
+        return mid
+
+    def _crash(self, round_no: int, pid: int, mid_round: bool) -> None:
+        self.shells[pid].crash()
+        self.event_log.record_crash(CrashEvent(pid, round_no, mid_round))
+        for observer in self.observers:
+            observer.on_crash(round_no, pid, mid_round)
+
+    def _restart(self, round_no: int, pid: int) -> None:
+        self.shells[pid].restart(round_no)
+        self.event_log.record_restart(RestartEvent(pid, round_no))
+        for observer in self.observers:
+            observer.on_restart(round_no, pid)

@@ -1,0 +1,163 @@
+"""Event types for the CRRI (Crash-and-Restart-Rumor-Injection) adversary.
+
+The paper models all dynamism — crashes, restarts and rumor injections — as
+events chosen by an adversary (Section 2).  This module defines the concrete
+event records exchanged between adversaries and the engine, plus the decision
+containers returned by the adversary hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.gossip.rumor import Rumor
+
+__all__ = [
+    "CrashEvent",
+    "RestartEvent",
+    "InjectEvent",
+    "RoundDecision",
+    "MidRoundDecision",
+    "EventLog",
+]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Process ``pid`` crashes in round ``round_no``.
+
+    ``mid_round`` is True when the crash was decided after the send phase
+    (the adversary saw this round's outgoing messages first); in that case
+    the process's own sends of this round may still be delivered, per the
+    model's partial-delivery rule.
+    """
+
+    pid: int
+    round_no: int
+    mid_round: bool = False
+
+
+@dataclass(frozen=True)
+class RestartEvent:
+    """Process ``pid`` restarts (with empty volatile state) in ``round_no``."""
+
+    pid: int
+    round_no: int
+
+
+@dataclass(frozen=True)
+class InjectEvent:
+    """Rumor ``rumor`` is injected at process ``pid`` in round ``round_no``."""
+
+    pid: int
+    round_no: int
+    rumor: "Rumor"
+
+
+@dataclass
+class RoundDecision:
+    """Adversary decisions taken at the start of a round.
+
+    ``crashes`` take effect before the send phase: crashed processes send
+    nothing this round.  ``restarts`` bring processes back alive with fresh
+    state; they participate in this round's receive phase.  ``injections``
+    are ``(pid, rumor)`` pairs delivered to alive processes (at most one
+    rumor per process per round, enforced by the engine).
+    """
+
+    crashes: Set[int] = field(default_factory=set)
+    restarts: Set[int] = field(default_factory=set)
+    injections: List[Tuple[int, "Rumor"]] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not (self.crashes or self.restarts or self.injections)
+
+
+@dataclass
+class MidRoundDecision:
+    """Adversary decisions taken after observing the round's sends.
+
+    ``crashes`` are processes killed after they computed their sends; the
+    paper allows "some of the messages sent by p in round t may be
+    delivered, and some may be lost" — the adversary controls which, via
+    ``dropped_messages`` (indices into the engine's outgoing message list
+    for this round).  Dropping is only permitted for messages whose sender
+    or receiver crashes/restarts this round; the engine enforces this,
+    because the network itself is reliable.
+    """
+
+    crashes: Set[int] = field(default_factory=set)
+    dropped_messages: Set[int] = field(default_factory=set)
+
+    def is_empty(self) -> bool:
+        return not (self.crashes or self.dropped_messages)
+
+
+class EventLog:
+    """Chronological record of all CRRI events applied during a run.
+
+    The delivery auditor uses it to decide admissibility (which requires
+    knowing the exact alive intervals of every process), and traces/benches
+    use it for reporting.
+    """
+
+    def __init__(self) -> None:
+        self.crashes: List[CrashEvent] = []
+        self.restarts: List[RestartEvent] = []
+        self.injections: List[InjectEvent] = []
+        self._crash_rounds: Dict[int, List[int]] = {}
+        self._restart_rounds: Dict[int, List[int]] = {}
+
+    def record_crash(self, event: CrashEvent) -> None:
+        self.crashes.append(event)
+        self._crash_rounds.setdefault(event.pid, []).append(event.round_no)
+
+    def record_restart(self, event: RestartEvent) -> None:
+        self.restarts.append(event)
+        self._restart_rounds.setdefault(event.pid, []).append(event.round_no)
+
+    def record_injection(self, event: InjectEvent) -> None:
+        self.injections.append(event)
+
+    def crash_rounds(self, pid: int) -> List[int]:
+        """Rounds in which ``pid`` crashed, in order."""
+        return list(self._crash_rounds.get(pid, []))
+
+    def restart_rounds(self, pid: int) -> List[int]:
+        """Rounds in which ``pid`` restarted, in order."""
+        return list(self._restart_rounds.get(pid, []))
+
+    def continuously_alive(self, pid: int, start: int, end: int) -> bool:
+        """True iff ``pid`` had no crash event in ``[start, end]``.
+
+        Matches the paper's definition: alive at the beginning of ``start``
+        and the end of ``end`` with no ``crash(pid, t)`` for t in between.
+        A process that crashed before ``start`` and never restarted by
+        ``start`` is not continuously alive either.
+        """
+        if start > end:
+            raise ValueError("empty interval [{}, {}]".format(start, end))
+        if any(start <= t <= end for t in self._crash_rounds.get(pid, ())):
+            return False
+        # Determine aliveness entering `start`: the latest event before
+        # `start` must not be an unrecovered crash.
+        last_crash = max(
+            (t for t in self._crash_rounds.get(pid, ()) if t < start), default=None
+        )
+        if last_crash is None:
+            return True
+        last_restart = max(
+            (t for t in self._restart_rounds.get(pid, ()) if t < start), default=None
+        )
+        # A restart in the same round as `start` does not count as
+        # "alive at the beginning of start" for admissibility purposes.
+        return last_restart is not None and last_restart > last_crash
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "crashes": len(self.crashes),
+            "restarts": len(self.restarts),
+            "injections": len(self.injections),
+        }

@@ -1,0 +1,178 @@
+"""Per-round message-complexity accounting.
+
+The paper's efficiency metric is *per-round message complexity*
+(Definition 3): the maximum, over rounds, of the number of point-to-point
+messages sent in that round.  :class:`MessageStats` tracks exactly that,
+broken down by service tag, along with totals and abstract sizes, so the
+benches can reproduce Lemma 7 / Theorem 11 / Theorem 16 shapes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.messages import Message
+
+__all__ = ["RoundRecord", "MessageStats"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Counts for a single round."""
+
+    round_no: int
+    total: int
+    total_size: int
+    by_service: Dict[str, int]
+
+
+class MessageStats:
+    """Accumulates message counts, per round and per service.
+
+    Counting happens on *send*: a message that the adversary later drops
+    (because its sender crashed mid-round) still counts as sent, matching
+    the paper's metric.  Messages suppressed by the group Filter are never
+    sent at all and are tallied separately via :meth:`record_filtered`.
+    """
+
+    def __init__(self) -> None:
+        self._round_totals: Dict[int, int] = defaultdict(int)
+        self._round_sizes: Dict[int, int] = defaultdict(int)
+        self._round_service: Dict[int, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._service_totals: Dict[str, int] = defaultdict(int)
+        self._filtered: int = 0
+        self.total: int = 0
+        self.total_size: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_send(self, round_no: int, message: Message) -> None:
+        self._round_totals[round_no] += 1
+        self._round_sizes[round_no] += message.size
+        self._round_service[round_no][message.service] += 1
+        self._service_totals[message.service] += 1
+        self.total += 1
+        self.total_size += message.size
+
+    def record_sends(self, round_no: int, messages: Iterable[Message]) -> None:
+        for message in messages:
+            self.record_send(round_no, message)
+
+    def record_filtered(self, count: int = 1) -> None:
+        """Count messages dropped by a group Filter (never sent)."""
+        self._filtered += count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def filtered(self) -> int:
+        return self._filtered
+
+    @property
+    def rounds_observed(self) -> int:
+        return len(self._round_totals)
+
+    def per_round(self, round_no: int) -> int:
+        """Messages sent in ``round_no``."""
+        return self._round_totals.get(round_no, 0)
+
+    def per_round_by_service(self, round_no: int, service: str) -> int:
+        return self._round_service.get(round_no, {}).get(service, 0)
+
+    def service_total(self, service: str) -> int:
+        return self._service_totals.get(service, 0)
+
+    def by_service(self) -> Dict[str, int]:
+        """Total messages per service over the whole run."""
+        return dict(self._service_totals)
+
+    def max_per_round(self, services: Optional[Iterable[str]] = None) -> int:
+        """The run's maximum per-round message count.
+
+        With ``services`` given, restrict the count to those service tags
+        (used to check Lemma 7, which bounds Proxy+GD traffic excluding the
+        gossip substrate).
+        """
+        if not self._round_totals:
+            return 0
+        if services is None:
+            return max(self._round_totals.values())
+        wanted = set(services)
+        best = 0
+        for counts in self._round_service.values():
+            round_sum = sum(c for svc, c in counts.items() if svc in wanted)
+            if round_sum > best:
+                best = round_sum
+        return best
+
+    def argmax_round(self) -> Optional[int]:
+        """The round achieving the maximum per-round count, if any."""
+        if not self._round_totals:
+            return None
+        return max(self._round_totals, key=lambda r: (self._round_totals[r], -r))
+
+    def mean_per_round(self) -> float:
+        """Average messages per observed round (rounds with zero sends that
+        were never recorded do not enter the average; use ``over_rounds`` for
+        a fixed horizon)."""
+        if not self._round_totals:
+            return 0.0
+        return self.total / len(self._round_totals)
+
+    def mean_over_horizon(self, horizon: int) -> float:
+        """Average messages per round over a fixed horizon of rounds."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return self.total / horizon
+
+    def round_record(self, round_no: int) -> RoundRecord:
+        return RoundRecord(
+            round_no=round_no,
+            total=self._round_totals.get(round_no, 0),
+            total_size=self._round_sizes.get(round_no, 0),
+            by_service=dict(self._round_service.get(round_no, {})),
+        )
+
+    def series(self, start: int, end: int) -> List[int]:
+        """Per-round totals for rounds ``start..end`` inclusive."""
+        return [self._round_totals.get(r, 0) for r in range(start, end + 1)]
+
+    def top_rounds(self, k: int = 5) -> List[Tuple[int, int]]:
+        """The ``k`` busiest rounds as ``(round, count)`` pairs."""
+        ordered = sorted(
+            self._round_totals.items(), key=lambda item: item[1], reverse=True
+        )
+        return ordered[:k]
+
+    def merge(self, other: "MessageStats") -> None:
+        """Fold another stats object into this one (disjoint runs)."""
+        for round_no, count in other._round_totals.items():
+            self._round_totals[round_no] += count
+        for round_no, size in other._round_sizes.items():
+            self._round_sizes[round_no] += size
+        for round_no, services in other._round_service.items():
+            for service, count in services.items():
+                self._round_service[round_no][service] += count
+        for service, count in other._service_totals.items():
+            self._service_totals[service] += count
+        self._filtered += other._filtered
+        self.total += other.total
+        self.total_size += other.total_size
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "total_size": self.total_size,
+            "max_per_round": self.max_per_round(),
+            "mean_per_round": round(self.mean_per_round(), 2),
+            "filtered": self._filtered,
+            "by_service": self.by_service(),
+        }

@@ -1,0 +1,100 @@
+"""The reliable synchronous network.
+
+Section 2 of the paper: any pair of processes can communicate directly;
+messages are neither lost nor corrupted in transit.  The only way a message
+can fail to arrive is through a crash/restart boundary in the very round it
+was sent — and *which* of those messages are lost is the adversary's choice.
+
+:class:`Network` validates sends, counts them into :class:`MessageStats`
+(message complexity counts sends, not deliveries), applies adversarial drops
+that the model permits, and routes the survivors into per-recipient inboxes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Set
+
+from repro.sim.messages import Message
+from repro.sim.metrics import MessageStats
+
+__all__ = ["Network", "DeliveryOutcome"]
+
+
+class DeliveryOutcome:
+    """The result of routing one round's traffic."""
+
+    def __init__(self) -> None:
+        self.inboxes: Dict[int, List[Message]] = defaultdict(list)
+        self.delivered: List[Message] = []
+        self.lost_to_crash: List[Message] = []
+        self.lost_to_adversary: List[Message] = []
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.delivered)
+
+
+class Network:
+    """Reliable, fully connected, synchronous point-to-point network."""
+
+    def __init__(self, n: int, stats: MessageStats = None):  # type: ignore[assignment]
+        if n <= 0:
+            raise ValueError("network needs at least one process")
+        self.n = n
+        self.stats = stats if stats is not None else MessageStats()
+
+    def validate(self, message: Message) -> None:
+        if not 0 <= message.src < self.n:
+            raise ValueError("invalid src {}".format(message.src))
+        if not 0 <= message.dst < self.n:
+            raise ValueError("invalid dst {}".format(message.dst))
+
+    def route(
+        self,
+        round_no: int,
+        outgoing: List[Message],
+        alive_after_round: Set[int],
+        boundary_pids: Set[int],
+        adversary_drops: Iterable[int] = (),
+    ) -> DeliveryOutcome:
+        """Count, filter and route one round's messages.
+
+        Parameters
+        ----------
+        outgoing:
+            All messages produced in this round's send phase, in engine
+            order (indices in ``adversary_drops`` refer to this list).
+        alive_after_round:
+            Pids alive at delivery time (i.e. after mid-round crashes).
+            Messages to processes not in this set are lost to the crash.
+        boundary_pids:
+            Pids that crashed or restarted *this round*.  The adversary may
+            only drop messages whose src or dst is in this set — the network
+            itself is reliable.
+        adversary_drops:
+            Indices into ``outgoing`` the adversary chose to lose.
+        """
+        outcome = DeliveryOutcome()
+        drops = set(adversary_drops)
+        for index, message in enumerate(outgoing):
+            self.validate(message)
+            self.stats.record_send(round_no, message)
+            if index in drops:
+                if (
+                    message.src not in boundary_pids
+                    and message.dst not in boundary_pids
+                ):
+                    raise ValueError(
+                        "adversary tried to drop message {}->{} with no "
+                        "crash/restart boundary this round; the network is "
+                        "reliable".format(message.src, message.dst)
+                    )
+                outcome.lost_to_adversary.append(message)
+                continue
+            if message.dst not in alive_after_round:
+                outcome.lost_to_crash.append(message)
+                continue
+            outcome.inboxes[message.dst].append(message)
+            outcome.delivered.append(message)
+        return outcome

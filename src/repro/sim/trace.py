@@ -1,0 +1,133 @@
+"""Structured execution traces.
+
+A :class:`Tracer` is a :class:`~repro.sim.engine.SimObserver` that records a
+compact, filterable event stream.  It is primarily a debugging and
+demonstration aid (the examples use it to narrate runs); auditors do their
+own bookkeeping and do not depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.sim.engine import Engine, SimObserver
+from repro.sim.messages import Message
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event."""
+
+    round_no: int
+    kind: str  # "crash" | "restart" | "inject" | "deliver" | "round_end"
+    detail: Dict[str, Any]
+
+    def __str__(self) -> str:
+        parts = " ".join(
+            "{}={}".format(key, value) for key, value in sorted(self.detail.items())
+        )
+        return "[r{:>5}] {:<9} {}".format(self.round_no, self.kind, parts)
+
+
+class Tracer(SimObserver):
+    """Records simulator events, optionally filtered.
+
+    Parameters
+    ----------
+    kinds:
+        Event kinds to keep; ``None`` keeps everything.
+    message_filter:
+        Optional predicate on delivered messages; only matching deliveries
+        are traced (e.g. only proxy traffic).
+    max_events:
+        Hard cap to bound memory in long runs; oldest events are kept.
+    """
+
+    def __init__(
+        self,
+        kinds: Optional[List[str]] = None,
+        message_filter: Optional[Callable[[Message], bool]] = None,
+        max_events: int = 100_000,
+    ):
+        self.kinds = set(kinds) if kinds is not None else None
+        self.message_filter = message_filter
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.truncated = False
+
+    def _record(self, event: TraceEvent) -> None:
+        if self.kinds is not None and event.kind not in self.kinds:
+            return
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # SimObserver hooks
+    # ------------------------------------------------------------------
+
+    def on_crash(self, round_no: int, pid: int, mid_round: bool) -> None:
+        self._record(
+            TraceEvent(round_no, "crash", {"pid": pid, "mid_round": mid_round})
+        )
+
+    def on_restart(self, round_no: int, pid: int) -> None:
+        self._record(TraceEvent(round_no, "restart", {"pid": pid}))
+
+    def on_inject(self, round_no: int, pid: int, rumor: object) -> None:
+        self._record(TraceEvent(round_no, "inject", {"pid": pid, "rumor": rumor}))
+
+    def on_deliver(self, round_no: int, message: Message) -> None:
+        if self.message_filter is not None and not self.message_filter(message):
+            return
+        self._record(
+            TraceEvent(
+                round_no,
+                "deliver",
+                {
+                    "src": message.src,
+                    "dst": message.dst,
+                    "service": message.service,
+                    "size": message.size,
+                },
+            )
+        )
+
+    def on_round_end(self, round_no: int, engine: Engine) -> None:
+        if self.kinds is not None and "round_end" not in self.kinds:
+            return
+        self._record(
+            TraceEvent(
+                round_no,
+                "round_end",
+                {
+                    "alive": len(engine.alive_pids()),
+                    "sent": engine.stats.per_round(round_no),
+                },
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        return (event for event in self.events if event.kind == kind)
+
+    def in_round(self, round_no: int) -> Iterator[TraceEvent]:
+        return (event for event in self.events if event.round_no == round_no)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Render the trace as a printable block."""
+        events = self.events if limit is None else self.events[:limit]
+        lines = [str(event) for event in events]
+        if self.truncated or (limit is not None and limit < len(self.events)):
+            lines.append("... (trace truncated)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,231 @@
+"""Tests for crash adversaries: churn, bursts, scripted and adaptive."""
+
+import random
+
+import pytest
+
+from repro.adversary.adaptive import (
+    GroupKillerAdversary,
+    IsolatorAdversary,
+    ProxyKillerAdversary,
+    SourceKillerAdversary,
+)
+from repro.adversary.patterns import AlternatingPartitionFaults, ScriptedFaults
+from repro.adversary.random_crash import (
+    BurstCrashAdversary,
+    ChurnAdversary,
+    CrashOnceAdversary,
+)
+from repro.core.proxy import ProxyRequest
+from repro.sim.engine import Engine
+from repro.sim.events import CrashEvent, InjectEvent
+from repro.sim.messages import Message, ServiceTags
+from repro.sim.process import NodeBehavior
+
+from conftest import mk_rumor
+
+
+def make_view(n=8, round_no=0, crashed=frozenset()):
+    engine = Engine(n, lambda pid: NodeBehavior(pid, n))
+    for pid in crashed:
+        engine.shells[pid].crash()
+    for _ in range(round_no):
+        engine.clock.advance()
+    return engine.view
+
+
+def proxy_request_message(src=0, dst=3):
+    request = ProxyRequest(src, ())
+    return Message(
+        src=src,
+        dst=dst,
+        service=ServiceTags.PROXY,
+        payload=request,
+        channel="px/64/0",
+    )
+
+
+class TestChurn:
+    def test_probability_bounds_respected(self):
+        with pytest.raises(ValueError):
+            ChurnAdversary(random.Random(0), p_crash=2.0, p_restart=0.0)
+
+    def test_immune_never_crashed(self):
+        adversary = ChurnAdversary(
+            random.Random(0), p_crash=1.0, p_restart=0.0, immune={0, 1}, min_alive=0
+        )
+        decision = adversary.round_start(make_view())
+        assert not decision.crashes & {0, 1}
+
+    def test_min_alive_floor(self):
+        adversary = ChurnAdversary(
+            random.Random(0), p_crash=1.0, p_restart=0.0, min_alive=3
+        )
+        decision = adversary.round_start(make_view())
+        assert 8 - len(decision.crashes) >= 3
+
+    def test_restarts_crashed(self):
+        adversary = ChurnAdversary(random.Random(0), p_crash=0.0, p_restart=1.0)
+        decision = adversary.round_start(make_view(crashed={2, 4}))
+        assert decision.restarts == {2, 4}
+
+    def test_window(self):
+        adversary = ChurnAdversary(
+            random.Random(0), p_crash=1.0, p_restart=0.0, start_round=5, min_alive=0
+        )
+        assert adversary.round_start(make_view(round_no=0)).is_empty()
+        assert adversary.round_start(make_view(round_no=5)).crashes
+
+
+class TestBurstCrash:
+    def test_fraction_crashed(self):
+        adversary = BurstCrashAdversary(random.Random(0), bursts={2: 0.5})
+        decision = adversary.round_start(make_view(round_no=2))
+        assert len(decision.crashes) == 4
+
+    def test_restart_after(self):
+        adversary = BurstCrashAdversary(
+            random.Random(0), bursts={2: 0.5}, restart_after=3
+        )
+        crashed = adversary.round_start(make_view(round_no=2)).crashes
+        decision = adversary.round_start(make_view(round_no=5, crashed=crashed))
+        assert decision.restarts == crashed
+
+
+class TestCrashOnce:
+    def test_crash_and_restart_rounds(self):
+        adversary = CrashOnceAdversary([1, 2], crash_round=3, restart_round=6)
+        assert adversary.round_start(make_view(round_no=3)).crashes == {1, 2}
+        decision = adversary.round_start(make_view(round_no=6, crashed={1, 2}))
+        assert decision.restarts == {1, 2}
+
+    def test_restart_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            CrashOnceAdversary([1], crash_round=5, restart_round=5)
+
+
+class TestScriptedFaults:
+    def test_replays_script(self):
+        adversary = ScriptedFaults([(1, "crash", 3), (4, "restart", 3)])
+        assert adversary.round_start(make_view(round_no=1)).crashes == {3}
+        decision = adversary.round_start(make_view(round_no=4, crashed={3}))
+        assert decision.restarts == {3}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedFaults([(0, "explode", 1)])
+
+    def test_noop_on_wrong_state(self):
+        adversary = ScriptedFaults([(0, "restart", 3)])
+        assert adversary.round_start(make_view()).is_empty()
+
+
+class TestAlternatingPartition:
+    def test_one_block_down_at_a_time(self):
+        adversary = AlternatingPartitionFaults(8, blocks=4, period=8)
+        decision = adversary.round_start(make_view())
+        assert decision.crashes == {0, 1}
+
+    def test_rotation(self):
+        adversary = AlternatingPartitionFaults(8, blocks=4, period=8)
+        crashed = adversary.round_start(make_view(round_no=0)).crashes
+        decision = adversary.round_start(make_view(round_no=2, crashed=crashed))
+        assert decision.restarts == crashed
+        assert decision.crashes == {2, 3}
+
+    def test_immune_skipped(self):
+        adversary = AlternatingPartitionFaults(8, blocks=4, period=8, immune={0})
+        assert 0 not in adversary.round_start(make_view()).crashes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlternatingPartitionFaults(8, blocks=1, period=8)
+
+
+class TestProxyKiller:
+    def test_kills_request_recipients(self):
+        adversary = ProxyKillerAdversary(budget_per_round=4)
+        view = make_view()
+        outgoing = [proxy_request_message(dst=3), proxy_request_message(dst=5)]
+        decision = adversary.mid_round(view, outgoing)
+        assert decision.crashes == {3, 5}
+        assert decision.dropped_messages == {0, 1}
+
+    def test_ignores_non_proxy_traffic(self):
+        adversary = ProxyKillerAdversary()
+        message = Message(src=0, dst=3, service=ServiceTags.GROUP_GOSSIP, payload=())
+        decision = adversary.mid_round(make_view(), [message])
+        assert decision.is_empty()
+
+    def test_budget_per_round(self):
+        adversary = ProxyKillerAdversary(budget_per_round=1)
+        outgoing = [proxy_request_message(dst=3), proxy_request_message(dst=5)]
+        decision = adversary.mid_round(make_view(), outgoing)
+        assert len(decision.crashes) == 1
+
+    def test_total_budget_exhausts(self):
+        adversary = ProxyKillerAdversary(budget_per_round=4, total_budget=2)
+        view = make_view()
+        adversary.mid_round(view, [proxy_request_message(dst=1), proxy_request_message(dst=2)])
+        decision = adversary.mid_round(view, [proxy_request_message(dst=3)])
+        assert decision.is_empty()
+
+    def test_spares_protected(self):
+        adversary = ProxyKillerAdversary(spare={3})
+        decision = adversary.mid_round(make_view(), [proxy_request_message(dst=3)])
+        assert decision.is_empty()
+
+    def test_restart_after_schedules_revivals(self):
+        adversary = ProxyKillerAdversary(restart_after=2)
+        view = make_view()
+        adversary.mid_round(view, [proxy_request_message(dst=3)])
+        later = make_view(round_no=2, crashed={3})
+        decision = adversary.round_start(later)
+        assert decision.restarts == {3}
+
+
+class TestGroupKiller:
+    def test_kills_group(self):
+        adversary = GroupKillerAdversary({1, 3, 5}, crash_round=4)
+        assert adversary.round_start(make_view(round_no=4)).crashes == {1, 3, 5}
+
+    def test_restart_round(self):
+        adversary = GroupKillerAdversary({1}, crash_round=1, restart_round=5)
+        decision = adversary.round_start(make_view(round_no=5, crashed={1}))
+        assert decision.restarts == {1}
+
+
+class TestIsolator:
+    def test_crashes_victims_receivers(self):
+        adversary = IsolatorAdversary(victim=0, total_budget=10)
+        outgoing = [
+            Message(src=0, dst=2, service=ServiceTags.GROUP_GOSSIP, payload=()),
+            Message(src=1, dst=3, service=ServiceTags.GROUP_GOSSIP, payload=()),
+        ]
+        decision = adversary.mid_round(make_view(), outgoing)
+        assert decision.crashes == {2}
+        assert decision.dropped_messages == {0}
+
+    def test_budget(self):
+        adversary = IsolatorAdversary(victim=0, total_budget=1)
+        outgoing = [
+            Message(src=0, dst=2, service=ServiceTags.GROUP_GOSSIP, payload=()),
+            Message(src=0, dst=3, service=ServiceTags.GROUP_GOSSIP, payload=()),
+        ]
+        decision = adversary.mid_round(make_view(), outgoing)
+        assert len(decision.crashes) == 1
+
+
+class TestSourceKiller:
+    def test_kills_after_injection(self):
+        adversary = SourceKillerAdversary(random.Random(0), kill_probability=1.0)
+        view = make_view(round_no=5)
+        view.event_log.record_injection(InjectEvent(2, 4, mk_rumor(src=2)))
+        decision = adversary.round_start(view)
+        assert decision.crashes == {2}
+
+    def test_ignores_old_injections(self):
+        adversary = SourceKillerAdversary(random.Random(0), kill_probability=1.0)
+        view = make_view(round_no=9)
+        view.event_log.record_injection(InjectEvent(2, 4, mk_rumor(src=2)))
+        assert adversary.round_start(view).is_empty()

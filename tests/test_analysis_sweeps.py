@@ -1,0 +1,82 @@
+"""Tests for repro.analysis.sweeps: grid sweeps across seeds."""
+
+import pytest
+
+from repro.analysis.sweeps import CellResult, SweepResult, grid, sweep_congos
+from repro.core.config import CongosParams
+from repro.harness.scenarios import steady_scenario
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        cells = grid(n=[8, 16], deadline=[64, 128])
+        assert len(cells) == 4
+        assert {"n": 8, "deadline": 64} in cells
+
+    def test_single_axis(self):
+        assert grid(n=[8]) == [{"n": 8}]
+
+    def test_deterministic_order(self):
+        assert grid(b=[1, 2], a=[3]) == [{"a": 3, "b": 1}, {"a": 3, "b": 2}]
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return sweep_congos(
+        steady_scenario,
+        grid(n=[8], deadline=[64]),
+        seeds=(0, 1),
+        rounds=260,
+        params=CongosParams.lean(),
+    )
+
+
+class TestSweepCongos:
+    def test_cell_count(self, small_sweep):
+        assert len(small_sweep.cells) == 1
+        assert small_sweep.cells[0].seeds == 2
+
+    def test_invariant_aggregates(self, small_sweep):
+        assert small_sweep.all_satisfied()
+        assert small_sweep.all_clean()
+
+    def test_peak_summary(self, small_sweep):
+        summary = small_sweep.cells[0].peak_summary()
+        assert summary.count == 2
+        assert summary.maximum >= summary.mean >= summary.minimum > 0
+
+    def test_fallback_rate_small_fault_free(self, small_sweep):
+        # lean() params shave the substrate fanout to the bone, so the
+        # w.h.p. pipeline may occasionally miss and the probability-1
+        # fallback serves the stragglers; it must stay rare.
+        assert small_sweep.cells[0].fallback_rate() < 0.05
+
+    def test_latency_summary_positive(self, small_sweep):
+        assert small_sweep.cells[0].latency_summary().mean > 0
+
+    def test_table(self, small_sweep):
+        headers = small_sweep.table_headers()
+        rows = small_sweep.table_rows()
+        assert len(rows) == 1
+        assert len(rows[0]) == len(headers)
+        assert "qod" in headers
+
+    def test_series_projection(self, small_sweep):
+        series = small_sweep.series("n", lambda c: c.peak_summary().mean)
+        assert series[0][0] == 8
+        assert series[0][1] > 0
+
+
+class TestMultiCell:
+    def test_two_cells(self):
+        result = sweep_congos(
+            steady_scenario,
+            grid(n=[8, 12]),
+            seeds=(0,),
+            rounds=260,
+            deadline=64,
+            params=CongosParams.lean(),
+        )
+        assert len(result.cells) == 2
+        peaks = [cell.peak_summary().mean for cell in result.cells]
+        assert peaks[1] > peaks[0]  # more processes, more traffic

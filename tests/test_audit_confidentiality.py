@@ -1,0 +1,225 @@
+"""Tests for repro.audit.confidentiality: the knowledge auditor."""
+
+import random
+
+import pytest
+
+from repro.adversary.collusion import GreedyCoalition
+from repro.audit.confidentiality import ConfidentialityAuditor
+from repro.core.splitting import split_rumor
+from repro.gossip.rumor import GossipItem
+from repro.sim.messages import ServiceTags
+
+from conftest import mk_message, mk_rumor
+
+
+def make_auditor(num_partitions=3, num_groups=2):
+    return ConfidentialityAuditor(num_partitions, num_groups)
+
+
+def fragments_for(rumor, partition=0, groups=2, seed=0):
+    return split_rumor(rumor, partition, groups, random.Random(seed), 64, 100)
+
+
+class TestPlaintextTracking:
+    def test_source_knows_plaintext_without_violation(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        assert auditor.is_clean()
+        assert 0 in auditor.plaintext_holders[rumor.rid]
+
+    def test_delivery_to_destination_clean(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        auditor.on_deliver(1, mk_message(src=0, dst=1, payload=rumor))
+        assert auditor.is_clean()
+
+    def test_delivery_to_outsider_flagged(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        auditor.on_deliver(1, mk_message(src=0, dst=5, payload=rumor))
+        assert not auditor.is_clean()
+        assert auditor.violation_counts()["plaintext"] == 1
+
+    def test_duplicate_delivery_single_violation(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        auditor.on_deliver(1, mk_message(src=0, dst=5, payload=rumor))
+        auditor.on_deliver(2, mk_message(src=0, dst=5, payload=rumor))
+        assert auditor.violation_counts()["plaintext"] == 1
+
+
+class TestFragmentTracking:
+    def test_single_fragment_clean(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        frag = fragments_for(rumor)[0]
+        auditor.on_deliver(1, mk_message(src=0, dst=5, payload=frag))
+        assert auditor.is_clean()
+
+    def test_outsider_completing_partition_flagged(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        for frag in fragments_for(rumor):
+            auditor.on_deliver(1, mk_message(src=0, dst=5, payload=frag))
+        counts = auditor.violation_counts()
+        assert counts["reconstruction"] == 1
+        assert counts["multiplicity"] >= 1
+        assert not auditor.is_clean()
+
+    def test_destination_completing_partition_clean(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        for frag in fragments_for(rumor):
+            auditor.on_deliver(1, mk_message(src=0, dst=1, payload=frag))
+        assert auditor.is_clean()
+
+    def test_fragments_across_partitions_clean(self):
+        """One fragment from each of two partitions reveals nothing."""
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        frag_a = fragments_for(rumor, partition=0)[0]
+        frag_b = fragments_for(rumor, partition=1, seed=1)[1]
+        auditor.on_deliver(1, mk_message(src=0, dst=5, payload=frag_a))
+        auditor.on_deliver(1, mk_message(src=0, dst=5, payload=frag_b))
+        assert auditor.is_clean()
+
+    def test_gossip_batch_payloads_walked(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        frag = fragments_for(rumor)[0]
+        item = GossipItem(
+            uid=frag.uid, origin=0, payload=frag, expiry=10, dest=frozenset({5})
+        )
+        auditor.on_deliver(
+            1, mk_message(src=0, dst=5, payload=(item,), service=ServiceTags.GROUP_GOSSIP)
+        )
+        assert 5 in auditor.fragment_holders[(rumor.rid, 0, 0)]
+
+    def test_repeated_batch_deliveries_cached(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        frag = fragments_for(rumor)[0]
+        item = GossipItem(
+            uid=frag.uid, origin=0, payload=frag, expiry=10, dest=frozenset({5})
+        )
+        message = mk_message(src=0, dst=5, payload=(item,))
+        auditor.on_deliver(1, message)
+        auditor.on_deliver(2, message)
+        assert len(auditor.knowledge[5]) == 1
+
+
+class TestBorderMessages:
+    def test_border_counted(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        frag = fragments_for(rumor)[0]
+        auditor.on_deliver(1, mk_message(src=0, dst=5, payload=frag))
+        assert auditor.border_messages[rumor.rid] == 1
+
+    def test_inside_delivery_not_border(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        frag = fragments_for(rumor)[0]
+        auditor.on_deliver(1, mk_message(src=0, dst=1, payload=frag))
+        assert auditor.total_border_messages == 0
+
+    def test_outsider_to_outsider_not_border(self):
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        frag = fragments_for(rumor)[0]
+        auditor.on_deliver(1, mk_message(src=6, dst=5, payload=frag))
+        assert auditor.total_border_messages == 0
+
+    def test_repeat_border_copies_counted(self):
+        """Theorem 12 counts message copies, so repeats accumulate."""
+        auditor = make_auditor()
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        frag = fragments_for(rumor)[0]
+        item = GossipItem(
+            uid=frag.uid, origin=0, payload=frag, expiry=10, dest=frozenset({5})
+        )
+        message = mk_message(src=0, dst=5, payload=(item,))
+        auditor.on_deliver(1, message)
+        auditor.on_deliver(2, message)
+        assert auditor.border_messages[rumor.rid] == 2
+
+
+class TestCoalitions:
+    def _leak_fragments(self, auditor, rumor, holders_by_group):
+        for group, holder in holders_by_group.items():
+            frag = fragments_for(rumor)[group]
+            auditor.on_deliver(1, mk_message(src=0, dst=holder, payload=frag))
+
+    def test_min_coalition_size(self):
+        auditor = make_auditor(num_partitions=1)
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        self._leak_fragments(auditor, rumor, {0: 5, 1: 6})
+        assert auditor.min_coalition_size(rumor.rid, 8) == 2
+
+    def test_min_coalition_none_when_fragment_never_leaked(self):
+        auditor = make_auditor(num_partitions=1)
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        self._leak_fragments(auditor, rumor, {0: 5})
+        assert auditor.min_coalition_size(rumor.rid, 8) is None
+
+    def test_coalition_reconstructs(self):
+        auditor = make_auditor(num_partitions=1)
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        self._leak_fragments(auditor, rumor, {0: 5, 1: 6})
+        yes, partition = auditor.coalition_reconstructs(rumor.rid, {5, 6}, 8)
+        assert yes and partition == 0
+        no, _ = auditor.coalition_reconstructs(rumor.rid, {5}, 8)
+        assert not no
+
+    def test_check_coalitions_with_greedy(self):
+        auditor = make_auditor(num_partitions=1)
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        self._leak_fragments(auditor, rumor, {0: 5, 1: 6})
+        findings = auditor.check_coalitions(GreedyCoalition(), tau=2, n=8)
+        assert len(findings) == 1
+        assert findings[0].reconstructs
+
+    def test_greedy_blocked_at_tau_one(self):
+        auditor = make_auditor(num_partitions=1)
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        self._leak_fragments(auditor, rumor, {0: 5, 1: 6})
+        findings = auditor.check_coalitions(GreedyCoalition(), tau=1, n=8)
+        assert not findings[0].reconstructs
+
+    def test_allowed_members_excluded_from_coalitions(self):
+        auditor = make_auditor(num_partitions=1)
+        rumor = mk_rumor(src=0, dest=(1,))
+        auditor.on_inject(0, 0, rumor)
+        # Destination 1 legitimately holds fragments; outsider 5 has one.
+        self._leak_fragments(auditor, rumor, {0: 5, 1: 1})
+        # Coalition {5, 1} is invalid (1 is a destination): pooling only
+        # counts outsiders.
+        yes, _ = auditor.coalition_reconstructs(rumor.rid, {5, 1}, 8)
+        assert not yes
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        auditor = make_auditor()
+        summary = auditor.summary()
+        assert set(summary) == {"rumors", "violations", "border_messages"}

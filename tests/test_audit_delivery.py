@@ -1,0 +1,166 @@
+"""Tests for repro.audit.delivery: admissibility and QoD verdicts."""
+
+import pytest
+
+from repro.adversary.base import Adversary
+from repro.audit.delivery import DeliveryAuditor
+from repro.sim.engine import Engine
+from repro.sim.events import RoundDecision
+from repro.sim.process import NodeBehavior
+
+from conftest import mk_rumor
+
+
+class InertNode(NodeBehavior):
+    pass
+
+
+class ScriptedCRRI(Adversary):
+    def __init__(self, script):
+        self.script = script  # round -> RoundDecision
+
+    def round_start(self, view):
+        return self.script.get(view.round, RoundDecision())
+
+
+def run(script, n=4, rounds=40):
+    auditor = DeliveryAuditor()
+    engine = Engine(
+        n,
+        lambda pid: InertNode(pid, n),
+        ScriptedCRRI(script),
+        observers=[auditor],
+    )
+    engine.run(rounds)
+    return engine, auditor
+
+
+class TestAdmissibility:
+    def test_all_alive_all_admissible(self):
+        rumor = mk_rumor(src=0, dest=(1, 2), deadline=10, injected_at=2)
+        engine, auditor = run({2: RoundDecision(injections=[(0, rumor)])})
+        assert auditor.admissible_destinations(rumor.rid, engine.event_log) == {1, 2}
+
+    def test_crashed_source_kills_admissibility(self):
+        rumor = mk_rumor(src=0, dest=(1, 2), deadline=10, injected_at=2)
+        engine, auditor = run(
+            {
+                2: RoundDecision(injections=[(0, rumor)]),
+                5: RoundDecision(crashes={0}),
+            }
+        )
+        assert auditor.admissible_destinations(rumor.rid, engine.event_log) == set()
+
+    def test_crashed_destination_excluded(self):
+        rumor = mk_rumor(src=0, dest=(1, 2), deadline=10, injected_at=2)
+        engine, auditor = run(
+            {
+                2: RoundDecision(injections=[(0, rumor)]),
+                7: RoundDecision(crashes={1}),
+            }
+        )
+        assert auditor.admissible_destinations(rumor.rid, engine.event_log) == {2}
+
+    def test_crash_after_deadline_ignored(self):
+        rumor = mk_rumor(src=0, dest=(1,), deadline=10, injected_at=2)
+        engine, auditor = run(
+            {
+                2: RoundDecision(injections=[(0, rumor)]),
+                20: RoundDecision(crashes={1}),
+            }
+        )
+        assert auditor.admissible_destinations(rumor.rid, engine.event_log) == {1}
+
+
+class TestReport:
+    def test_missing_admissible_delivery_reported(self):
+        rumor = mk_rumor(src=0, dest=(1,), deadline=10, injected_at=2)
+        engine, auditor = run({2: RoundDecision(injections=[(0, rumor)])})
+        report = auditor.report(engine)
+        assert not report.satisfied
+        assert len(report.missed) == 1
+
+    def test_on_time_delivery_satisfies(self):
+        rumor = mk_rumor(src=0, dest=(1,), deadline=10, injected_at=2)
+        engine, auditor = run({2: RoundDecision(injections=[(0, rumor)])})
+        auditor.record_delivery(1, 8, rumor.rid, rumor.data, "test")
+        report = auditor.report(engine)
+        assert report.satisfied
+        assert report.latencies() == [6]
+
+    def test_late_delivery_misses(self):
+        rumor = mk_rumor(src=0, dest=(1,), deadline=10, injected_at=2)
+        engine, auditor = run({2: RoundDecision(injections=[(0, rumor)])})
+        auditor.record_delivery(1, 13, rumor.rid, rumor.data, "test")
+        report = auditor.report(engine)
+        assert not report.satisfied
+
+    def test_corrupted_data_misses(self):
+        rumor = mk_rumor(src=0, dest=(1,), deadline=10, injected_at=2)
+        engine, auditor = run({2: RoundDecision(injections=[(0, rumor)])})
+        auditor.record_delivery(1, 8, rumor.rid, b"garbage", "test")
+        report = auditor.report(engine)
+        assert not report.satisfied
+
+    def test_inadmissible_miss_is_fine(self):
+        rumor = mk_rumor(src=0, dest=(1,), deadline=10, injected_at=2)
+        engine, auditor = run(
+            {
+                2: RoundDecision(injections=[(0, rumor)]),
+                5: RoundDecision(crashes={1}),
+            }
+        )
+        report = auditor.report(engine)
+        assert report.satisfied
+        assert report.admissible_pairs == 0
+
+    def test_bonus_delivery_counted(self):
+        rumor = mk_rumor(src=0, dest=(1,), deadline=10, injected_at=2)
+        engine, auditor = run(
+            {
+                2: RoundDecision(injections=[(0, rumor)]),
+                5: RoundDecision(crashes={1}),
+            }
+        )
+        auditor.record_delivery(1, 4, rumor.rid, rumor.data, "test")
+        report = auditor.report(engine)
+        assert report.bonus_deliveries() == 1
+
+    def test_in_flight_rumors_not_judged(self):
+        rumor = mk_rumor(src=0, dest=(1,), deadline=1000, injected_at=2)
+        engine, auditor = run({2: RoundDecision(injections=[(0, rumor)])})
+        report = auditor.report(engine)
+        assert report.outcomes == []
+
+    def test_duplicate_record_keeps_first(self):
+        auditor = DeliveryAuditor()
+        rumor = mk_rumor()
+        auditor.record_delivery(1, 5, rumor.rid, b"first", "a")
+        auditor.record_delivery(1, 9, rumor.rid, b"second", "b")
+        assert auditor.deliveries[(rumor.rid, 1)] == (5, b"first", "a")
+
+    def test_path_counts(self):
+        rumor = mk_rumor(src=0, dest=(1, 2), deadline=10, injected_at=2)
+        engine, auditor = run({2: RoundDecision(injections=[(0, rumor)])})
+        auditor.record_delivery(1, 4, rumor.rid, rumor.data, "reassembled")
+        auditor.record_delivery(2, 12, rumor.rid, rumor.data, "shoot")
+        report = auditor.report(engine)
+        assert report.path_counts() == {"reassembled": 1, "shoot": 1}
+
+    def test_summary_shape(self):
+        rumor = mk_rumor(src=0, dest=(1,), deadline=5, injected_at=1)
+        engine, auditor = run({1: RoundDecision(injections=[(0, rumor)])})
+        summary = auditor.report(engine).summary()
+        assert {"pairs", "admissible", "missed", "satisfied"} <= set(summary)
+
+    def test_injected_rid_order(self):
+        first = mk_rumor(src=0, seq=0, injected_at=1)
+        second = mk_rumor(src=1, seq=0, injected_at=2)
+        engine, auditor = run(
+            {
+                1: RoundDecision(injections=[(0, first)]),
+                2: RoundDecision(injections=[(1, second)]),
+            }
+        )
+        assert auditor.injected_rid(0) == first.rid
+        assert auditor.injected_rid(1) == second.rid

@@ -1,0 +1,79 @@
+"""Tests for the fail-fast invariant monitor."""
+
+import pytest
+
+from repro.audit.confidentiality import ConfidentialityAuditor
+from repro.audit.failfast import FailFastMonitor, InvariantViolation
+from repro.baselines.plain_gossip import plain_gossip_factory
+from repro.harness.runner import run_congos_scenario, run_with_factory
+from repro.harness.scenarios import steady_scenario
+from repro.sim.engine import Engine
+from repro.sim.process import NodeBehavior
+
+
+class TestFailFast:
+    def test_clean_run_passes(self):
+        # The runner wires its own auditor; attach a second one with the
+        # monitor to prove it stays quiet on a clean CONGOS run.
+        auditor = ConfidentialityAuditor(3, 2)
+        monitor = FailFastMonitor(auditor)
+        result = run_congos_scenario(
+            steady_scenario(n=8, rounds=240, seed=0, deadline=64),
+            observers=[auditor, monitor],
+        )
+        assert result.qod.satisfied
+
+    def test_plain_gossip_trips_the_monitor(self):
+        """Plain gossip leaks by design: the monitor must abort the run
+        at the first leaking round."""
+        from repro.audit.delivery import DeliveryAuditor
+
+        auditor = ConfidentialityAuditor(1, 2)
+        monitor = FailFastMonitor(auditor)
+        scenario = steady_scenario(n=8, rounds=240, seed=0, deadline=64)
+        delivery = DeliveryAuditor()
+        factory = plain_gossip_factory(
+            8, seed=0, deliver_callback=delivery.record_delivery
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_with_factory(
+                scenario,
+                factory,
+                delivery=delivery,
+                observers=[auditor, monitor],
+            )
+        assert excinfo.value.violations
+        assert excinfo.value.round_no >= 0
+
+    def test_violation_message_mentions_round(self):
+        from repro.audit.confidentiality import Violation
+        from repro.gossip.rumor import RumorId
+
+        violation = Violation("plaintext", RumorId(0, 0), 5, 12)
+        error = InvariantViolation(12, [violation])
+        assert "round 12" in str(error)
+
+    def test_non_strict_ignores_multiplicity(self):
+        from repro.audit.confidentiality import Violation
+        from repro.gossip.rumor import RumorId
+
+        auditor = ConfidentialityAuditor(1, 2)
+        monitor = FailFastMonitor(auditor, strict=False)
+        auditor.violations.append(
+            Violation("multiplicity", RumorId(0, 0), 5, 3)
+        )
+        engine = Engine(2, lambda pid: NodeBehavior(pid, 2))
+        monitor.on_round_end(3, engine)  # must not raise
+
+    def test_strict_raises_on_multiplicity(self):
+        from repro.audit.confidentiality import Violation
+        from repro.gossip.rumor import RumorId
+
+        auditor = ConfidentialityAuditor(1, 2)
+        monitor = FailFastMonitor(auditor, strict=True)
+        auditor.violations.append(
+            Violation("multiplicity", RumorId(0, 0), 5, 3)
+        )
+        engine = Engine(2, lambda pid: NodeBehavior(pid, 2))
+        with pytest.raises(InvariantViolation):
+            monitor.on_round_end(3, engine)

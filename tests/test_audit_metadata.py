@@ -1,0 +1,100 @@
+"""Tests for the metadata-exposure auditor (Section 7 quantified)."""
+
+import pytest
+
+from repro.adversary.injection import ScriptedWorkload
+from repro.audit.metadata import MetadataAuditor
+from repro.core.extensions import DestinationHidingWorkload
+from repro.harness.runner import Scenario, run_congos_scenario
+from repro.sim.rng import derive_rng
+
+N = 8
+DEADLINE = 64
+
+
+def run_with_metadata(workload_factory, rounds=300, seed=0):
+    auditor = MetadataAuditor()
+    scenario = Scenario(
+        name="meta",
+        n=N,
+        rounds=rounds,
+        seed=seed,
+        workload_factory=workload_factory,
+    )
+    result = run_congos_scenario(scenario, observers=[auditor])
+    return result, auditor
+
+
+def plain_workload(rng):
+    return ScriptedWorkload([(64, 0, DEADLINE, {2, 5})], rng)
+
+
+def hidden_workload(rng):
+    inner = ScriptedWorkload([(64, 0, DEADLINE, {2, 5})], derive_rng(0, "in"))
+    return DestinationHidingWorkload(inner, N, rng)
+
+
+class TestExposureTracking:
+    def test_outsiders_learn_existence(self):
+        """The paper's admission: the rumor's existence leaks."""
+        result, auditor = run_with_metadata(plain_workload)
+        rid = next(iter(auditor.rumors))
+        assert auditor.observers_of(rid), "fragments must have crossed outsiders"
+
+    def test_outsiders_learn_destination_set(self):
+        """Fragments carry D as routing metadata: outsiders see it."""
+        result, auditor = run_with_metadata(plain_workload)
+        rid = next(iter(auditor.rumors))
+        disclosed = auditor.dest_disclosed_to(rid)
+        assert disclosed
+        some_pid = next(iter(disclosed))
+        assert auditor.knows_dest[some_pid][rid] == frozenset({2, 5})
+
+    def test_exposure_summary_shape(self):
+        result, auditor = run_with_metadata(plain_workload)
+        exposure = auditor.exposure(N)
+        assert exposure.rumors == 1
+        assert exposure.observer_rumor_pairs > 0
+        assert 0 <= exposure.disclosure_rate() <= 1
+        assert exposure.max_dest_set_size_seen == 2
+
+
+class TestDestinationHidingReducesExposure:
+    def test_observed_dest_sets_are_singletons(self):
+        """With hiding on, no observer ever sees a multi-member D."""
+        result, auditor = run_with_metadata(hidden_workload)
+        exposure = auditor.exposure(N)
+        assert exposure.max_dest_set_size_seen <= 1
+
+    def test_true_destination_set_never_visible(self):
+        result, auditor = run_with_metadata(hidden_workload)
+        for per_rid in auditor.knows_dest.values():
+            for dest in per_rid.values():
+                assert dest != frozenset({2, 5})
+
+    def test_plain_run_does_disclose(self):
+        """Contrast: without hiding, the same traffic discloses D."""
+        _, plain_auditor = run_with_metadata(plain_workload)
+        plain_exposure = plain_auditor.exposure(N)
+        assert plain_exposure.max_dest_set_size_seen == 2
+
+
+class TestApparentCounts:
+    def test_apparent_rumor_count(self):
+        result, auditor = run_with_metadata(plain_workload)
+        counts = [auditor.apparent_rumor_count(pid) for pid in range(N)]
+        assert max(counts) >= 1
+
+    def test_hiding_inflates_apparent_count(self):
+        """n-1 sub-rumors look like n-1 independent rumors to observers —
+        existence of the *logical* rumor is still visible, its multiplicity
+        is not."""
+        _, plain_auditor = run_with_metadata(plain_workload)
+        _, hidden_auditor = run_with_metadata(hidden_workload)
+        plain_max = max(
+            plain_auditor.apparent_rumor_count(pid) for pid in range(N)
+        )
+        hidden_max = max(
+            hidden_auditor.apparent_rumor_count(pid) for pid in range(N)
+        )
+        assert hidden_max > plain_max

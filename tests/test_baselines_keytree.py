@@ -1,0 +1,148 @@
+"""Tests for the LKH key-tree cost model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.key_tree import (
+    KeyTreeCostModel,
+    rekey_cost,
+    subtree_cover,
+    tree_height,
+)
+
+
+class TestTreeHeight:
+    def test_powers_of_two(self):
+        assert tree_height(2) == 1
+        assert tree_height(8) == 3
+        assert tree_height(64) == 6
+
+    def test_non_powers_round_up(self):
+        assert tree_height(9) == 4
+
+    def test_single_leaf(self):
+        assert tree_height(1) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            tree_height(0)
+
+
+class TestSubtreeCover:
+    def test_empty_set(self):
+        assert subtree_cover(8, []) == []
+
+    def test_full_set_is_root(self):
+        assert subtree_cover(8, range(8)) == [(3, 0)]
+
+    def test_aligned_half(self):
+        assert subtree_cover(8, [0, 1, 2, 3]) == [(2, 0)]
+
+    def test_singleton(self):
+        assert subtree_cover(8, [5]) == [(0, 5)]
+
+    def test_alternating_worst_case(self):
+        cover = subtree_cover(16, range(0, 16, 2))
+        assert len(cover) == 8
+        assert all(level == 0 for level, _ in cover)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            subtree_cover(8, [9])
+
+    def test_non_power_of_two_population(self):
+        cover = subtree_cover(10, [8, 9])
+        assert cover == [(3, 1)]
+
+    def test_cover_size_bound(self):
+        """Complete-subtree method: cover <= 2 |D| log(n/|D|) + O(|D|)."""
+        n = 64
+        dest = [1, 7, 20, 33, 40, 59]
+        cover = subtree_cover(n, dest)
+        bound = 2 * len(dest) * max(1, math.log2(n / len(dest))) + 2 * len(dest)
+        assert len(cover) <= bound
+
+
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    data=st.data(),
+)
+def test_cover_partitions_destination_exactly(n, data):
+    """Property: the cover's leaves are exactly the destination set."""
+    dest = data.draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+    )
+    cover = subtree_cover(n, dest)
+    covered = set()
+    for level, index in cover:
+        span = 1 << level
+        leaves = set(range(index * span, min((index + 1) * span, n)))
+        assert not leaves & covered, "cover entries must be disjoint"
+        covered |= leaves
+    assert covered == set(dest)
+
+
+class TestRekeyCost:
+    def test_formula(self):
+        assert rekey_cost(64, 1) == 2 * 6
+        assert rekey_cost(64, 5) == 5 * 2 * 6
+
+
+class TestCostModel:
+    def test_subset_cover_mode(self):
+        model = KeyTreeCostModel(16, mode="subset-cover")
+        cost = model.on_rumor(0, [1, 2, 3])
+        assert cost == len(subtree_cover(16, [1, 2, 3]))
+        assert model.report.rumors == 1
+
+    def test_rekey_mode_first_rumor_pays_full_group(self):
+        model = KeyTreeCostModel(16, mode="rekey")
+        cost = model.on_rumor(0, [1, 2, 3])
+        assert cost == rekey_cost(16, 3) + 1
+
+    def test_rekey_mode_stable_group_cheap(self):
+        model = KeyTreeCostModel(16, mode="rekey")
+        model.on_rumor(0, [1, 2, 3])
+        cost = model.on_rumor(0, [1, 2, 3])
+        assert cost == 1  # no membership change: just the payload
+
+    def test_rekey_mode_charges_symmetric_difference(self):
+        model = KeyTreeCostModel(16, mode="rekey")
+        model.on_rumor(0, [1, 2, 3])
+        cost = model.on_rumor(0, [2, 3, 4])
+        assert cost == rekey_cost(16, 2) + 1
+
+    def test_rekey_mode_dynamic_groups_expensive(self):
+        """The paper's claim: per-rumor random groups make re-keying
+        dominate; a stable group amortises to ~1 message per rumor."""
+        import random
+
+        rng = random.Random(0)
+        dynamic = KeyTreeCostModel(64, mode="rekey")
+        stable = KeyTreeCostModel(64, mode="rekey")
+        group = rng.sample(range(1, 64), 8)
+        for _ in range(20):
+            dynamic.on_rumor(0, rng.sample(range(1, 64), 8))
+            stable.on_rumor(0, group)
+        assert dynamic.report.total_messages > 5 * stable.report.total_messages
+
+    def test_crash_rekeying(self):
+        model = KeyTreeCostModel(16, mode="rekey")
+        model.on_rumor(0, [1, 2])
+        model.on_rumor(3, [1, 5])
+        cost = model.on_crash(1)
+        assert cost == 2 * rekey_cost(16, 1)
+        assert model.report.churn_rekey_messages == cost
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            KeyTreeCostModel(8, mode="quantum")
+
+    def test_summary(self):
+        model = KeyTreeCostModel(8)
+        model.on_rumor(0, [1])
+        summary = model.report.summary()
+        assert summary["rumors"] == 1
+        assert summary["total"] >= 1

@@ -1,0 +1,195 @@
+"""Unit tests for the ConfidentialGossip coordinator (Figure 8 logic)."""
+
+import random
+
+import pytest
+
+from repro.core.confidential_gossip import ConfidentialGossipCoordinator
+from repro.core.config import CongosParams
+from repro.core.group_distribution import DistributionShare
+from repro.core.partitions import BitPartitions
+from repro.core.splitting import split_rumor
+from repro.sim.messages import ServiceTags
+
+from conftest import mk_message, mk_rumor
+
+
+def make_coordinator(pid=0, n=8, deliveries=None):
+    params = CongosParams()
+    partitions = BitPartitions(n)
+    callback = None
+    if deliveries is not None:
+        callback = lambda p, r, rid, data, path: deliveries.append(
+            (p, r, rid, data, path)
+        )
+    return ConfidentialGossipCoordinator(pid, n, params, partitions, callback)
+
+
+def share(dline, partition, group, entries, sender=1):
+    return DistributionShare(
+        sender=sender,
+        dline=dline,
+        partition=partition,
+        group=group,
+        hits=frozenset(entries),
+    )
+
+
+class TestDeliverLocal:
+    def test_records_and_notifies(self):
+        deliveries = []
+        coordinator = make_coordinator(deliveries=deliveries)
+        rumor = mk_rumor()
+        coordinator.deliver_local(5, rumor.rid, rumor.data, "local")
+        assert coordinator.delivered() == {rumor.rid: rumor.data}
+        assert deliveries == [(0, 5, rumor.rid, rumor.data, "local")]
+
+    def test_idempotent(self):
+        deliveries = []
+        coordinator = make_coordinator(deliveries=deliveries)
+        rumor = mk_rumor()
+        coordinator.deliver_local(5, rumor.rid, rumor.data, "local")
+        coordinator.deliver_local(6, rumor.rid, rumor.data, "shoot")
+        assert len(deliveries) == 1
+        assert coordinator.deliveries[rumor.rid].path == "local"
+
+
+class TestReassembly:
+    def test_complete_partition_reassembles(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor(data=b"classified")
+        fragments = split_rumor(rumor, 0, 2, random.Random(0), 64, 100)
+        coordinator.on_fragment(10, fragments[0])
+        assert rumor.rid not in coordinator.delivered()
+        coordinator.on_fragment(11, fragments[1])
+        assert coordinator.delivered()[rumor.rid] == b"classified"
+        assert coordinator.reassemblies == 1
+
+    def test_duplicate_fragment_ignored(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor()
+        fragments = split_rumor(rumor, 0, 2, random.Random(0), 64, 100)
+        coordinator.on_fragment(10, fragments[0])
+        coordinator.on_fragment(11, fragments[0])
+        assert rumor.rid not in coordinator.delivered()
+
+    def test_fragments_across_partitions_do_not_mix(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor()
+        rng = random.Random(0)
+        p0 = split_rumor(rumor, 0, 2, rng, 64, 100)
+        p1 = split_rumor(rumor, 1, 2, rng, 64, 100)
+        coordinator.on_fragment(10, p0[0])
+        coordinator.on_fragment(11, p1[1])
+        assert rumor.rid not in coordinator.delivered()
+
+
+class TestConfirmation:
+    def test_confirms_when_all_groups_cover(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor(dest=(1, 2))
+        coordinator.register(0, rumor, dline=64)
+        entries = {(1, rumor.rid), (2, rumor.rid)}
+        coordinator.on_distribution_share(10, share(64, 2, 0, entries))
+        coordinator.on_distribution_share(10, share(64, 2, 1, entries))
+        coordinator.end_round(10)
+        assert coordinator.is_confirmed(rumor.rid)
+        assert coordinator.confirmations == 1
+
+    def test_partial_coverage_does_not_confirm(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor(dest=(1, 2))
+        coordinator.register(0, rumor, dline=64)
+        coordinator.on_distribution_share(
+            10, share(64, 0, 0, {(1, rumor.rid), (2, rumor.rid)})
+        )
+        coordinator.on_distribution_share(10, share(64, 0, 1, {(1, rumor.rid)}))
+        coordinator.end_round(10)
+        assert not coordinator.is_confirmed(rumor.rid)
+
+    def test_coverage_must_be_same_partition(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor(dest=(1,))
+        coordinator.register(0, rumor, dline=64)
+        coordinator.on_distribution_share(10, share(64, 0, 0, {(1, rumor.rid)}))
+        coordinator.on_distribution_share(10, share(64, 1, 1, {(1, rumor.rid)}))
+        coordinator.end_round(10)
+        assert not coordinator.is_confirmed(rumor.rid)
+
+    def test_wrong_dline_does_not_confirm(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor(dest=(1,))
+        coordinator.register(0, rumor, dline=64)
+        coordinator.on_distribution_share(10, share(128, 0, 0, {(1, rumor.rid)}))
+        coordinator.on_distribution_share(10, share(128, 0, 1, {(1, rumor.rid)}))
+        coordinator.end_round(10)
+        assert not coordinator.is_confirmed(rumor.rid)
+
+    def test_confirmed_rumor_not_shot(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor(dest=(1,), deadline=64)
+        coordinator.register(0, rumor, dline=64)
+        entries = {(1, rumor.rid)}
+        coordinator.on_distribution_share(5, share(64, 0, 0, entries))
+        coordinator.on_distribution_share(5, share(64, 0, 1, entries))
+        messages = coordinator.send_phase(64)  # the deadline round
+        assert messages == []
+        assert coordinator.fallbacks == 0
+
+
+class TestFallback:
+    def test_shoot_at_deadline(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor(dest=(1, 3), deadline=64)
+        coordinator.register(0, rumor, dline=64)
+        assert coordinator.send_phase(63) == []
+        messages = coordinator.send_phase(64)
+        assert sorted(m.dst for m in messages) == [1, 3]
+        assert all(m.service == ServiceTags.CONFIDENTIAL for m in messages)
+        assert coordinator.fallbacks == 1
+        # Cache entry consumed; no double shooting.
+        assert coordinator.send_phase(64) == []
+
+    def test_shoot_skips_self(self):
+        coordinator = make_coordinator(pid=0)
+        rumor = mk_rumor(dest=(0, 1), deadline=64)
+        coordinator.register(0, rumor, dline=64)
+        messages = coordinator.send_phase(64)
+        assert [m.dst for m in messages] == [1]
+
+    def test_direct_send_immediate(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor(dest=(2,), deadline=8)
+        coordinator.direct_send(0, rumor)
+        messages = coordinator.send_phase(0)
+        assert [m.dst for m in messages] == [2]
+        assert coordinator.direct_sends == 1
+
+    def test_shoot_received_delivers(self):
+        deliveries = []
+        coordinator = make_coordinator(pid=1, deliveries=deliveries)
+        rumor = mk_rumor(dest=(1,))
+        coordinator.on_message(9, mk_message(payload=rumor, channel="shoot"))
+        assert deliveries[0][2] == rumor.rid
+        assert deliveries[0][4] == "shoot"
+
+    def test_unexpected_payload_rejected(self):
+        coordinator = make_coordinator()
+        with pytest.raises(TypeError):
+            coordinator.on_message(0, mk_message(payload={"weird": 1}))
+
+
+class TestPendingQueries:
+    def test_pending_rumors_listed(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor(dest=(1,))
+        coordinator.register(0, rumor, dline=64)
+        assert coordinator.pending_rumors() == [rumor.rid]
+
+    def test_empty_destination_confirms_trivially(self):
+        coordinator = make_coordinator()
+        rumor = mk_rumor(dest=())
+        coordinator.register(0, rumor, dline=64)
+        coordinator.on_distribution_share(1, share(64, 0, 0, set()))
+        coordinator.end_round(1)
+        assert coordinator.is_confirmed(rumor.rid)

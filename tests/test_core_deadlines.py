@@ -1,0 +1,121 @@
+"""Tests for repro.core.deadlines: trimming and instance classes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import CongosParams
+from repro.core.deadlines import (
+    PIPELINE_FLOOR,
+    deadline_classes,
+    min_pipeline_deadline,
+    pipeline_deadline,
+    round_down_power_of_two,
+    trim_deadline,
+)
+
+
+class TestRoundDownPowerOfTwo:
+    def test_exact_powers(self):
+        for exponent in range(10):
+            assert round_down_power_of_two(2 ** exponent) == 2 ** exponent
+
+    def test_rounds_down(self):
+        assert round_down_power_of_two(100) == 64
+        assert round_down_power_of_two(127) == 64
+        assert round_down_power_of_two(129) == 128
+
+    def test_one(self):
+        assert round_down_power_of_two(1) == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            round_down_power_of_two(0)
+
+
+@given(value=st.integers(min_value=1, max_value=10 ** 9))
+def test_round_down_properties(value):
+    result = round_down_power_of_two(value)
+    assert result <= value < 2 * result
+    assert result & (result - 1) == 0
+
+
+class TestTrimDeadline:
+    def test_cap_applies_first(self):
+        assert trim_deadline(10_000, cap=200) == 128
+
+    def test_no_cap_effect_below(self):
+        assert trim_deadline(100, cap=200) == 64
+
+    def test_never_increases(self):
+        for deadline in (1, 5, 48, 100, 5000):
+            assert trim_deadline(deadline, cap=1000) <= deadline
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            trim_deadline(0, 10)
+        with pytest.raises(ValueError):
+            trim_deadline(10, 0)
+
+
+class TestPipelineDeadline:
+    def test_short_deadline_direct(self):
+        params = CongosParams()
+        assert pipeline_deadline(48, params, 64) is None
+        assert pipeline_deadline(10, params, 64) is None
+
+    def test_long_deadline_trimmed(self):
+        params = CongosParams()
+        assert pipeline_deadline(100, params, 64) == 64
+        assert pipeline_deadline(300, params, 64) == 256
+
+    def test_boundary_at_threshold(self):
+        params = CongosParams(direct_send_threshold=48)
+        # 64 > 48: the smallest pipeline class.
+        assert pipeline_deadline(64, params, 64) == 64
+        assert pipeline_deadline(63, params, 64) is None
+
+    def test_floor_enforced_even_with_tiny_threshold(self):
+        params = CongosParams(direct_send_threshold=1)
+        assert pipeline_deadline(32, params, 64) is None
+        assert PIPELINE_FLOOR == 64
+
+    def test_cap_respected(self):
+        params = CongosParams(deadline_cap=128)
+        assert pipeline_deadline(10_000, params, 64) == 128
+
+    def test_trimmed_deadline_never_misses(self):
+        """Delivering by the trimmed deadline delivers by the real one."""
+        params = CongosParams()
+        for deadline in range(49, 2000, 37):
+            trimmed = pipeline_deadline(deadline, params, 64)
+            if trimmed is not None:
+                assert trimmed <= deadline
+
+
+class TestMinPipelineDeadline:
+    def test_default_is_64(self):
+        assert min_pipeline_deadline(CongosParams()) == 64
+
+    def test_larger_threshold_pushes_up(self):
+        params = CongosParams(direct_send_threshold=64)
+        assert min_pipeline_deadline(params) == 128
+
+
+class TestDeadlineClasses:
+    def test_classes_are_powers_of_two(self):
+        params = CongosParams(deadline_cap=2048)
+        classes = deadline_classes(params, 64)
+        assert classes == [64, 128, 256, 512, 1024, 2048]
+
+    def test_loglog_many_classes(self):
+        """O(log log n)-ish class counts at the default cap."""
+        params = CongosParams()
+        assert len(deadline_classes(params, 64)) <= 12
+
+    def test_every_pipeline_deadline_lands_in_a_class(self):
+        params = CongosParams(deadline_cap=1024)
+        classes = set(deadline_classes(params, 32))
+        for deadline in range(49, 5000, 101):
+            trimmed = pipeline_deadline(deadline, params, 32)
+            if trimmed is not None:
+                assert trimmed in classes

@@ -1,0 +1,130 @@
+"""Tests for repro.core.extensions: Section-7 metadata mitigations."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.extensions import (
+    REAL_MARKER,
+    CoverTrafficWorkload,
+    expand_destination_hiding,
+    extract_hidden_payload,
+    is_cover_rumor,
+    pseudonymize_rid,
+)
+from repro.gossip.rumor import RumorId
+
+from conftest import mk_rumor
+
+
+class TestPseudonymizeRid:
+    def test_deterministic(self):
+        rid = RumorId(3, 17)
+        assert pseudonymize_rid(rid, b"k") == pseudonymize_rid(rid, b"k")
+
+    def test_differs_by_secret(self):
+        rid = RumorId(3, 17)
+        assert pseudonymize_rid(rid, b"k1") != pseudonymize_rid(rid, b"k2")
+
+    def test_differs_by_seq(self):
+        assert pseudonymize_rid(RumorId(3, 1), b"k") != pseudonymize_rid(
+            RumorId(3, 2), b"k"
+        )
+
+    def test_source_preserved(self):
+        assert pseudonymize_rid(RumorId(3, 1), b"k").src == 3
+
+    def test_unlinkable_sequences(self):
+        """Consecutive pseudonyms are not consecutive integers."""
+        tokens = [pseudonymize_rid(RumorId(0, i), b"k").seq for i in range(10)]
+        gaps = {b - a for a, b in zip(tokens, tokens[1:])}
+        assert gaps != {1}
+
+
+class TestDestinationHiding:
+    def test_creates_n_minus_one_rumors(self):
+        rumor = mk_rumor(src=2, dest=(1, 5))
+        expanded = expand_destination_hiding(rumor, 8, random.Random(0))
+        assert len(expanded) == 7  # everyone but the source
+
+    def test_each_single_destination(self):
+        rumor = mk_rumor(dest=(1, 5))
+        for sub in expand_destination_hiding(rumor, 8, random.Random(0)):
+            assert len(sub.dest) == 1
+
+    def test_real_recipients_can_extract(self):
+        rumor = mk_rumor(data=b"the-truth", dest=(1, 5))
+        expanded = expand_destination_hiding(rumor, 8, random.Random(0))
+        for sub in expanded:
+            (dst,) = sub.dest
+            payload = extract_hidden_payload(sub.data)
+            if dst in rumor.dest:
+                assert payload == b"the-truth"
+            else:
+                assert payload is None
+
+    def test_chaff_same_length_as_real(self):
+        """Indistinguishable by size: chaff matches the wrapped length."""
+        rumor = mk_rumor(data=b"the-truth", dest=(1,))
+        expanded = expand_destination_hiding(rumor, 8, random.Random(0))
+        lengths = {len(sub.data) for sub in expanded}
+        assert len(lengths) == 1
+
+    def test_deadlines_preserved(self):
+        rumor = mk_rumor(deadline=100, dest=(1,))
+        for sub in expand_destination_hiding(rumor, 4, random.Random(0)):
+            assert sub.deadline == 100
+
+    def test_sub_rids_distinct(self):
+        rumor = mk_rumor(dest=(1,))
+        expanded = expand_destination_hiding(rumor, 8, random.Random(0))
+        assert len({sub.rid for sub in expanded}) == len(expanded)
+
+
+@given(data=st.binary(min_size=0, max_size=64))
+def test_extract_roundtrip_property(data):
+    assert extract_hidden_payload(REAL_MARKER + data) == data
+
+
+class TestCoverTraffic:
+    def _view(self, n=8, round_no=0):
+        class FakeView:
+            def __init__(self):
+                self.round = round_no
+                self.n = n
+
+            def is_alive(self, pid):
+                return True
+
+        return FakeView()
+
+    def test_injects_at_period(self):
+        workload = CoverTrafficWorkload(8, random.Random(0), rate=2, period=4)
+        decision = workload.round_start(self._view(round_no=0))
+        assert len(decision.injections) == 2
+        decision = workload.round_start(self._view(round_no=1))
+        assert decision.injections == []
+
+    def test_cover_rumors_flagged(self):
+        workload = CoverTrafficWorkload(8, random.Random(0))
+        decision = workload.round_start(self._view())
+        for _, rumor in decision.injections:
+            assert is_cover_rumor(rumor)
+
+    def test_real_rumors_not_flagged(self):
+        assert not is_cover_rumor(mk_rumor())
+
+    def test_restricted_sources(self):
+        workload = CoverTrafficWorkload(
+            8, random.Random(0), rate=8, sources=[2, 3]
+        )
+        decision = workload.round_start(self._view())
+        assert {pid for pid, _ in decision.injections} <= {2, 3}
+
+    def test_window_respected(self):
+        workload = CoverTrafficWorkload(
+            8, random.Random(0), start_round=10, stop_round=20
+        )
+        assert workload.round_start(self._view(round_no=5)).injections == []
+        assert workload.round_start(self._view(round_no=25)).injections == []

@@ -1,0 +1,98 @@
+"""Tests for the fallback-scope optimization (Figure 2's parenthetical)."""
+
+import pytest
+
+from repro.core.confidential_gossip import ConfidentialGossipCoordinator
+from repro.core.config import CongosParams
+from repro.core.group_distribution import DistributionShare
+from repro.core.partitions import BitPartitions
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import steady_scenario
+
+from conftest import mk_rumor
+
+
+def make_coordinator(scope):
+    params = CongosParams(fallback_scope=scope)
+    return ConfidentialGossipCoordinator(0, 8, params, BitPartitions(8))
+
+
+def share(rumor, partition, group, dests):
+    return DistributionShare(
+        sender=1,
+        dline=64,
+        partition=partition,
+        group=group,
+        hits=frozenset((q, rumor.rid) for q in dests),
+    )
+
+
+class TestCoordinatorScope:
+    def test_all_mode_shoots_everyone(self):
+        coordinator = make_coordinator("all")
+        rumor = mk_rumor(dest=(1, 2, 3), deadline=64)
+        coordinator.register(0, rumor, dline=64)
+        # Destination 1 is fully covered in partition 0, but "all" shoots
+        # the whole set anyway.
+        coordinator.on_distribution_share(5, share(rumor, 0, 0, {1}))
+        coordinator.on_distribution_share(5, share(rumor, 0, 1, {1}))
+        messages = coordinator.send_phase(64)
+        assert sorted(m.dst for m in messages) == [1, 2, 3]
+
+    def test_unconfirmed_mode_skips_covered(self):
+        coordinator = make_coordinator("unconfirmed")
+        rumor = mk_rumor(dest=(1, 2, 3), deadline=64)
+        coordinator.register(0, rumor, dline=64)
+        coordinator.on_distribution_share(5, share(rumor, 0, 0, {1}))
+        coordinator.on_distribution_share(5, share(rumor, 0, 1, {1}))
+        messages = coordinator.send_phase(64)
+        assert sorted(m.dst for m in messages) == [2, 3]
+
+    def test_coverage_requires_all_groups(self):
+        coordinator = make_coordinator("unconfirmed")
+        rumor = mk_rumor(dest=(1,), deadline=64)
+        coordinator.register(0, rumor, dline=64)
+        coordinator.on_distribution_share(5, share(rumor, 0, 0, {1}))
+        # Group 1 never covered destination 1: still shot.
+        messages = coordinator.send_phase(64)
+        assert [m.dst for m in messages] == [1]
+
+    def test_coverage_must_be_same_partition(self):
+        coordinator = make_coordinator("unconfirmed")
+        rumor = mk_rumor(dest=(1,), deadline=64)
+        coordinator.register(0, rumor, dline=64)
+        coordinator.on_distribution_share(5, share(rumor, 0, 0, {1}))
+        coordinator.on_distribution_share(5, share(rumor, 1, 1, {1}))
+        messages = coordinator.send_phase(64)
+        assert [m.dst for m in messages] == [1]
+
+    def test_fully_covered_rumor_shoots_nothing(self):
+        coordinator = make_coordinator("unconfirmed")
+        rumor = mk_rumor(dest=(1,), deadline=64)
+        coordinator.register(0, rumor, dline=64)
+        coordinator.on_distribution_share(5, share(rumor, 2, 0, {1}))
+        coordinator.on_distribution_share(5, share(rumor, 2, 1, {1}))
+        # Fully covered -> confirmation fires first and nothing is shot.
+        messages = coordinator.send_phase(64)
+        assert messages == []
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ValueError):
+            CongosParams(fallback_scope="nobody")
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("scope", ["all", "unconfirmed"])
+    def test_qod_holds_with_either_scope(self, scope):
+        params = CongosParams(
+            fallback_scope=scope,
+            # Cripple the substrate so fallbacks actually fire.
+            fanout_scale=0.01,
+            min_fanout=1,
+            gossip_fanout_scale=0.2,
+        )
+        result = run_congos_scenario(
+            steady_scenario(n=8, rounds=320, seed=4, deadline=64, params=params)
+        )
+        assert result.qod.satisfied
+        assert result.confidentiality.is_clean()

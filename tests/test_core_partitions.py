@@ -1,0 +1,192 @@
+"""Tests for repro.core.partitions: bit and random partitions (Lemma 5/13)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partitions import (
+    BitPartitions,
+    RandomPartitions,
+    property1_holds,
+    property2_exact,
+    property2_holds_for_set,
+    property2_monte_carlo,
+    property2_set_size,
+)
+
+
+class TestBitPartitions:
+    def test_count_is_ceil_log2(self):
+        assert BitPartitions(8).count == 3
+        assert BitPartitions(9).count == 4
+        assert BitPartitions(64).count == 6
+
+    def test_two_groups(self):
+        assert BitPartitions(8).num_groups == 2
+
+    def test_group_of_matches_bits(self):
+        partitions = BitPartitions(16)
+        assert partitions.group_of(0, 5) == 1  # 5 = 0b0101
+        assert partitions.group_of(1, 5) == 0
+        assert partitions.group_of(2, 5) == 1
+
+    def test_members_partition_everything(self):
+        partitions = BitPartitions(10)
+        for partition in range(partitions.count):
+            zero = partitions.members(partition, 0)
+            one = partitions.members(partition, 1)
+            assert zero | one == frozenset(range(10))
+            assert not zero & one
+
+    def test_property1(self):
+        for n in (2, 3, 7, 8, 9, 16, 33):
+            assert property1_holds(BitPartitions(n))
+
+    def test_needs_two_processes(self):
+        with pytest.raises(ValueError):
+            BitPartitions(1)
+
+    def test_lemma5_separation_exhaustive(self):
+        """Lemma 5: any two distinct pids are separated by some partition."""
+        partitions = BitPartitions(16)
+        for p, q in itertools.combinations(range(16), 2):
+            partition = partitions.separating_partition(p, q)
+            assert partition is not None
+            assert partitions.group_of(partition, p) != partitions.group_of(
+                partition, q
+            )
+
+    def test_separating_partition_is_lowest_differing_bit(self):
+        partitions = BitPartitions(16)
+        assert partitions.separating_partition(0b0100, 0b0110) == 1
+
+    def test_self_separation_none(self):
+        assert BitPartitions(8).separating_partition(3, 3) is None
+
+    def test_covering_partition(self):
+        partitions = BitPartitions(8)
+        assert partitions.covering_partition({0, 7}) is not None
+        # All in group 0 of every partition: only pid 0 alive.
+        assert partitions.covering_partition({0}) is None
+
+    def test_assignment_tuple(self):
+        partitions = BitPartitions(4)
+        assert partitions.assignment(0) == (0, 1, 0, 1)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=256),
+    data=st.data(),
+)
+@settings(max_examples=80)
+def test_lemma5_separation_property(n, data):
+    p = data.draw(st.integers(min_value=0, max_value=n - 1))
+    q = data.draw(st.integers(min_value=0, max_value=n - 1))
+    partitions = BitPartitions(n)
+    partition = partitions.separating_partition(p, q)
+    if p == q:
+        assert partition is None
+    else:
+        assert partition is not None
+        assert partitions.group_of(partition, p) != partitions.group_of(partition, q)
+
+
+class TestRandomPartitions:
+    def test_generate_shape(self):
+        partitions = RandomPartitions.generate(32, tau=2, rng=random.Random(0))
+        assert partitions.num_groups == 3
+        assert partitions.count >= 2
+        assert property1_holds(partitions)
+
+    def test_generate_count_override(self):
+        partitions = RandomPartitions.generate(
+            16, tau=2, rng=random.Random(0), count=7
+        )
+        assert partitions.count == 7
+
+    def test_all_assignments_cover_all_groups(self):
+        partitions = RandomPartitions.generate(24, tau=3, rng=random.Random(1))
+        for partition in range(partitions.count):
+            groups = set(partitions.assignment(partition))
+            assert groups == set(range(4))
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(ValueError):
+            RandomPartitions.generate(3, tau=5, rng=random.Random(0))
+
+    def test_explicit_assignments_validated(self):
+        with pytest.raises(ValueError):
+            RandomPartitions(4, [[0, 0, 0, 0]], num_groups=2)  # group 1 empty
+
+    def test_assignment_length_checked(self):
+        with pytest.raises(ValueError):
+            RandomPartitions(4, [[0, 1]], num_groups=2)
+
+    def test_deterministic_given_rng(self):
+        a = RandomPartitions.generate(16, tau=2, rng=random.Random(9))
+        b = RandomPartitions.generate(16, tau=2, rng=random.Random(9))
+        assert all(
+            a.assignment(p) == b.assignment(p) for p in range(a.count)
+        )
+
+    def test_fallback_for_hard_constraints(self):
+        """num_groups == n forces the fallback seeding path."""
+        partitions = RandomPartitions.generate(
+            4, tau=3, rng=random.Random(0), max_attempts_per_partition=1
+        )
+        assert property1_holds(partitions)
+
+
+class TestProperty2:
+    def test_set_size_threshold(self):
+        assert property2_set_size(64, tau=2) == 24
+        assert property2_set_size(64, tau=2, c_prime=0.5) == 12
+
+    def test_holds_for_full_set(self):
+        partitions = RandomPartitions.generate(16, tau=2, rng=random.Random(0))
+        assert property2_holds_for_set(partitions, range(16))
+
+    def test_fails_for_tiny_set(self):
+        partitions = RandomPartitions.generate(16, tau=2, rng=random.Random(0))
+        # A single process can never hit 3 groups.
+        assert not property2_holds_for_set(partitions, [0])
+
+    def test_exact_small(self):
+        partitions = RandomPartitions.generate(
+            10, tau=1, rng=random.Random(3), count=8
+        )
+        verdict = property2_exact(partitions, set_size=6)
+        assert verdict is True
+
+    def test_exact_bails_out_when_too_large(self):
+        partitions = RandomPartitions.generate(64, tau=2, rng=random.Random(0))
+        assert property2_exact(partitions, set_size=24, limit=10) is None
+
+    def test_monte_carlo_high_success(self):
+        partitions = RandomPartitions.generate(64, tau=2, rng=random.Random(0))
+        size = property2_set_size(64, tau=2)
+        satisfied, trials = property2_monte_carlo(
+            partitions, size, trials=200, rng=random.Random(1)
+        )
+        assert trials == 200
+        assert satisfied / trials >= 0.99
+
+    def test_monte_carlo_oversized_set_rejected(self):
+        partitions = RandomPartitions.generate(8, tau=1, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            property2_monte_carlo(partitions, 9, 10, random.Random(0))
+
+
+class TestPartitionSetValidation:
+    def test_members_out_of_range(self):
+        partitions = BitPartitions(8)
+        with pytest.raises(IndexError):
+            partitions.members(99, 0)
+        with pytest.raises(IndexError):
+            partitions.members(0, 2)
+
+    def test_members_cached(self):
+        partitions = BitPartitions(8)
+        assert partitions.members(0, 0) is partitions.members(0, 0)

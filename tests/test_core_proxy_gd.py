@@ -1,0 +1,193 @@
+"""Behavioural tests for the Proxy and GroupDistribution services.
+
+These run a real engine with a single scripted rumor and inspect the
+services' internal state machines and message flows at specific rounds —
+the code-level counterparts of the [PROXY:*] and [GD:*] properties of
+Sections 4.4 and 4.5.
+"""
+
+import pytest
+
+from repro.adversary.base import ComposedAdversary
+from repro.adversary.injection import ScriptedWorkload
+from repro.core import proxy as proxy_mod
+from repro.core.config import CongosParams
+from repro.core.congos import build_partition_set, congos_factory
+from repro.core.group_distribution import FragmentDelivery
+from repro.core.proxy import ProxyRequest, ProxyService
+from repro.sim.engine import Engine, SimObserver
+from repro.sim.messages import ServiceTags
+from repro.sim.rng import derive_rng
+
+DLINE = 64
+N = 8
+
+
+class MessageLog(SimObserver):
+    def __init__(self):
+        self.delivered = []
+
+    def on_deliver(self, round_no, message):
+        self.delivered.append((round_no, message))
+
+
+def run_one_rumor(
+    rounds=220, inject_at=64, deadline=64, dest=(3, 5), src=0, params=None, seed=0
+):
+    resolved = params if params is not None else CongosParams()
+    partitions = build_partition_set(N, resolved, seed)
+    factory = congos_factory(N, params=resolved, seed=seed, partition_set=partitions)
+    workload = ScriptedWorkload(
+        [(inject_at, src, deadline, set(dest))], derive_rng(seed, "wl")
+    )
+    log = MessageLog()
+    engine = Engine(
+        N, factory, ComposedAdversary([workload]), observers=[log], seed=seed
+    )
+    engine.run(rounds)
+    return engine, log, partitions
+
+
+class TestProxyConfidential:
+    def test_requests_only_carry_target_group_fragments(self):
+        """[PROXY:CONFIDENTIAL]: a request to group a carries only
+        fragments of group a."""
+        engine, log, partitions = run_one_rumor()
+        request_count = 0
+        for round_no, message in log.delivered:
+            if message.service != ServiceTags.PROXY:
+                continue
+            if not isinstance(message.payload, ProxyRequest):
+                continue
+            request_count += 1
+            channel_parts = message.channel.split("/")
+            partition = int(channel_parts[2])
+            target_group = partitions.group_of(partition, message.dst)
+            for fragment in message.payload.fragments:
+                assert fragment.group == target_group
+        assert request_count > 0
+
+    def test_requests_target_other_group_only(self):
+        engine, log, partitions = run_one_rumor()
+        for round_no, message in log.delivered:
+            if message.service != ServiceTags.PROXY:
+                continue
+            if not isinstance(message.payload, ProxyRequest):
+                continue
+            partition = int(message.channel.split("/")[2])
+            src_group = partitions.group_of(partition, message.src)
+            dst_group = partitions.group_of(partition, message.dst)
+            assert src_group != dst_group
+
+    def test_requests_happen_at_iteration_start(self):
+        engine, log, _ = run_one_rumor()
+        for round_no, message in log.delivered:
+            if message.service == ServiceTags.PROXY and isinstance(
+                message.payload, ProxyRequest
+            ):
+                # Block length 16, iteration length 10: requests at block
+                # offsets that start an iteration (offset 0 here).
+                assert round_no % 16 == 0
+
+
+class TestGDConfidential:
+    def test_fragments_sent_only_to_destinations(self):
+        """[GD:CONFIDENTIAL]: fragment deliveries only reach dest members."""
+        engine, log, _ = run_one_rumor(dest=(3, 5))
+        gd_count = 0
+        for round_no, message in log.delivered:
+            if message.service != ServiceTags.GROUP_DISTRIBUTION:
+                continue
+            gd_count += 1
+            assert isinstance(message.payload, FragmentDelivery)
+            for fragment in message.payload.fragments:
+                assert message.dst in fragment.dest
+        assert gd_count > 0
+
+    def test_confirmation_only_after_hits(self):
+        """[GD:CONFIRM]: the source confirms only rumors whose hitSets
+        cover the whole destination set."""
+        engine, log, _ = run_one_rumor(src=0, dest=(3, 5))
+        coordinator = engine.behavior(0).coordinator
+        assert coordinator.confirmations == 1
+        assert coordinator.fallbacks == 0
+
+    def test_paper_literal_group_pool_mode(self):
+        """gd_target_pool='group' (the paper's literal rule) still
+        delivers and still never sends fragments to non-destinations."""
+        params = CongosParams(gd_target_pool="group")
+        engine, log, _ = run_one_rumor(params=params, rounds=220)
+        for round_no, message in log.delivered:
+            if message.service != ServiceTags.GROUP_DISTRIBUTION:
+                continue
+            for fragment in message.payload.fragments:
+                assert message.dst in fragment.dest
+        delivered = engine.behavior(3).coordinator.delivered()
+        assert len(delivered) == 1
+
+
+class TestProxyLifecycle:
+    def test_requester_goes_idle_after_ack(self):
+        engine, log, _ = run_one_rumor(rounds=130)
+        node = engine.behavior(0)
+        bundle = node.instances[DLINE]
+        for proxy_service in bundle.proxies:
+            # Long after the block that carried the rumor, no requester
+            # should still be active.
+            assert proxy_service.status in (proxy_mod.IDLE, proxy_mod.ACTIVE)
+            assert not proxy_service.my_fragments or proxy_service.acked_groups
+
+    def test_acks_flow_back(self):
+        engine, log, _ = run_one_rumor()
+        acks = [
+            (round_no, message)
+            for round_no, message in log.delivered
+            if message.service == ServiceTags.PROXY
+            and not isinstance(message.payload, ProxyRequest)
+        ]
+        assert acks, "expected proxy acknowledgments"
+
+    def test_proxy_stats_counted(self):
+        engine, log, _ = run_one_rumor()
+        total_requests = sum(
+            bundle_proxy.requests_sent
+            for pid in range(N)
+            for bundle in [engine.behavior(pid).instances.get(DLINE)]
+            if bundle is not None
+            for bundle_proxy in bundle.proxies
+        )
+        assert total_requests > 0
+
+
+class TestFragmentExpiryHandling:
+    def test_expired_fragments_not_distributed_forever(self):
+        """After the rumor's true deadline, no fragment traffic remains."""
+        engine, log, _ = run_one_rumor(rounds=300, inject_at=64, deadline=64)
+        late_fragment_traffic = [
+            (round_no, message)
+            for round_no, message in log.delivered
+            if round_no > 64 + 64 + 16
+            and message.service
+            in (ServiceTags.GROUP_DISTRIBUTION, ServiceTags.PROXY)
+        ]
+        assert late_fragment_traffic == []
+
+
+class TestProxyValidation:
+    def test_own_group_fragment_rejected(self):
+        engine, log, partitions = run_one_rumor(rounds=70)
+        node = engine.behavior(0)
+        bundle = node.instances[DLINE]
+        proxy_service = bundle.proxies[0]
+        my_group = partitions.group_of(0, 0)
+        import random as random_module
+
+        from repro.core.splitting import split_rumor
+        from conftest import mk_rumor
+
+        fragments = split_rumor(
+            mk_rumor(), 0, 2, random_module.Random(0), DLINE, 100
+        )
+        own = [f for f in fragments if f.group == my_group]
+        with pytest.raises(ValueError):
+            proxy_service.distribute(0, own)

@@ -1,0 +1,152 @@
+"""Restart semantics of the CONGOS stack (the no-durable-storage rule).
+
+The paper's model wipes a process on restart: it knows only the algorithm,
+``[n]`` and the global clock, and must "wait until a new block begins"
+before participating again.  These tests drive real crashes/restarts
+through the engine and inspect the rebuilt services.
+"""
+
+import pytest
+
+from repro.adversary.base import ComposedAdversary
+from repro.adversary.injection import ScriptedWorkload
+from repro.adversary.patterns import ScriptedFaults
+from repro.audit.confidentiality import ConfidentialityAuditor
+from repro.audit.delivery import DeliveryAuditor
+from repro.core import proxy as proxy_mod
+from repro.core.config import CongosParams
+from repro.core.congos import build_partition_set, congos_factory
+from repro.sim.engine import Engine
+from repro.sim.rng import derive_rng
+
+N = 8
+DLINE = 64
+
+
+def run_with_faults(script, faults, rounds=320, seed=0, params=None):
+    resolved = params if params is not None else CongosParams()
+    partitions = build_partition_set(N, resolved, seed)
+    delivery = DeliveryAuditor()
+    confidentiality = ConfidentialityAuditor(
+        partitions.count, partitions.num_groups
+    )
+    factory = congos_factory(
+        N,
+        params=resolved,
+        seed=seed,
+        deliver_callback=delivery.record_delivery,
+        partition_set=partitions,
+    )
+    workload = ScriptedWorkload(script, derive_rng(seed, "wl"))
+    engine = Engine(
+        N,
+        factory,
+        ComposedAdversary([workload, ScriptedFaults(faults)]),
+        observers=[delivery, confidentiality],
+        seed=seed,
+    )
+    engine.run(rounds)
+    return engine, delivery, confidentiality
+
+
+class TestVolatileState:
+    def test_restart_rebuilds_services(self):
+        faults = [(100, "crash", 3), (110, "restart", 3)]
+        engine, *_ = run_with_faults([(64, 0, DLINE, {5})], faults)
+        node = engine.behavior(3)
+        assert node.wakeup == 110
+        # The rebuilt node lazily re-creates instances on traffic; at
+        # minimum, its coordinator and AllGossip exist and are empty of
+        # pre-crash state.
+        assert node.coordinator.rumor_cache == {}
+
+    def test_restarted_process_waits_for_new_block(self):
+        # Crash and restart pid 3 mid-block; until the next block start
+        # its Proxy services must be WAITING.
+        faults = [(70, "crash", 3), (72, "restart", 3)]
+        engine, *_ = run_with_faults(
+            [(64, 0, DLINE, {5}), (73, 2, DLINE, {3, 5})], faults, rounds=120
+        )
+        node = engine.behavior(3)
+        # dline=64 -> blocks of 16; round 72 is inside block 4 (64..79).
+        for bundle in node.instances.values():
+            for proxy_service in bundle.proxies:
+                # uptime(16) not reached within the same block: after 120
+                # rounds (wakeup=72), blocks 6+ qualify (round 96: 24 >= 16).
+                assert proxy_service.wakeup == 72
+
+    def test_proxy_uptime_gate(self):
+        """A service created right after restart refuses to activate until
+        it has a full block of uptime."""
+        faults = [(70, "crash", 0), (79, "restart", 0)]
+        engine, delivery, _ = run_with_faults(
+            [(82, 0, DLINE, {5})], faults, rounds=320
+        )
+        # Source restarted at 79, injects at 82.  Proxy block at 96 has
+        # uptime 17 >= 16 -> active.  The rumor must still be delivered.
+        report = delivery.report(engine)
+        assert report.satisfied
+
+    def test_source_crash_drops_cache_but_leaks_nothing(self):
+        faults = [(80, "crash", 0)]
+        engine, delivery, confidentiality = run_with_faults(
+            [(64, 0, DLINE, {5})], faults
+        )
+        report = delivery.report(engine)
+        # Source not continuously alive: pair inadmissible, QoD vacuous.
+        assert report.admissible_pairs == 0
+        assert report.satisfied
+        assert confidentiality.is_clean()
+
+    def test_destination_crash_and_restart_can_still_learn(self):
+        """An inadmissible destination may still receive the rumor (bonus
+        delivery) if it comes back before distribution finishes."""
+        faults = [(70, "crash", 5), (74, "restart", 5)]
+        engine, delivery, confidentiality = run_with_faults(
+            [(64, 0, DLINE, {5, 3})], faults
+        )
+        report = delivery.report(engine)
+        assert report.satisfied  # 3 is admissible and served; 5 excused
+        assert confidentiality.is_clean()
+
+    def test_repeated_crash_restart_cycles(self):
+        faults = []
+        for i, base in enumerate(range(70, 220, 30)):
+            faults.append((base, "crash", 2 + (i % 3)))
+            faults.append((base + 10, "restart", 2 + (i % 3)))
+        script = [(64 + 16 * k, 0, DLINE, {6, 7}) for k in range(5)]
+        engine, delivery, confidentiality = run_with_faults(
+            script, faults, rounds=400
+        )
+        assert delivery.report(engine).satisfied
+        assert confidentiality.is_clean()
+
+
+class TestRestartDeterminism:
+    def test_restarted_nodes_draw_fresh_randomness(self):
+        """A node restarted at round r must not replay its pre-crash
+        random choices (rng streams are derived per (pid, start round))."""
+        from repro.core.congos import CongosNode
+        from repro.sim.rng import SeedSequence
+
+        params = CongosParams()
+        partitions = build_partition_set(N, params, 0)
+        seeds = SeedSequence(0).child("congos")
+        node_a = CongosNode(0, N, params, partitions, seeds)
+        node_a.on_start(0)
+        node_b = CongosNode(0, N, params, partitions, seeds)
+        node_b.on_start(50)
+        assert node_a._split_rng.random() != node_b._split_rng.random()
+
+    def test_same_start_round_same_stream(self):
+        from repro.core.congos import CongosNode
+        from repro.sim.rng import SeedSequence
+
+        params = CongosParams()
+        partitions = build_partition_set(N, params, 0)
+        seeds = SeedSequence(0).child("congos")
+        node_a = CongosNode(0, N, params, partitions, seeds)
+        node_a.on_start(5)
+        node_b = CongosNode(0, N, params, partitions, seeds)
+        node_b.on_start(5)
+        assert node_a._split_rng.random() == node_b._split_rng.random()

@@ -1,0 +1,77 @@
+"""Integration tests for the Section-7 workload wrappers."""
+
+import pytest
+
+from repro.adversary.injection import ScriptedWorkload
+from repro.core.extensions import (
+    DestinationHidingWorkload,
+    extract_hidden_payload,
+)
+from repro.harness.runner import Scenario, run_congos_scenario
+from repro.sim.rng import derive_rng
+
+N = 8
+DEADLINE = 64
+
+
+def hiding_scenario(script, rounds=320, seed=0):
+    def workload(rng):
+        inner = ScriptedWorkload(script, derive_rng(seed, "inner"))
+        return DestinationHidingWorkload(inner, N, rng)
+
+    return Scenario(
+        name="dest-hiding",
+        n=N,
+        rounds=rounds,
+        seed=seed,
+        workload_factory=workload,
+    )
+
+
+class TestDestinationHidingWorkload:
+    def test_expands_to_n_minus_one_rumors(self):
+        result = run_congos_scenario(hiding_scenario([(64, 0, DEADLINE, {2, 5})]))
+        assert result.rumors_injected == N - 1
+
+    def test_all_sub_rumors_delivered(self):
+        result = run_congos_scenario(hiding_scenario([(64, 0, DEADLINE, {2, 5})]))
+        assert result.qod.satisfied
+        assert result.confidentiality.is_clean()
+
+    def test_destinations_recover_payload(self):
+        result = run_congos_scenario(hiding_scenario([(64, 0, DEADLINE, {2, 5})]))
+        recovered = {}
+        for (rid, pid), (rnd, data, path) in result.delivery.deliveries.items():
+            payload = extract_hidden_payload(data)
+            if payload is not None:
+                recovered[pid] = payload
+        assert set(recovered) == {2, 5}
+        assert len(set(recovered.values())) == 1
+
+    def test_non_destinations_get_chaff(self):
+        result = run_congos_scenario(hiding_scenario([(64, 0, DEADLINE, {2})]))
+        chaff_receivers = set()
+        for (rid, pid), (rnd, data, path) in result.delivery.deliveries.items():
+            if extract_hidden_payload(data) is None:
+                chaff_receivers.add(pid)
+        # Everyone except the source and the real destination got chaff.
+        assert chaff_receivers == set(range(N)) - {0, 2}
+
+    def test_every_destination_set_is_singleton(self):
+        result = run_congos_scenario(hiding_scenario([(64, 0, DEADLINE, {2, 5})]))
+        for rumor in result.delivery.rumors.values():
+            assert len(rumor.dest) == 1
+
+    def test_overlapping_expansions_defer(self):
+        # Two rumors from the same source four rounds apart: expansions
+        # overlap; the wrapper must serialise to one injection per round.
+        script = [(64, 0, DEADLINE, {2}), (68, 0, DEADLINE, {3})]
+        result = run_congos_scenario(hiding_scenario(script))
+        assert result.rumors_injected == 2 * (N - 1)
+        assert result.qod.satisfied
+
+    def test_sub_rumor_rids_unique(self):
+        script = [(64, 0, DEADLINE, {2}), (80, 1, DEADLINE, {3})]
+        result = run_congos_scenario(hiding_scenario(script))
+        rids = list(result.delivery.rumors)
+        assert len(rids) == len(set(rids)) == 2 * (N - 1)

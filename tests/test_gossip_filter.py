@@ -1,0 +1,50 @@
+"""Tests for repro.gossip.filter: the group Filter (Figure 11)."""
+
+import pytest
+
+from repro.gossip.filter import GroupFilter, PassFilter
+
+from conftest import mk_message
+
+
+class TestGroupFilter:
+    def test_empty_scope_rejected(self):
+        with pytest.raises(ValueError):
+            GroupFilter([])
+
+    def test_allows_members(self):
+        group_filter = GroupFilter({1, 2, 3})
+        assert group_filter.allows(2)
+        assert not group_filter.allows(5)
+
+    def test_apply_drops_outsiders(self):
+        group_filter = GroupFilter({0, 1})
+        messages = [mk_message(dst=1), mk_message(dst=5), mk_message(dst=0)]
+        allowed = group_filter.apply(messages)
+        assert [m.dst for m in allowed] == [1, 0]
+        assert group_filter.dropped == 1
+
+    def test_dropped_accumulates(self):
+        group_filter = GroupFilter({0})
+        group_filter.apply([mk_message(dst=3), mk_message(dst=4)])
+        group_filter.apply([mk_message(dst=5)])
+        assert group_filter.dropped == 3
+
+    def test_restrict_intersects(self):
+        group_filter = GroupFilter({0, 2, 4})
+        assert group_filter.restrict([0, 1, 2, 3]) == frozenset({0, 2})
+
+    def test_repr_shows_counts(self):
+        group_filter = GroupFilter({0, 1})
+        group_filter.apply([mk_message(dst=9)])
+        assert "dropped=1" in repr(group_filter)
+
+
+class TestPassFilter:
+    def test_allows_everyone(self):
+        pass_filter = PassFilter(8)
+        assert all(pass_filter.allows(p) for p in range(8))
+
+    def test_still_blocks_out_of_range(self):
+        pass_filter = PassFilter(4)
+        assert not pass_filter.allows(4)

@@ -1,0 +1,88 @@
+"""Tests for repro.gossip.rumor: rumors, ids and gossip items."""
+
+import pytest
+
+from repro.gossip.rumor import GossipItem, Rumor, RumorId, make_rumor
+from repro.sim.messages import plaintext_atom
+
+from conftest import mk_rumor
+
+
+class TestRumorId:
+    def test_ordering(self):
+        assert RumorId(0, 1) < RumorId(0, 2) < RumorId(1, 0)
+
+    def test_str(self):
+        assert str(RumorId(3, 7)) == "r3:7"
+
+    def test_hashable(self):
+        assert {RumorId(0, 0): "x"}[RumorId(0, 0)] == "x"
+
+
+class TestRumor:
+    def test_expiry(self):
+        rumor = mk_rumor(deadline=64, injected_at=10)
+        assert rumor.expiry == 74
+
+    def test_is_active_window(self):
+        rumor = mk_rumor(deadline=10, injected_at=5)
+        assert not rumor.is_active(4)
+        assert rumor.is_active(5)
+        assert rumor.is_active(15)
+        assert not rumor.is_active(16)
+
+    def test_reveals_plaintext(self):
+        rumor = mk_rumor()
+        assert list(rumor.reveals()) == [plaintext_atom(rumor.rid)]
+
+    def test_zero_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            mk_rumor(deadline=0)
+
+    def test_non_bytes_data_rejected(self):
+        with pytest.raises(TypeError):
+            Rumor(
+                rid=RumorId(0, 0),
+                data="not-bytes",  # type: ignore[arg-type]
+                deadline=4,
+                dest=frozenset({1}),
+            )
+
+    def test_str_mentions_deadline_and_dest_size(self):
+        text = str(mk_rumor(deadline=64, dest=(1, 2, 3)))
+        assert "d=64" in text and "|D|=3" in text
+
+
+class TestMakeRumor:
+    def test_auto_sequence_increments(self):
+        first = make_rumor(5, b"a", 8, {1})
+        second = make_rumor(5, b"b", 8, {1})
+        assert second.rid.seq == first.rid.seq + 1
+
+    def test_explicit_seq(self):
+        rumor = make_rumor(6, b"a", 8, {1}, seq=99)
+        assert rumor.rid == RumorId(6, 99)
+
+    def test_dest_frozen(self):
+        rumor = make_rumor(0, b"a", 8, [1, 2, 2])
+        assert rumor.dest == frozenset({1, 2})
+
+
+class TestGossipItem:
+    def test_expired(self):
+        item = GossipItem(uid=("u",), origin=0, payload=None, expiry=10, dest=frozenset())
+        assert not item.expired(10)
+        assert item.expired(11)
+
+    def test_reveals_delegates_to_payload(self):
+        rumor = mk_rumor()
+        item = GossipItem(
+            uid=("u",), origin=0, payload=rumor, expiry=10, dest=frozenset({1})
+        )
+        assert list(item.reveals()) == [plaintext_atom(rumor.rid)]
+
+    def test_reveals_empty_for_control(self):
+        item = GossipItem(
+            uid=("u",), origin=0, payload={"x": 1}, expiry=10, dest=frozenset({1})
+        )
+        assert list(item.reveals()) == []

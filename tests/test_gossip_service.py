@@ -1,0 +1,95 @@
+"""Tests for repro.gossip.service: sub-service hosting and routing."""
+
+import pytest
+
+from repro.gossip.service import ServiceHost, SubService
+from repro.sim.messages import Message, ServiceTags
+
+from conftest import mk_message
+
+
+class Probe(SubService):
+    def __init__(self, pid, channel):
+        super().__init__(pid, 8, ServiceTags.BASELINE, channel)
+        self.sent_rounds = []
+        self.received = []
+        self.ended = []
+
+    def send_phase(self, round_no):
+        self.sent_rounds.append(round_no)
+        return [self.make_message((self.pid + 1) % 8, "hi")]
+
+    def on_message(self, round_no, message):
+        self.received.append(message)
+
+    def end_round(self, round_no):
+        self.ended.append(round_no)
+
+
+class TestSubService:
+    def test_make_message_stamps_fields(self):
+        probe = Probe(2, "chan")
+        message = probe.make_message(5, {"x": 1}, size=3)
+        assert message.src == 2
+        assert message.dst == 5
+        assert message.channel == "chan"
+        assert message.size == 3
+        assert message.service == ServiceTags.BASELINE
+
+
+class TestServiceHost:
+    def test_duplicate_channel_rejected(self):
+        host = ServiceHost()
+        host.register(Probe(0, "a"))
+        with pytest.raises(ValueError):
+            host.register(Probe(0, "a"))
+
+    def test_collect_sends_in_registration_order(self):
+        host = ServiceHost()
+        first, second = Probe(0, "a"), Probe(0, "b")
+        host.register(first)
+        host.register(second)
+        messages = host.collect_sends(0)
+        assert len(messages) == 2
+        assert first.sent_rounds == [0]
+        assert second.sent_rounds == [0]
+
+    def test_dispatch_routes_by_channel(self):
+        host = ServiceHost()
+        a, b = Probe(0, "a"), Probe(0, "b")
+        host.register(a)
+        host.register(b)
+        unrouted = host.dispatch(
+            0, [mk_message(channel="a"), mk_message(channel="b"), mk_message(channel="b")]
+        )
+        assert unrouted == []
+        assert len(a.received) == 1
+        assert len(b.received) == 2
+
+    def test_dispatch_returns_unroutable(self):
+        host = ServiceHost()
+        host.register(Probe(0, "a"))
+        stranger = mk_message(channel="zz")
+        unrouted = host.dispatch(0, [stranger])
+        assert unrouted == [stranger]
+
+    def test_finish_round_reaches_all(self):
+        host = ServiceHost()
+        a, b = Probe(0, "a"), Probe(0, "b")
+        host.register(a)
+        host.register(b)
+        host.finish_round(3)
+        assert a.ended == [3] and b.ended == [3]
+
+    def test_service_for(self):
+        host = ServiceHost()
+        probe = host.register(Probe(0, "a"))
+        assert host.service_for("a") is probe
+        assert host.service_for("nope") is None
+
+    def test_services_list_copy(self):
+        host = ServiceHost()
+        host.register(Probe(0, "a"))
+        listing = host.services
+        listing.clear()
+        assert host.services  # internal list untouched

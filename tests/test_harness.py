@@ -1,0 +1,126 @@
+"""Tests for repro.harness: scenarios, runner wiring, reporting."""
+
+import pytest
+
+from repro.baselines.direct import direct_factory
+from repro.core.config import CongosParams
+from repro.harness.report import banner, format_kv, format_table, ratio_series
+from repro.harness.runner import RunResult, Scenario, run_congos_scenario, run_with_factory
+from repro.harness.scenarios import (
+    burst_scenario,
+    churn_scenario,
+    collusion_scenario,
+    injection_window,
+    steady_scenario,
+    theorem1_scenario,
+)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long-header"], [[1, 2], [33, 4.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long-header" in lines[0]
+        assert lines[1].startswith("-")
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1]], title="T1")
+        assert text.splitlines()[0] == "T1"
+
+    def test_format_kv(self):
+        text = format_kv([("alpha", 1), ("b", 2.5)])
+        assert "alpha: 1" in text
+
+    def test_banner(self):
+        assert "hello" in banner("hello")
+
+    def test_ratio_series(self):
+        assert ratio_series([2, 4, 12]) == [2.0, 3.0]
+
+    def test_ratio_series_zero(self):
+        assert ratio_series([0, 5]) == [float("inf")]
+
+
+class TestScenarios:
+    def test_injection_window_margins(self):
+        start, stop = injection_window(400, 64)
+        assert start >= 64
+        assert stop + 64 + 4 <= 400
+
+    def test_steady_scenario_shape(self):
+        scenario = steady_scenario(8, 300, 0)
+        assert scenario.n == 8
+        assert scenario.workload_factory is not None
+        assert scenario.fault_factory is None
+
+    def test_churn_scenario_has_faults(self):
+        assert churn_scenario(8, 300, 0).fault_factory is not None
+
+    def test_collusion_scenario_sets_tau(self):
+        scenario = collusion_scenario(12, 300, 0, tau=2)
+        assert scenario.params.tau == 2
+
+    def test_collusion_scenario_respects_params(self):
+        params = CongosParams(fanout_scale=0.1)
+        scenario = collusion_scenario(12, 300, 0, tau=2, params=params)
+        assert scenario.params.tau == 2
+        assert scenario.params.fanout_scale == 0.1
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(name="bad", n=1, rounds=10, seed=0)
+        with pytest.raises(ValueError):
+            Scenario(name="bad", n=4, rounds=0, seed=0)
+
+
+class TestRunner:
+    def test_run_congos_scenario_result_shape(self):
+        result = run_congos_scenario(steady_scenario(8, 240, 0, deadline=64))
+        assert isinstance(result, RunResult)
+        assert result.rumors_injected > 0
+        assert result.qod.satisfied
+        summary = result.summary()
+        assert {"scenario", "messages", "qod", "confidentiality"} <= set(summary)
+
+    def test_run_with_baseline_factory(self):
+        from repro.audit.delivery import DeliveryAuditor
+
+        scenario = steady_scenario(8, 120, 0, deadline=64)
+        delivery = DeliveryAuditor()
+        factory = direct_factory(8, deliver_callback=delivery.record_delivery)
+        result = run_with_factory(scenario, factory, delivery=delivery)
+        assert result.qod.satisfied
+        assert result.stats.total > 0
+
+    def test_theorem1_scenario_runs_with_baseline(self):
+        from repro.audit.delivery import DeliveryAuditor
+
+        scenario = theorem1_scenario(16, 160, 0, c=8, dmax=64)
+        delivery = DeliveryAuditor()
+        factory = direct_factory(16, deliver_callback=delivery.record_delivery)
+        result = run_with_factory(scenario, factory, delivery=delivery)
+        assert result.qod.satisfied
+        assert result.rumors_injected >= 8
+
+    def test_burst_scenario_runs(self):
+        result = run_congos_scenario(burst_scenario(8, 320, 0, deadline=64, bursts=1))
+        assert result.qod.satisfied
+
+    def test_reproducible(self):
+        scenario = steady_scenario(8, 240, 3, deadline=64)
+        first = run_congos_scenario(scenario)
+        second = run_congos_scenario(steady_scenario(8, 240, 3, deadline=64))
+        assert first.stats.total == second.stats.total
+        assert first.qod.summary() == second.qod.summary()
+
+    def test_quick_run_api(self):
+        from repro import quick_run
+
+        result = quick_run(n=8, rounds=240, seed=1, deadline=64)
+        assert result.qod.satisfied
+        assert result.confidentiality.is_clean()

@@ -1,0 +1,98 @@
+"""Tests for the command-line launcher."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "steady"])
+        assert args.n == 16
+        assert args.deadline == 128
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonexistent"])
+
+
+class TestCommands:
+    def test_scenarios_lists(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "steady" in out and "proxy-killer" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "-n", "32", "--dmin", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 11" in out and "Thm 1" in out
+
+    def test_partitions_base(self, capsys):
+        assert main(["partitions", "-n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "3 partitions of 2 groups" in out
+
+    def test_partitions_collusion(self, capsys):
+        assert main(["partitions", "-n", "8", "--tau", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3 groups" in out
+
+    def test_run_steady_smoke(self, capsys):
+        code = main(
+            [
+                "run",
+                "steady",
+                "-n",
+                "8",
+                "--rounds",
+                "260",
+                "--deadline",
+                "64",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Quality of Delivery" in out
+        assert "satisfied" in out
+
+    def test_run_json_output(self, capsys):
+        code = main(
+            [
+                "run",
+                "steady",
+                "-n",
+                "8",
+                "--rounds",
+                "200",
+                "--deadline",
+                "64",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["qod"]["satisfied"] is True
+
+    def test_run_theorem1(self, capsys):
+        code = main(
+            [
+                "run",
+                "theorem1",
+                "-n",
+                "8",
+                "--rounds",
+                "200",
+                "--deadline",
+                "64",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,88 @@
+"""Tests for the single-instance confidential broadcast API."""
+
+import pytest
+
+from repro.adversary.random_crash import CrashOnceAdversary
+from repro.core.config import CongosParams
+from repro.harness.oneshot import confidential_broadcast
+
+
+class TestHappyPath:
+    def test_delivers_to_all_destinations(self):
+        result = confidential_broadcast(
+            n=8, source=0, data=b"payload", dest={2, 5}, deadline=64, seed=1
+        )
+        assert result.ok
+        assert set(result.delivered) == {2, 5}
+        assert result.missed == []
+        assert result.leak_free
+
+    def test_delivery_within_deadline(self):
+        result = confidential_broadcast(
+            n=8, source=0, data=b"payload", dest={3}, deadline=64, seed=2
+        )
+        inject_at = result.rounds_executed - 64 - 2
+        assert result.delivered[3] <= inject_at + 64
+
+    def test_pipeline_used(self):
+        result = confidential_broadcast(
+            n=8, source=0, data=b"payload", dest={3, 6}, deadline=64, seed=3
+        )
+        assert set(result.paths.values()) == {"reassembled"}
+
+    def test_short_deadline_direct(self):
+        result = confidential_broadcast(
+            n=8, source=0, data=b"payload", dest={3}, deadline=8, seed=0
+        )
+        assert result.ok
+        assert result.paths[3] == "direct"
+
+    def test_no_single_outsider_can_reconstruct(self):
+        result = confidential_broadcast(
+            n=8, source=0, data=b"payload", dest={3}, deadline=64, seed=4
+        )
+        assert (
+            result.min_reconstructing_coalition is None
+            or result.min_reconstructing_coalition >= 2
+        )
+
+    def test_collusion_params(self):
+        result = confidential_broadcast(
+            n=12,
+            source=0,
+            data=b"payload",
+            dest={3, 7},
+            deadline=64,
+            seed=5,
+            params=CongosParams(tau=2),
+        )
+        assert result.ok
+        assert (
+            result.min_reconstructing_coalition is None
+            or result.min_reconstructing_coalition >= 3
+        )
+
+
+class TestFaulty:
+    def test_crashed_destination_excused(self):
+        # Destination 3 dies right after injection and never returns.
+        faults = CrashOnceAdversary([3], crash_round=70)
+        result = confidential_broadcast(
+            n=8,
+            source=0,
+            data=b"payload",
+            dest={3, 5},
+            deadline=64,
+            seed=6,
+            warmup=64,
+            faults=faults,
+        )
+        assert result.on_time  # QoD judged on admissible pairs only
+        assert 5 in result.delivered
+        assert 3 not in result.missed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            confidential_broadcast(n=4, source=9, data=b"x", dest={1})
+        with pytest.raises(ValueError):
+            confidential_broadcast(n=4, source=0, data=b"x", dest={9})

@@ -1,0 +1,112 @@
+"""End-to-end adversarial integration tests (Theorem 2 in action).
+
+Every test runs the full CONGOS stack under a CRRI adversary and asserts
+the two probability-1 guarantees: zero confidentiality violations
+(Lemma 3) and zero missed admissible deliveries (Lemma 4).
+"""
+
+import pytest
+
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import (
+    burst_scenario,
+    churn_scenario,
+    group_killer_scenario,
+    proxy_killer_scenario,
+    rolling_blackout_scenario,
+    source_killer_scenario,
+    steady_scenario,
+)
+
+N = 8
+ROUNDS = 360
+DEADLINE = 64
+
+
+def assert_invariants(result):
+    report = result.qod
+    assert report.satisfied, "QoD violated: {}".format(
+        [(o.rid, o.pid) for o in report.missed][:5]
+    )
+    assert result.confidentiality.is_clean(), result.confidentiality.violation_counts()
+    assert result.confidentiality.violation_counts()["multiplicity"] == 0
+
+
+SCENARIOS = {
+    "steady": steady_scenario,
+    "churn": churn_scenario,
+    "proxy-killer": proxy_killer_scenario,
+    "group-killer": group_killer_scenario,
+    "source-killer": source_killer_scenario,
+    "rolling-blackout": rolling_blackout_scenario,
+    "burst": burst_scenario,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_invariants_hold(name, seed):
+    scenario = SCENARIOS[name](n=N, rounds=ROUNDS, seed=seed, deadline=DEADLINE)
+    result = run_congos_scenario(scenario)
+    assert_invariants(result)
+
+
+def test_churn_heavy():
+    scenario = churn_scenario(
+        n=8, rounds=400, seed=7, deadline=64, p_crash=0.05, p_restart=0.3
+    )
+    result = run_congos_scenario(scenario)
+    assert_invariants(result)
+
+
+def test_rolling_blackout_still_delivers_between_immune_pair():
+    scenario = rolling_blackout_scenario(
+        n=8, rounds=400, seed=3, deadline=64, immune=(0, 1)
+    )
+    result = run_congos_scenario(scenario)
+    assert_invariants(result)
+    assert result.qod.admissible_pairs > 0
+
+
+def test_proxy_killer_forces_retries_but_not_failures():
+    scenario = proxy_killer_scenario(n=8, rounds=400, seed=9, deadline=64)
+    result = run_congos_scenario(scenario)
+    assert_invariants(result)
+    assert result.engine.event_log.summary()["crashes"] > 0
+
+
+def test_source_killer_leaves_no_admissible_pairs_unserved():
+    scenario = source_killer_scenario(
+        n=8, rounds=320, seed=2, deadline=64, kill_probability=1.0
+    )
+    result = run_congos_scenario(scenario)
+    assert_invariants(result)
+    # Every source died: nothing is admissible, nothing is owed.
+    assert result.qod.admissible_pairs == 0
+
+
+def test_fallback_path_still_counts_as_delivery():
+    """Cripple the pipeline (tiny gossip fanout): the deadline fallback
+    must still deliver every admissible rumor — Lemma 4's probability-1
+    mechanism."""
+    from repro.core.config import CongosParams
+
+    params = CongosParams(
+        fanout_scale=0.01, min_fanout=1, gossip_fanout_scale=0.2
+    )
+    scenario = steady_scenario(
+        n=8, rounds=320, seed=4, deadline=64, params=params
+    )
+    result = run_congos_scenario(scenario)
+    assert result.qod.satisfied
+    paths = result.qod.path_counts()
+    assert paths.get("shoot", 0) > 0, "expected the fallback to fire"
+
+
+def test_messages_flow_only_while_rumors_active():
+    """After the last deadline passes, the system goes quiet."""
+    scenario = steady_scenario(n=8, rounds=400, seed=5, deadline=64)
+    result = run_congos_scenario(scenario)
+    assert_invariants(result)
+    tail = result.stats.series(380, 399)
+    assert sum(tail) == 0

@@ -1,0 +1,121 @@
+"""End-to-end collusion-tolerance tests (Section 6, Theorem 16).
+
+The collusion-tolerant CONGOS must keep every coalition of at most tau
+curious outsiders unable to reconstruct any rumor — even the adaptive
+greedy coalition that, with full hindsight, picks the most knowledgeable
+outsiders.  A (tau+1)-sized coalition is *allowed* to succeed (the bound
+is tight); we check both directions.
+"""
+
+import pytest
+
+from repro.adversary.collusion import GreedyCoalition, StaticRandomCoalition
+from repro.core.config import CongosParams
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import churn_scenario, collusion_scenario
+from repro.sim.rng import derive_rng
+
+N = 12
+ROUNDS = 320
+DEADLINE = 64
+
+
+def run_tau(tau, seed=0, n=N, rounds=ROUNDS, scenario_builder=collusion_scenario):
+    scenario = scenario_builder(
+        n=n, rounds=rounds, seed=seed, tau=tau, deadline=DEADLINE
+    )
+    return run_congos_scenario(scenario)
+
+
+class TestTauTwo:
+    def test_invariants(self):
+        result = run_tau(2)
+        assert result.qod.satisfied
+        assert result.confidentiality.is_clean()
+
+    def test_greedy_tau_coalitions_blocked(self):
+        result = run_tau(2)
+        findings = result.confidentiality.check_coalitions(
+            GreedyCoalition(), tau=2, n=N
+        )
+        assert findings
+        assert not any(f.reconstructs for f in findings)
+
+    def test_random_tau_coalitions_blocked(self):
+        result = run_tau(2, seed=1)
+        strategy = StaticRandomCoalition(derive_rng(1, "coalition"))
+        findings = result.confidentiality.check_coalitions(strategy, tau=2, n=N)
+        assert not any(f.reconstructs for f in findings)
+
+    def test_min_coalition_needs_tau_plus_one(self):
+        """Tightness: the smallest reconstructing coalition (if any) has
+        exactly tau+1 = 3 members — one per group."""
+        result = run_tau(2)
+        sizes = [
+            result.confidentiality.min_coalition_size(rid, N)
+            for rid in result.confidentiality.rumors
+        ]
+        assert all(size is None or size >= 3 for size in sizes)
+        # In a healthy run the fragments do spread to all groups, so some
+        # rumor is reconstructible by a 3-coalition.
+        assert any(size == 3 for size in sizes)
+
+    def test_outsiders_hold_at_most_one_fragment_per_partition(self):
+        result = run_tau(2)
+        assert result.confidentiality.violation_counts()["multiplicity"] == 0
+
+
+class TestTauThree:
+    def test_invariants_and_coalitions(self):
+        result = run_tau(3, n=16, rounds=320)
+        assert result.qod.satisfied
+        assert result.confidentiality.is_clean()
+        findings = result.confidentiality.check_coalitions(
+            GreedyCoalition(), tau=3, n=16
+        )
+        assert not any(f.reconstructs for f in findings)
+
+    def test_four_way_split(self):
+        result = run_tau(3, n=16, rounds=320)
+        assert result.partition_set.num_groups == 4
+
+
+class TestCollusionUnderChurn:
+    def test_tau2_with_crashes(self):
+        def builder(n, rounds, seed, tau, deadline):
+            params = CongosParams(tau=tau)
+            return churn_scenario(
+                n=n,
+                rounds=rounds,
+                seed=seed,
+                deadline=deadline,
+                p_crash=0.01,
+                p_restart=0.3,
+                params=params,
+                name="collusion-churn",
+            )
+
+        result = run_tau(2, seed=3, scenario_builder=builder)
+        assert result.qod.satisfied
+        assert result.confidentiality.is_clean()
+        findings = result.confidentiality.check_coalitions(
+            GreedyCoalition(), tau=2, n=N
+        )
+        assert not any(f.reconstructs for f in findings)
+
+
+class TestCostGrowsWithTau:
+    def test_partitions_scale_with_tau(self):
+        tau2 = run_tau(2, rounds=240)
+        tau3 = run_tau(3, n=16, rounds=240)
+        assert tau3.partition_set.count > tau2.partition_set.count
+
+    def test_messages_grow_with_tau(self):
+        """Theorem 16's tau^2 factor: more partitions x more groups."""
+        base = run_congos_scenario(
+            collusion_scenario(n=16, rounds=280, seed=0, tau=1, deadline=DEADLINE)
+        )
+        tau2 = run_congos_scenario(
+            collusion_scenario(n=16, rounds=280, seed=0, tau=2, deadline=DEADLINE)
+        )
+        assert tau2.stats.max_per_round() > base.stats.max_per_round()

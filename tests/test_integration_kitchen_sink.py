@@ -1,0 +1,143 @@
+"""The kitchen sink: every mechanism at once.
+
+Collusion-tolerant CONGOS (tau=2) under simultaneous churn AND an adaptive
+proxy killer, serving mixed-deadline traffic that includes destination-
+hidden rumors — with greedy coalition analysis at the end.  If the paper's
+guarantees compose, they hold here too.
+"""
+
+import pytest
+
+from repro.adversary.adaptive import ProxyKillerAdversary
+from repro.adversary.base import Adversary, ComposedAdversary
+from repro.adversary.collusion import GreedyCoalition
+from repro.adversary.injection import ScriptedWorkload
+from repro.adversary.random_crash import ChurnAdversary
+from repro.audit.confidentiality import ConfidentialityAuditor
+from repro.audit.delivery import DeliveryAuditor
+from repro.core.config import CongosParams
+from repro.core.congos import build_partition_set, congos_factory
+from repro.core.extensions import DestinationHidingWorkload
+from repro.sim.engine import Engine
+from repro.sim.rng import derive_rng
+
+N = 12
+ROUNDS = 560
+TAU = 2
+
+
+class CombinedFaults(Adversary):
+    """Churn plus an adaptive proxy killer in one adversary."""
+
+    def __init__(self, rng):
+        # Scripted sources stay immune so every scripted injection lands;
+        # everyone else is fair game.
+        self.churn = ChurnAdversary(
+            rng, p_crash=0.008, p_restart=0.3, min_alive=6, immune={0, 1, 2, 3, 4}
+        )
+        self.killer = ProxyKillerAdversary(
+            budget_per_round=1, total_budget=6, restart_after=32
+        )
+
+    def round_start(self, view):
+        decision = self.churn.round_start(view)
+        revive = self.killer.round_start(view)
+        decision.restarts |= revive.restarts - decision.crashes - decision.restarts
+        return decision
+
+    def mid_round(self, view, outgoing):
+        return self.killer.mid_round(view, outgoing)
+
+
+@pytest.fixture(scope="module")
+def kitchen_sink_run():
+    params = CongosParams(tau=TAU, collusion_direct_factor=16.0)
+    partitions = build_partition_set(N, params, seed=99)
+    delivery = DeliveryAuditor()
+    confidentiality = ConfidentialityAuditor(
+        partitions.count, partitions.num_groups
+    )
+    factory = congos_factory(
+        N,
+        params=params,
+        seed=99,
+        deliver_callback=delivery.record_delivery,
+        partition_set=partitions,
+    )
+    plain_script = [
+        (80, 0, 64, {3, 5}),
+        (96, 1, 128, {2, 6, 9}),
+        (140, 2, 300, {7}),
+        (170, 3, 16, {8, 10}),  # direct-send class
+    ]
+    hidden_script = [(120, 4, 64, {6, 11})]
+
+    def hidden_factory(rng):
+        inner = ScriptedWorkload(
+            hidden_script, derive_rng(99, "hidden"), seq_start=500_000
+        )
+        return DestinationHidingWorkload(inner, N, rng)
+
+    adversary = ComposedAdversary(
+        [
+            ScriptedWorkload(plain_script, derive_rng(99, "plain")),
+            hidden_factory(derive_rng(99, "hidewrap")),
+            CombinedFaults(derive_rng(99, "faults")),
+        ]
+    )
+    engine = Engine(
+        N,
+        factory,
+        adversary,
+        observers=[delivery, confidentiality],
+        seed=99,
+    )
+    engine.run(ROUNDS)
+    return engine, delivery, confidentiality
+
+
+class TestKitchenSink:
+    def test_faults_actually_happened(self, kitchen_sink_run):
+        engine, *_ = kitchen_sink_run
+        summary = engine.event_log.summary()
+        assert summary["crashes"] > 0
+        assert summary["restarts"] > 0
+
+    def test_qod_holds(self, kitchen_sink_run):
+        engine, delivery, _ = kitchen_sink_run
+        report = delivery.report(engine)
+        assert report.satisfied, report.summary()
+
+    def test_confidentiality_holds(self, kitchen_sink_run):
+        engine, _, confidentiality = kitchen_sink_run
+        assert confidentiality.is_clean()
+        assert confidentiality.violation_counts()["multiplicity"] == 0
+
+    def test_tau_coalitions_blocked(self, kitchen_sink_run):
+        engine, _, confidentiality = kitchen_sink_run
+        findings = confidentiality.check_coalitions(
+            GreedyCoalition(), tau=TAU, n=N
+        )
+        assert findings
+        assert not any(f.reconstructs for f in findings)
+
+    def test_mixed_deadline_classes_instantiated(self, kitchen_sink_run):
+        engine, *_ = kitchen_sink_run
+        classes = set()
+        for pid in range(N):
+            node = engine.behavior(pid)
+            if node is not None:
+                classes |= set(node.instances)
+        assert 64 in classes
+        assert 256 in classes
+
+    def test_hidden_rumors_expanded(self, kitchen_sink_run):
+        engine, delivery, _ = kitchen_sink_run
+        hidden_rids = [
+            rid for rid in delivery.rumors if rid.seq >= 500_000
+        ]
+        # One hidden rumor -> up to N-1 sub-rumors (crash timing may drop
+        # a couple of expansions whose source happened to be down).
+        assert len(hidden_rids) >= N // 2
+        for rid in hidden_rids:
+            assert len(delivery.rumors[rid].dest) == 1

@@ -1,0 +1,148 @@
+"""Property-based tests of the continuous-gossip black box.
+
+The interface contract CONGOS relies on (DESIGN.md §2): in reliable mode,
+every admissible item reaches every in-scope destination by its deadline —
+for *any* scope, deadline, fanout and crash set hypothesis dreams up.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.gossip.continuous import ContinuousGossip
+
+
+class MiniHarness:
+    def __init__(self, scope, seed, crashed=frozenset(), **kwargs):
+        self.scope = sorted(scope)
+        self.crashed = set(crashed)
+        self.delivered = {pid: set() for pid in self.scope}
+        self.services = {}
+        self.round = 0
+        for pid in self.scope:
+            self.services[pid] = ContinuousGossip(
+                pid=pid,
+                n=max(self.scope) + 1,
+                channel="prop",
+                scope=self.scope,
+                rng=random.Random(seed * 7919 + pid),
+                deliver=self._cb(pid),
+                **kwargs,
+            )
+
+    def _cb(self, pid):
+        def callback(round_no, item):
+            self.delivered[pid].add(item.uid)
+
+        return callback
+
+    def run(self, rounds):
+        for _ in range(rounds):
+            outgoing = []
+            for pid in self.scope:
+                if pid not in self.crashed:
+                    outgoing.extend(self.services[pid].send_phase(self.round))
+            for message in outgoing:
+                if message.dst not in self.crashed:
+                    self.services[message.dst].on_message(self.round, message)
+            for pid in self.scope:
+                if pid not in self.crashed:
+                    self.services[pid].end_round(self.round)
+            self.round += 1
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    scope_size=st.integers(min_value=2, max_value=40),
+    deadline=st.integers(min_value=2, max_value=20),
+    fanout_scale=st.floats(min_value=0.01, max_value=3.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_reliable_mode_always_delivers(scope_size, deadline, fanout_scale, seed):
+    """Admissible items (origin alive throughout) reach every in-scope
+    destination by the deadline — probability 1 in reliable mode."""
+    harness = MiniHarness(
+        range(scope_size), seed, fanout_scale=fanout_scale, reliable=True
+    )
+    item = harness.services[0].inject(
+        0, "payload", deadline=deadline, dest=range(scope_size)
+    )
+    harness.run(deadline + 1)
+    for pid in range(scope_size):
+        assert item.uid in harness.delivered[pid]
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    scope_size=st.integers(min_value=3, max_value=32),
+    seed=st.integers(min_value=0, max_value=100),
+    data=st.data(),
+)
+def test_crashed_members_never_receive(scope_size, seed, data):
+    """No delivery at crashed members; survivors still served (reliable)."""
+    crashed = data.draw(
+        st.sets(
+            st.integers(min_value=1, max_value=scope_size - 1),
+            max_size=scope_size - 2,
+        )
+    )
+    harness = MiniHarness(
+        range(scope_size), seed, crashed=crashed, reliable=True
+    )
+    item = harness.services[0].inject(
+        0, "payload", deadline=12, dest=range(scope_size)
+    )
+    harness.run(13)
+    for pid in range(scope_size):
+        if pid in crashed:
+            assert item.uid not in harness.delivered[pid]
+        else:
+            assert item.uid in harness.delivered[pid]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    scope_size=st.integers(min_value=2, max_value=32),
+    dest_size=st.integers(min_value=0, max_value=32),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_deliveries_respect_destination_sets(scope_size, dest_size, seed):
+    """Delivery callbacks fire only at destination-set members."""
+    dest = set(range(min(dest_size, scope_size)))
+    harness = MiniHarness(range(scope_size), seed, reliable=True)
+    item = harness.services[0].inject(0, "payload", deadline=10, dest=dest)
+    harness.run(11)
+    for pid in range(scope_size):
+        if pid in item.dest:
+            assert item.uid in harness.delivered[pid]
+        else:
+            assert item.uid not in harness.delivered[pid]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    scope_size=st.integers(min_value=2, max_value=24),
+    item_count=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_concurrent_items_all_delivered(scope_size, item_count, seed):
+    harness = MiniHarness(range(scope_size), seed, reliable=True)
+    uids = []
+    for index in range(item_count):
+        origin = index % scope_size
+        item = harness.services[origin].inject(
+            0, "p{}".format(index), deadline=14, dest=range(scope_size)
+        )
+        uids.append(item.uid)
+    harness.run(15)
+    for pid in range(scope_size):
+        assert harness.delivered[pid] >= set(uids)

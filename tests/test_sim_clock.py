@@ -1,0 +1,128 @@
+"""Tests for repro.sim.clock: round clock and block/iteration arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import BlockSchedule, RoundClock
+
+
+class TestRoundClock:
+    def test_starts_at_zero(self):
+        assert RoundClock().round == 0
+
+    def test_custom_start(self):
+        assert RoundClock(10).round == 10
+
+    def test_advance_increments(self):
+        clock = RoundClock()
+        assert clock.advance() == 1
+        assert clock.round == 1
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            RoundClock(-1)
+
+
+class TestBlockScheduleBasics:
+    def test_block_len_is_quarter_deadline(self):
+        assert BlockSchedule(64).block_len == 16
+        assert BlockSchedule(256).block_len == 64
+
+    def test_iteration_len_is_sqrt_plus_two(self):
+        assert BlockSchedule(64).iteration_len == 10
+        assert BlockSchedule(256).iteration_len == 18
+
+    def test_iterations_per_block(self):
+        assert BlockSchedule(64).iterations_per_block == 1
+        assert BlockSchedule(256).iterations_per_block == 3
+
+    def test_lemma6_iteration_count(self):
+        """Lemma 6: at least sqrt(dline)/8 iterations per block."""
+        for exponent in range(6, 13):
+            dline = 2 ** exponent
+            schedule = BlockSchedule(dline)
+            assert schedule.iterations_per_block >= math.isqrt(dline) / 8
+
+    def test_tiny_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSchedule(2)
+
+    def test_gossip_deadline_is_sqrt(self):
+        assert BlockSchedule(64).gossip_deadline == 8
+
+    def test_allgossip_deadline_fits_block(self):
+        schedule = BlockSchedule(64)
+        assert schedule.allgossip_deadline == schedule.block_len - 1
+
+
+class TestBlockPositions:
+    def test_block_of(self):
+        schedule = BlockSchedule(64)  # blocks of 16
+        assert schedule.block_of(0) == 0
+        assert schedule.block_of(15) == 0
+        assert schedule.block_of(16) == 1
+
+    def test_block_start_end(self):
+        schedule = BlockSchedule(64)
+        assert schedule.block_start(2) == 32
+        assert schedule.block_end(2) == 47
+
+    def test_is_block_start(self):
+        schedule = BlockSchedule(64)
+        assert schedule.is_block_start(32)
+        assert not schedule.is_block_start(33)
+
+    def test_is_block_last_round(self):
+        schedule = BlockSchedule(64)
+        assert schedule.is_block_last_round(47)
+        assert not schedule.is_block_last_round(46)
+
+    def test_iteration_of_within_block(self):
+        schedule = BlockSchedule(256)  # block 64, iter 18 -> 3 iterations
+        assert schedule.iteration_of(0) == 0
+        assert schedule.iteration_of(17) == 0
+        assert schedule.iteration_of(18) == 1
+        assert schedule.iteration_of(53) == 2
+
+    def test_slack_tail_has_no_iteration(self):
+        schedule = BlockSchedule(256)
+        # 3 iterations cover rounds 0..53 of the block; 54..63 are slack.
+        assert schedule.iteration_of(54) == -1
+        assert schedule.round_in_iteration(54) == -1
+
+    def test_round_in_iteration(self):
+        schedule = BlockSchedule(64)
+        assert schedule.round_in_iteration(0) == 0
+        assert schedule.round_in_iteration(1) == 1
+        assert schedule.round_in_iteration(9) == 9
+
+    def test_is_iteration_last_round(self):
+        schedule = BlockSchedule(64)  # iteration length 10
+        assert schedule.is_iteration_last_round(9)
+        assert not schedule.is_iteration_last_round(8)
+
+    def test_describe_is_readable(self):
+        text = BlockSchedule(64).describe(17)
+        assert "round=17" in text and "block=1" in text
+
+
+@given(
+    exponent=st.integers(min_value=6, max_value=14),
+    round_no=st.integers(min_value=0, max_value=100_000),
+)
+def test_positions_are_consistent(exponent, round_no):
+    """Property: positions derived from a round always agree."""
+    schedule = BlockSchedule(2 ** exponent)
+    block = schedule.block_of(round_no)
+    assert schedule.block_start(block) <= round_no <= schedule.block_end(block)
+    offset = schedule.round_in_block(round_no)
+    assert offset == round_no - schedule.block_start(block)
+    iteration = schedule.iteration_of(round_no)
+    if iteration >= 0:
+        position = schedule.round_in_iteration(round_no)
+        assert 0 <= position < schedule.iteration_len
+        assert offset == iteration * schedule.iteration_len + position
+    else:
+        assert offset >= schedule.iterations_per_block * schedule.iteration_len

@@ -1,0 +1,264 @@
+"""Tests for repro.sim.engine: the synchronous round loop."""
+
+import pytest
+
+from repro.adversary.base import Adversary
+from repro.sim.engine import Engine, SimObserver
+from repro.sim.events import MidRoundDecision, RoundDecision
+from repro.sim.messages import Message, ServiceTags
+from repro.sim.process import NodeBehavior
+
+from conftest import mk_rumor
+
+
+class EchoNode(NodeBehavior):
+    """Sends one message per round to (pid+1) mod n; records receptions."""
+
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.inbox_log = []
+        self.injected = []
+
+    def on_inject(self, round_no, rumor):
+        self.injected.append(rumor)
+
+    def send_phase(self, round_no):
+        return [
+            Message(
+                src=self.pid,
+                dst=(self.pid + 1) % self.n,
+                service=ServiceTags.BASELINE,
+                payload=round_no,
+            )
+        ]
+
+    def receive_phase(self, round_no, inbox):
+        self.inbox_log.append((round_no, [m.src for m in inbox]))
+
+
+def echo_factory(n):
+    return lambda pid: EchoNode(pid, n)
+
+
+class OneShotAdversary(Adversary):
+    def __init__(self, decisions=None, mid_decisions=None):
+        self.decisions = decisions or {}
+        self.mid_decisions = mid_decisions or {}
+
+    def round_start(self, view):
+        return self.decisions.get(view.round, RoundDecision())
+
+    def mid_round(self, view, outgoing):
+        maker = self.mid_decisions.get(view.round)
+        return maker(view, outgoing) if maker else MidRoundDecision()
+
+
+class Recorder(SimObserver):
+    def __init__(self):
+        self.events = []
+
+    def on_round_begin(self, round_no):
+        self.events.append(("begin", round_no))
+
+    def on_crash(self, round_no, pid, mid_round):
+        self.events.append(("crash", round_no, pid, mid_round))
+
+    def on_restart(self, round_no, pid):
+        self.events.append(("restart", round_no, pid))
+
+    def on_inject(self, round_no, pid, rumor):
+        self.events.append(("inject", round_no, pid))
+
+    def on_deliver(self, round_no, message):
+        self.events.append(("deliver", round_no, message.src, message.dst))
+
+    def on_round_end(self, round_no, engine):
+        self.events.append(("end", round_no))
+
+
+class TestBasics:
+    def test_same_round_delivery(self):
+        """Synchronous model: messages sent in round t arrive in round t."""
+        engine = Engine(3, echo_factory(3))
+        engine.run(1)
+        node = engine.behavior(1)
+        assert node.inbox_log == [(0, [0])]
+
+    def test_round_counter_advances(self):
+        engine = Engine(2, echo_factory(2))
+        engine.run(5)
+        assert engine.round == 5
+        assert engine.rounds_executed == 5
+
+    def test_message_stats_recorded(self):
+        engine = Engine(3, echo_factory(3))
+        engine.run(2)
+        assert engine.stats.total == 6
+        assert engine.stats.per_round(0) == 3
+
+    def test_all_alive_initially(self):
+        engine = Engine(4, echo_factory(4))
+        assert engine.alive_pids() == {0, 1, 2, 3}
+
+    def test_needs_processes(self):
+        with pytest.raises(ValueError):
+            Engine(0, echo_factory(1))
+
+
+class TestCrashRestart:
+    def test_round_start_crash_silences_process(self):
+        adversary = OneShotAdversary({1: RoundDecision(crashes={0})})
+        engine = Engine(2, echo_factory(2), adversary)
+        engine.run(2)
+        # Round 0: both send. Round 1: only pid 1 sends.
+        assert engine.stats.per_round(0) == 2
+        assert engine.stats.per_round(1) == 1
+        assert engine.alive_pids() == {1}
+
+    def test_crashed_process_receives_nothing(self):
+        adversary = OneShotAdversary({1: RoundDecision(crashes={1})})
+        engine = Engine(2, echo_factory(2), adversary)
+        engine.run(2)
+        # pid 1 crashed at round 1 start; pid 0's round-1 message is lost.
+        log = engine.event_log
+        assert log.crash_rounds(1) == [1]
+
+    def test_restart_resets_state(self):
+        adversary = OneShotAdversary(
+            {
+                1: RoundDecision(crashes={0}),
+                3: RoundDecision(restarts={0}),
+            }
+        )
+        engine = Engine(2, echo_factory(2), adversary)
+        engine.run(5)
+        node = engine.behavior(0)
+        # Fresh node: only rounds >= 3 in its log.
+        assert all(round_no >= 3 for round_no, _ in node.inbox_log)
+
+    def test_restarted_process_receives_same_round(self):
+        adversary = OneShotAdversary(
+            {
+                1: RoundDecision(crashes={0}),
+                2: RoundDecision(restarts={0}),
+            }
+        )
+        engine = Engine(2, echo_factory(2), adversary)
+        engine.run(3)
+        node = engine.behavior(0)
+        assert node.inbox_log[0] == (2, [1])
+
+    def test_crash_and_restart_same_round_rejected(self):
+        adversary = OneShotAdversary(
+            {0: RoundDecision(crashes={0}, restarts={0})}
+        )
+        engine = Engine(2, echo_factory(2), adversary)
+        with pytest.raises(ValueError):
+            engine.run(1)
+
+    def test_mid_round_crash_after_sending(self):
+        def mid(view, outgoing):
+            return MidRoundDecision(crashes={0})
+
+        adversary = OneShotAdversary(mid_decisions={0: mid})
+        engine = Engine(2, echo_factory(2), adversary)
+        engine.run(1)
+        # pid 0 sent (counted) but is now dead; its message was delivered.
+        assert engine.stats.per_round(0) == 2
+        assert not engine.shells[0].alive
+        assert engine.behavior(1).inbox_log == [(0, [0])]
+
+    def test_mid_round_crash_receiver_loses_inbox(self):
+        def mid(view, outgoing):
+            return MidRoundDecision(crashes={1})
+
+        adversary = OneShotAdversary(mid_decisions={0: mid})
+        engine = Engine(2, echo_factory(2), adversary)
+        engine.run(1)
+        assert not engine.shells[1].alive
+
+    def test_mid_round_crash_with_message_drop(self):
+        def mid(view, outgoing):
+            drops = {
+                i for i, m in enumerate(outgoing) if m.src == 0
+            }
+            return MidRoundDecision(crashes={0}, dropped_messages=drops)
+
+        adversary = OneShotAdversary(mid_decisions={0: mid})
+        engine = Engine(2, echo_factory(2), adversary)
+        engine.run(1)
+        assert engine.behavior(1).inbox_log == [(0, [])]
+
+    def test_mid_round_crash_of_dead_process_rejected(self):
+        def mid(view, outgoing):
+            return MidRoundDecision(crashes={0})
+
+        adversary = OneShotAdversary(
+            {0: RoundDecision(crashes={0})}, {0: mid}
+        )
+        engine = Engine(2, echo_factory(2), adversary)
+        with pytest.raises(ValueError):
+            engine.run(1)
+
+
+class TestInjections:
+    def test_injection_reaches_node(self):
+        rumor = mk_rumor()
+        adversary = OneShotAdversary(
+            {0: RoundDecision(injections=[(1, rumor)])}
+        )
+        engine = Engine(2, echo_factory(2), adversary)
+        engine.run(1)
+        assert engine.behavior(1).injected == [rumor]
+        assert len(engine.event_log.injections) == 1
+
+    def test_double_injection_same_round_rejected(self):
+        adversary = OneShotAdversary(
+            {0: RoundDecision(injections=[(1, mk_rumor(seq=0)), (1, mk_rumor(seq=1))])}
+        )
+        engine = Engine(2, echo_factory(2), adversary)
+        with pytest.raises(ValueError):
+            engine.run(1)
+
+    def test_injection_at_crashed_rejected(self):
+        adversary = OneShotAdversary(
+            {0: RoundDecision(crashes={1}, injections=[(1, mk_rumor())])}
+        )
+        engine = Engine(2, echo_factory(2), adversary)
+        with pytest.raises(ValueError):
+            engine.run(1)
+
+
+class TestObservers:
+    def test_event_order_within_round(self):
+        recorder = Recorder()
+        engine = Engine(2, echo_factory(2), observers=[recorder])
+        engine.run(1)
+        kinds = [event[0] for event in recorder.events]
+        assert kinds[0] == "begin"
+        assert kinds[-1] == "end"
+        assert kinds.count("deliver") == 2
+
+    def test_observer_sees_crash(self):
+        recorder = Recorder()
+        adversary = OneShotAdversary({0: RoundDecision(crashes={1})})
+        engine = Engine(2, echo_factory(2), adversary, observers=[recorder])
+        engine.run(1)
+        assert ("crash", 0, 1, False) in recorder.events
+
+    def test_add_observer_later(self):
+        engine = Engine(2, echo_factory(2))
+        recorder = Recorder()
+        engine.add_observer(recorder)
+        engine.run(1)
+        assert recorder.events
+
+
+class TestDeterminism:
+    def test_same_seed_same_messages(self):
+        def run():
+            engine = Engine(4, echo_factory(4), seed=5)
+            engine.run(10)
+            return engine.stats.total, engine.stats.series(0, 9)
+
+        assert run() == run()

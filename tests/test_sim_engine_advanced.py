@@ -1,0 +1,102 @@
+"""Advanced engine behaviours: non-zero start rounds, views, late joins."""
+
+import pytest
+
+from repro.adversary.base import Adversary
+from repro.sim.engine import AdversaryView, Engine
+from repro.sim.events import MidRoundDecision, RoundDecision
+from repro.sim.messages import Message, ServiceTags
+from repro.sim.process import NodeBehavior
+
+from conftest import mk_rumor
+
+
+class WakeupNode(NodeBehavior):
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.started_at = None
+
+    def on_start(self, round_no):
+        self.started_at = round_no
+
+
+class TestStartRound:
+    def test_engine_starts_at_given_round(self):
+        engine = Engine(2, lambda pid: WakeupNode(pid, 2), start_round=100)
+        assert engine.round == 100
+        assert engine.behavior(0).started_at == 100
+
+    def test_rounds_advance_from_start(self):
+        engine = Engine(2, lambda pid: WakeupNode(pid, 2), start_round=100)
+        engine.run(5)
+        assert engine.round == 105
+        assert engine.stats.rounds_observed == 0  # no traffic from WakeupNode
+
+
+class TestAdversaryView:
+    def test_view_accessors(self):
+        engine = Engine(4, lambda pid: WakeupNode(pid, 4))
+        view = engine.view
+        assert view.n == 4
+        assert view.alive_pids() == {0, 1, 2, 3}
+        assert view.crashed_pids() == set()
+        assert view.is_alive(2)
+        assert isinstance(view.behavior(1), WakeupNode)
+
+    def test_view_tracks_crashes(self):
+        engine = Engine(4, lambda pid: WakeupNode(pid, 4))
+        engine.shells[2].crash()
+        assert engine.view.crashed_pids() == {2}
+        assert engine.view.behavior(2) is None
+
+    def test_event_log_accessible(self):
+        engine = Engine(2, lambda pid: WakeupNode(pid, 2))
+        assert engine.view.event_log is engine.event_log
+
+
+class SendToDead(NodeBehavior):
+    """Keeps sending to pid 1 even after it dies."""
+
+    def send_phase(self, round_no):
+        if self.pid != 0:
+            return []
+        return [Message(src=0, dst=1, service=ServiceTags.BASELINE)]
+
+
+class KillOne(Adversary):
+    def round_start(self, view):
+        if view.round == 1:
+            return RoundDecision(crashes={1})
+        return RoundDecision()
+
+
+class TestLossAccounting:
+    def test_sends_to_dead_counted_not_delivered(self):
+        engine = Engine(3, lambda pid: SendToDead(pid, 3), KillOne())
+        engine.run(3)
+        # All 3 sends counted; rounds 1-2 deliveries lost.
+        assert engine.stats.total == 3
+        assert engine.stats.per_round(2) == 1
+
+
+class RestartLoop(Adversary):
+    """Crashes and restarts pid 0 on alternating rounds."""
+
+    def round_start(self, view):
+        if view.round % 2 == 1 and view.is_alive(0):
+            return RoundDecision(crashes={0})
+        if view.round % 2 == 0 and view.round > 0 and not view.is_alive(0):
+            return RoundDecision(restarts={0})
+        return RoundDecision()
+
+
+class TestCrashRestartLoop:
+    def test_flapping_process_state_fresh_each_time(self):
+        engine = Engine(2, lambda pid: WakeupNode(pid, 2), RestartLoop())
+        engine.run(9)
+        shell = engine.shells[0]
+        assert shell.crash_count == shell.restart_count + (0 if shell.alive else 1)
+        log = engine.event_log
+        assert len(log.crash_rounds(0)) >= 4
+        # Never continuously alive across any crash boundary.
+        assert not log.continuously_alive(0, 0, 8)

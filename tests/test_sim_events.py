@@ -1,0 +1,106 @@
+"""Tests for repro.sim.events: CRRI events and alive-interval bookkeeping."""
+
+import pytest
+
+from repro.sim.events import (
+    CrashEvent,
+    EventLog,
+    InjectEvent,
+    MidRoundDecision,
+    RestartEvent,
+    RoundDecision,
+)
+
+from conftest import mk_rumor
+
+
+class TestDecisions:
+    def test_round_decision_empty_by_default(self):
+        assert RoundDecision().is_empty()
+
+    def test_round_decision_not_empty_with_crash(self):
+        assert not RoundDecision(crashes={1}).is_empty()
+
+    def test_mid_round_decision_empty_by_default(self):
+        assert MidRoundDecision().is_empty()
+
+    def test_mid_round_decision_not_empty_with_drop(self):
+        assert not MidRoundDecision(dropped_messages={0}).is_empty()
+
+
+class TestEventLogRecording:
+    def test_crash_rounds_in_order(self):
+        log = EventLog()
+        log.record_crash(CrashEvent(3, 5))
+        log.record_crash(CrashEvent(3, 9))
+        assert log.crash_rounds(3) == [5, 9]
+
+    def test_restart_rounds(self):
+        log = EventLog()
+        log.record_restart(RestartEvent(3, 7))
+        assert log.restart_rounds(3) == [7]
+
+    def test_unknown_pid_has_no_events(self):
+        log = EventLog()
+        assert log.crash_rounds(99) == []
+        assert log.restart_rounds(99) == []
+
+    def test_summary_counts(self):
+        log = EventLog()
+        log.record_crash(CrashEvent(0, 1))
+        log.record_restart(RestartEvent(0, 2))
+        log.record_injection(InjectEvent(1, 3, mk_rumor()))
+        assert log.summary() == {"crashes": 1, "restarts": 1, "injections": 1}
+
+
+class TestContinuouslyAlive:
+    def test_never_crashed_is_alive(self):
+        log = EventLog()
+        assert log.continuously_alive(0, 0, 100)
+
+    def test_crash_inside_interval(self):
+        log = EventLog()
+        log.record_crash(CrashEvent(0, 50))
+        assert not log.continuously_alive(0, 0, 100)
+        assert not log.continuously_alive(0, 50, 50)
+
+    def test_crash_before_interval_without_restart(self):
+        log = EventLog()
+        log.record_crash(CrashEvent(0, 10))
+        assert not log.continuously_alive(0, 20, 30)
+
+    def test_crash_then_restart_before_interval(self):
+        log = EventLog()
+        log.record_crash(CrashEvent(0, 10))
+        log.record_restart(RestartEvent(0, 15))
+        assert log.continuously_alive(0, 20, 30)
+
+    def test_restart_in_start_round_is_not_alive_at_beginning(self):
+        # Admissibility demands aliveness at the *beginning* of the round;
+        # a restart during that round does not qualify.
+        log = EventLog()
+        log.record_crash(CrashEvent(0, 10))
+        log.record_restart(RestartEvent(0, 20))
+        assert not log.continuously_alive(0, 20, 30)
+        assert log.continuously_alive(0, 21, 30)
+
+    def test_crash_at_interval_boundary(self):
+        log = EventLog()
+        log.record_crash(CrashEvent(0, 30))
+        assert not log.continuously_alive(0, 0, 30)
+        assert log.continuously_alive(0, 0, 29)
+
+    def test_multiple_crash_restart_cycles(self):
+        log = EventLog()
+        log.record_crash(CrashEvent(0, 10))
+        log.record_restart(RestartEvent(0, 12))
+        log.record_crash(CrashEvent(0, 40))
+        log.record_restart(RestartEvent(0, 44))
+        assert log.continuously_alive(0, 13, 39)
+        assert not log.continuously_alive(0, 13, 40)
+        assert log.continuously_alive(0, 45, 60)
+
+    def test_empty_interval_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.continuously_alive(0, 5, 4)

@@ -1,0 +1,108 @@
+"""Tests for repro.sim.network: reliable delivery and adversarial drops."""
+
+import pytest
+
+from repro.sim.network import Network
+
+from conftest import mk_message
+
+
+def route(network, messages, alive=None, boundary=(), drops=()):
+    alive_set = alive if alive is not None else set(range(network.n))
+    return network.route(
+        round_no=0,
+        outgoing=messages,
+        alive_after_round=alive_set,
+        boundary_pids=set(boundary),
+        adversary_drops=drops,
+    )
+
+
+class TestValidation:
+    def test_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            Network(0)
+
+    def test_rejects_out_of_range_dst(self):
+        network = Network(2)
+        with pytest.raises(ValueError):
+            route(network, [mk_message(src=0, dst=5)])
+
+    def test_rejects_out_of_range_src(self):
+        network = Network(2)
+        with pytest.raises(ValueError):
+            route(network, [mk_message(src=9, dst=0)])
+
+
+class TestDelivery:
+    def test_delivers_to_alive(self):
+        network = Network(3)
+        outcome = route(network, [mk_message(src=0, dst=1)])
+        assert outcome.delivered_count == 1
+        assert len(outcome.inboxes[1]) == 1
+
+    def test_inboxes_grouped_by_destination(self):
+        network = Network(3)
+        messages = [mk_message(src=0, dst=1), mk_message(src=0, dst=2), mk_message(src=1, dst=2)]
+        outcome = route(network, messages)
+        assert len(outcome.inboxes[1]) == 1
+        assert len(outcome.inboxes[2]) == 2
+
+    def test_crashed_destination_loses_message(self):
+        network = Network(3)
+        outcome = route(network, [mk_message(src=0, dst=1)], alive={0, 2})
+        assert outcome.delivered_count == 0
+        assert len(outcome.lost_to_crash) == 1
+
+    def test_all_sends_counted_even_if_lost(self):
+        """Message complexity counts sends (Definition 3)."""
+        network = Network(3)
+        route(network, [mk_message(src=0, dst=1)], alive={0})
+        assert network.stats.total == 1
+
+    def test_delivery_preserves_order(self):
+        network = Network(2)
+        messages = [mk_message(src=0, dst=1, payload=i) for i in range(5)]
+        outcome = route(network, messages)
+        assert [m.payload for m in outcome.inboxes[1]] == list(range(5))
+
+
+class TestAdversarialDrops:
+    def test_drop_allowed_on_boundary_sender(self):
+        network = Network(3)
+        outcome = route(
+            network,
+            [mk_message(src=0, dst=1)],
+            boundary={0},
+            drops={0},
+        )
+        assert outcome.delivered_count == 0
+        assert len(outcome.lost_to_adversary) == 1
+
+    def test_drop_allowed_on_boundary_receiver(self):
+        network = Network(3)
+        outcome = route(
+            network,
+            [mk_message(src=0, dst=1)],
+            boundary={1},
+            drops={0},
+        )
+        assert outcome.delivered_count == 0
+
+    def test_drop_without_boundary_rejected(self):
+        """The network is reliable: only crash/restart rounds lose messages."""
+        network = Network(3)
+        with pytest.raises(ValueError):
+            route(network, [mk_message(src=0, dst=1)], drops={0})
+
+    def test_partial_drop_of_boundary_sender(self):
+        """Some of a crashing sender's messages may still be delivered."""
+        network = Network(4)
+        messages = [
+            mk_message(src=0, dst=1),
+            mk_message(src=0, dst=2),
+            mk_message(src=0, dst=3),
+        ]
+        outcome = route(network, messages, boundary={0}, drops={1})
+        assert outcome.delivered_count == 2
+        assert len(outcome.lost_to_adversary) == 1

@@ -1,0 +1,118 @@
+"""Tests for repro.sim.process: aliveness and volatile-state reset."""
+
+import pytest
+
+from repro.sim.messages import Message, ServiceTags
+from repro.sim.process import NodeBehavior, ProcessShell
+
+from conftest import mk_rumor
+
+
+class CountingNode(NodeBehavior):
+    """Remembers things in volatile state, for crash-reset tests."""
+
+    def __init__(self, pid, n=8):
+        super().__init__(pid, n)
+        self.started_at = None
+        self.injections = []
+        self.received = []
+
+    def on_start(self, round_no):
+        self.started_at = round_no
+
+    def on_inject(self, round_no, rumor):
+        self.injections.append((round_no, rumor))
+
+    def send_phase(self, round_no):
+        return [
+            Message(src=self.pid, dst=(self.pid + 1) % self.n, service=ServiceTags.BASELINE)
+        ]
+
+    def receive_phase(self, round_no, inbox):
+        self.received.extend(inbox)
+
+
+class ForgingNode(NodeBehavior):
+    def send_phase(self, round_no):
+        return [Message(src=self.pid + 1, dst=0, service=ServiceTags.BASELINE)]
+
+
+class TestLifecycle:
+    def test_starts_dead_until_started(self):
+        shell = ProcessShell(0, lambda pid: CountingNode(pid))
+        assert not shell.alive
+        shell.start(0)
+        assert shell.alive
+
+    def test_on_start_receives_round(self):
+        shell = ProcessShell(0, lambda pid: CountingNode(pid))
+        behavior = shell.start(17)
+        assert behavior.started_at == 17
+
+    def test_double_start_rejected(self):
+        shell = ProcessShell(0, lambda pid: CountingNode(pid))
+        shell.start(0)
+        with pytest.raises(RuntimeError):
+            shell.start(1)
+
+    def test_crash_discards_state(self):
+        shell = ProcessShell(0, lambda pid: CountingNode(pid))
+        node = shell.start(0)
+        node.injections.append("marker")
+        shell.crash()
+        assert not shell.alive
+        fresh = shell.restart(5)
+        assert fresh.injections == []
+        assert fresh is not node
+
+    def test_crash_when_dead_rejected(self):
+        shell = ProcessShell(0, lambda pid: CountingNode(pid))
+        with pytest.raises(RuntimeError):
+            shell.crash()
+
+    def test_counters(self):
+        shell = ProcessShell(0, lambda pid: CountingNode(pid))
+        shell.start(0)
+        shell.crash()
+        shell.restart(1)
+        shell.crash()
+        shell.restart(2)
+        assert shell.crash_count == 2
+        assert shell.restart_count == 2
+
+    def test_factory_pid_mismatch_rejected(self):
+        shell = ProcessShell(3, lambda pid: CountingNode(0))
+        with pytest.raises(ValueError):
+            shell.start(0)
+
+
+class TestPhases:
+    def test_crashed_process_sends_nothing(self):
+        shell = ProcessShell(0, lambda pid: CountingNode(pid))
+        assert shell.send_phase(0) == []
+
+    def test_crashed_process_ignores_receive(self):
+        shell = ProcessShell(0, lambda pid: CountingNode(pid))
+        shell.receive_phase(0, [])  # must not raise
+
+    def test_inject_at_crashed_rejected(self):
+        shell = ProcessShell(0, lambda pid: CountingNode(pid))
+        with pytest.raises(RuntimeError):
+            shell.inject(0, mk_rumor())
+
+    def test_inject_forwarded(self):
+        shell = ProcessShell(0, lambda pid: CountingNode(pid))
+        node = shell.start(0)
+        rumor = mk_rumor()
+        shell.inject(4, rumor)
+        assert node.injections == [(4, rumor)]
+
+    def test_src_forgery_detected(self):
+        shell = ProcessShell(0, lambda pid: ForgingNode(pid, 8))
+        shell.start(0)
+        with pytest.raises(ValueError):
+            shell.send_phase(0)
+
+    def test_behavior_pid_range_checked(self):
+        with pytest.raises(ValueError):
+            CountingNode(9, n=8)

@@ -1,0 +1,76 @@
+"""Tests for repro.sim.rng: seed derivation and stream splitting."""
+
+import itertools
+
+from repro.sim.rng import SeedSequence, derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_differs_by_master(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_differs_by_label(self):
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+
+    def test_differs_by_label_order(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_label_path_not_confusable_with_concatenation(self):
+        # ("ab",) vs ("a", "b") must differ: labels are delimited.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_returns_64_bit_int(self):
+        seed = derive_seed(7, "anything")
+        assert 0 <= seed < 2 ** 64
+
+    def test_integer_labels_supported(self):
+        assert derive_seed(1, 5, 6) == derive_seed(1, "5", "6")
+
+
+class TestDeriveRng:
+    def test_streams_reproducible(self):
+        a = derive_rng(9, "stream")
+        b = derive_rng(9, "stream")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_independent_looking(self):
+        a = derive_rng(9, "s1")
+        b = derive_rng(9, "s2")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestSeedSequence:
+    def test_child_path_accumulates(self):
+        seq = SeedSequence(3).child("x").child("y", 4)
+        assert seq.path == ("x", "y", 4)
+
+    def test_child_does_not_mutate_parent(self):
+        parent = SeedSequence(3)
+        parent.child("x")
+        assert parent.path == ()
+
+    def test_seed_matches_derive(self):
+        seq = SeedSequence(3).child("a", "b")
+        assert seq.seed() == derive_seed(3, "a", "b")
+
+    def test_rng_with_extra_labels(self):
+        seq = SeedSequence(3).child("a")
+        direct = derive_rng(3, "a", "b")
+        via_seq = seq.rng("b")
+        assert direct.random() == via_seq.random()
+
+    def test_spawn_yields_numbered_children(self):
+        seq = SeedSequence(1)
+        children = list(itertools.islice(seq.spawn(), 3))
+        assert [c.path for c in children] == [(0,), (1,), (2,)]
+
+    def test_spawned_streams_differ(self):
+        seq = SeedSequence(1)
+        first, second = itertools.islice(seq.spawn(), 2)
+        assert first.rng().random() != second.rng().random()
+
+    def test_repr_mentions_seed(self):
+        assert "seed=5" in repr(SeedSequence(5))

@@ -1,0 +1,92 @@
+"""Tests for repro.sim.trace: structured traces."""
+
+from repro.sim.engine import Engine
+from repro.sim.messages import Message, ServiceTags
+from repro.sim.process import NodeBehavior
+from repro.sim.trace import TraceEvent, Tracer
+from repro.adversary.base import Adversary
+from repro.sim.events import RoundDecision
+
+from conftest import mk_rumor
+
+
+class ChattyNode(NodeBehavior):
+    def send_phase(self, round_no):
+        return [
+            Message(
+                src=self.pid,
+                dst=(self.pid + 1) % self.n,
+                service=ServiceTags.BASELINE,
+            )
+        ]
+
+
+class OneCrash(Adversary):
+    def round_start(self, view):
+        if view.round == 1:
+            return RoundDecision(crashes={0}, injections=[])
+        if view.round == 0:
+            return RoundDecision(injections=[(1, mk_rumor(src=1))])
+        return RoundDecision()
+
+
+def run_traced(tracer, rounds=3, n=3):
+    engine = Engine(
+        n, lambda pid: ChattyNode(pid, n), OneCrash(), observers=[tracer]
+    )
+    engine.run(rounds)
+    return engine
+
+
+class TestTracer:
+    def test_records_all_kinds(self):
+        tracer = Tracer()
+        run_traced(tracer)
+        kinds = {event.kind for event in tracer.events}
+        assert kinds >= {"crash", "inject", "deliver", "round_end"}
+
+    def test_kind_filter(self):
+        tracer = Tracer(kinds=["crash"])
+        run_traced(tracer)
+        assert {event.kind for event in tracer.events} == {"crash"}
+
+    def test_message_filter(self):
+        tracer = Tracer(
+            kinds=["deliver"], message_filter=lambda m: m.dst == 0
+        )
+        run_traced(tracer)
+        assert tracer.events
+        assert all(event.detail["dst"] == 0 for event in tracer.events)
+
+    def test_max_events_truncates(self):
+        tracer = Tracer(max_events=2)
+        run_traced(tracer, rounds=5)
+        assert len(tracer.events) == 2
+        assert tracer.truncated
+
+    def test_of_kind_and_in_round(self):
+        tracer = Tracer()
+        run_traced(tracer)
+        assert all(e.kind == "deliver" for e in tracer.of_kind("deliver"))
+        assert all(e.round_no == 1 for e in tracer.in_round(1))
+
+    def test_render(self):
+        tracer = Tracer()
+        run_traced(tracer)
+        text = tracer.render(limit=3)
+        assert len(text.splitlines()) == 4  # 3 events + truncation note
+
+    def test_event_str(self):
+        event = TraceEvent(5, "crash", {"pid": 2})
+        assert "crash" in str(event) and "pid=2" in str(event)
+
+    def test_len(self):
+        tracer = Tracer()
+        run_traced(tracer)
+        assert len(tracer) == len(tracer.events)
+
+    def test_round_end_detail(self):
+        tracer = Tracer(kinds=["round_end"])
+        engine = run_traced(tracer)
+        last = tracer.events[-1]
+        assert last.detail["alive"] == len(engine.alive_pids())
