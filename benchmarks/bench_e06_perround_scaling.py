@@ -5,51 +5,64 @@ divide out the polylog factor, and fit the polynomial exponent.  The
 theorem predicts ``n^{1 + C/sqrt(dmin)} polylog n``: the fitted exponent
 must sit well below 2 (the trivial all-pairs bound) and *decrease* as the
 deadline grows.
+
+The grid cells are independent simulations, so they run as RunSpecs on
+the exec pool (``REPRO_BENCH_JOBS`` controls fan-out); results are
+bit-identical to the old serial loop because every cell derives its
+randomness from its own spec.
 """
+
+import time
 
 import pytest
 
 from repro.analysis.fitting import fit_with_polylog
+from repro.exec.bench_io import grid_payload
+from repro.exec.pool import run_specs
+from repro.exec.tasks import RunSpec
 from repro.harness.report import format_table
-from repro.harness.runner import run_congos_scenario
-from repro.harness.scenarios import steady_scenario
 
-from _util import emit, lean_params, run_once
+from _util import bench_jobs, emit, lean_params, run_once
 
 SIZES = (16, 24, 32, 48, 64)
+DEADLINES = (64, 256)
 
 
-def max_per_round(n, deadline, seed=0):
-    params = lean_params()
-    result = run_congos_scenario(
-        steady_scenario(
-            n=n,
-            rounds=3 * deadline + 128,
-            seed=seed,
-            deadline=deadline,
-            rate=1,
-            period=4,
-            params=params,
-        )
+def cell_spec(n, deadline, seed=0):
+    return RunSpec.make(
+        "steady",
+        seed=seed,
+        n=n,
+        rounds=3 * deadline + 128,
+        deadline=deadline,
+        rate=1,
+        period=4,
+        params=lean_params(),
     )
-    assert result.qod.satisfied
-    return result.stats.max_per_round()
 
 
 def test_e06_scaling_exponent(benchmark):
+    specs = [cell_spec(n, deadline) for deadline in DEADLINES for n in SIZES]
+
     def experiment():
+        started = time.perf_counter()
+        records = run_specs(specs, jobs=bench_jobs())
+        elapsed = time.perf_counter() - started
         rows = []
         fits = {}
-        for deadline in (64, 256):
+        cursor = 0
+        for deadline in DEADLINES:
             peaks = []
             for n in SIZES:
-                peak = max_per_round(n, deadline)
-                peaks.append(peak)
-                rows.append([deadline, n, peak])
+                record = records[cursor]
+                cursor += 1
+                assert record.qod_satisfied
+                peaks.append(record.peak)
+                rows.append([deadline, n, record.peak])
             fits[deadline] = fit_with_polylog(SIZES, peaks, polylog_power=2.0)
-        return rows, fits
+        return rows, fits, elapsed
 
-    rows, fits = run_once(benchmark, experiment)
+    rows, fits, elapsed = run_once(benchmark, experiment)
     fit_rows = [
         [
             deadline,
@@ -58,8 +71,9 @@ def test_e06_scaling_exponent(benchmark):
         ]
         for deadline, fit in sorted(fits.items())
     ]
+    headers = ["dline", "n", "max msgs/round"]
     table = format_table(
-        ["dline", "n", "max msgs/round"],
+        headers,
         rows,
         title="E6  Theorem 11: per-round peak vs n",
     )
@@ -68,7 +82,21 @@ def test_e06_scaling_exponent(benchmark):
         fit_rows,
         title="Power-law fit: peak ~ n^alpha * log^2 n",
     )
-    emit("e06_perround_scaling", table)
+    emit(
+        "e06_perround_scaling",
+        table,
+        data={
+            "grid": grid_payload(headers, rows),
+            "fits": {
+                str(deadline): {
+                    "exponent": fit.exponent,
+                    "r_squared": fit.r_squared,
+                }
+                for deadline, fit in fits.items()
+            },
+            "timing": {"seconds": round(elapsed, 3), "jobs": bench_jobs()},
+        },
+    )
     for deadline, fit in fits.items():
         assert fit.exponent < 2.0, "super-quadratic scaling at dline={}".format(
             deadline
@@ -87,43 +115,47 @@ def test_e06_deadline_sweep_at_fixed_n(benchmark):
     The theorem speaks about the cost of the currently active rumors, so
     we hold the active set constant: one 8-source burst.)
     """
-    from repro.adversary.injection import ScriptedWorkload
-    from repro.harness.runner import Scenario
-
     n = 32
-    params = lean_params()
+    deadlines = (64, 128, 256, 512)
+    specs = [
+        RunSpec.make(
+            "scripted-burst",
+            seed=0,
+            n=n,
+            rounds=4 * deadline,
+            deadline=deadline,
+            sources=8,
+            inject_round=2 * deadline,
+            params=lean_params(),
+            name="e6b-{}".format(deadline),
+        )
+        for deadline in deadlines
+    ]
 
     def experiment():
+        started = time.perf_counter()
+        records = run_specs(specs, jobs=bench_jobs())
+        elapsed = time.perf_counter() - started
         rows = []
-        for deadline in (64, 128, 256, 512):
-            inject_at = 2 * deadline
-            script = [
-                (inject_at, src, deadline, {(src + 5) % n, (src + 9) % n})
-                for src in range(8)
-            ]
+        for deadline, record in zip(deadlines, records):
+            assert record.qod_satisfied
+            rows.append([deadline, record.peak])
+        return rows, elapsed
 
-            def workload(rng, script=script):
-                return ScriptedWorkload(script, rng)
-
-            scenario = Scenario(
-                name="e6b-{}".format(deadline),
-                n=n,
-                rounds=inject_at + 2 * deadline,
-                seed=0,
-                params=params,
-                workload_factory=workload,
-            )
-            result = run_congos_scenario(scenario)
-            assert result.qod.satisfied
-            rows.append([deadline, result.stats.max_per_round()])
-        return rows
-
-    rows = run_once(benchmark, experiment)
+    rows, elapsed = run_once(benchmark, experiment)
+    headers = ["dline", "max msgs/round (n=32, 8-rumor burst)"]
     table = format_table(
-        ["dline", "max msgs/round (n=32, 8-rumor burst)"],
+        headers,
         rows,
         title="E6b  Longer deadlines buy cheaper rounds (dmin dependence)",
     )
-    emit("e06b_deadline_sweep", table)
+    emit(
+        "e06b_deadline_sweep",
+        table,
+        data={
+            "grid": grid_payload(headers, rows),
+            "timing": {"seconds": round(elapsed, 3), "jobs": bench_jobs()},
+        },
+    )
     peaks = [row[1] for row in rows]
     assert peaks[-1] <= peaks[0]

@@ -10,16 +10,24 @@ Three measurements on steady traffic:
    tau^2 factor (tau x more partitions, tau x more groups/fragments),
    which the measured growth must not exceed by more than the polylog
    slack.
+
+The coalition analysis needs the full auditor, so it runs *inside* each
+pool worker (``_tau_task``) and only a slim dict of verdicts crosses
+back to the parent — the exec subsystem's generic ``run_tasks`` path.
 """
+
+import time
 
 import pytest
 
 from repro.adversary.collusion import GreedyCoalition
+from repro.exec.bench_io import grid_payload
+from repro.exec.pool import run_tasks
 from repro.harness.report import format_table
 from repro.harness.runner import run_congos_scenario
 from repro.harness.scenarios import collusion_scenario
 
-from _util import emit, lean_params, run_once
+from _util import bench_jobs, emit, lean_params, run_once
 
 N = 16
 ROUNDS = 340
@@ -40,37 +48,59 @@ def run_tau(tau, seed=0):
     )
 
 
+def _tau_task(tau_seed):
+    """Worker-side unit: run one tau/seed cell and audit its coalitions."""
+    tau, seed = tau_seed
+    result = run_tau(tau, seed=seed)
+    findings = result.confidentiality.check_coalitions(
+        GreedyCoalition(), tau=tau, n=N
+    )
+    oversize = result.confidentiality.check_coalitions(
+        GreedyCoalition(), tau=tau + 1, n=N
+    )
+    return {
+        "tau": tau,
+        "seed": seed,
+        "satisfied": result.qod.satisfied,
+        "clean": result.confidentiality.is_clean(),
+        "partitions": result.partition_set.count,
+        "groups": result.partition_set.num_groups,
+        "rumors": len(findings),
+        "breaches": sum(1 for f in findings if f.reconstructs),
+        "oversize_hits": sum(1 for f in oversize if f.reconstructs),
+        "peak": result.stats.max_per_round(),
+    }
+
+
 def test_e09_collusion_tolerance(benchmark):
+    taus = (1, 2, 3)
+
     def experiment():
+        started = time.perf_counter()
+        verdicts = run_tasks(
+            [(tau, 0) for tau in taus], fn=_tau_task, jobs=bench_jobs()
+        )
+        elapsed = time.perf_counter() - started
         rows = []
         peaks = {}
-        for tau in (1, 2, 3):
-            result = run_tau(tau)
-            assert result.qod.satisfied
-            assert result.confidentiality.is_clean()
-            findings = result.confidentiality.check_coalitions(
-                GreedyCoalition(), tau=tau, n=N
-            )
-            breaches = sum(1 for f in findings if f.reconstructs)
-            oversize = result.confidentiality.check_coalitions(
-                GreedyCoalition(), tau=tau + 1, n=N
-            )
-            oversize_hits = sum(1 for f in oversize if f.reconstructs)
-            peaks[tau] = result.stats.max_per_round()
+        for verdict in verdicts:
+            assert verdict["satisfied"]
+            assert verdict["clean"]
+            peaks[verdict["tau"]] = verdict["peak"]
             rows.append(
                 [
-                    tau,
-                    result.partition_set.count,
-                    result.partition_set.num_groups,
-                    len(findings),
-                    breaches,
-                    oversize_hits,
-                    peaks[tau],
+                    verdict["tau"],
+                    verdict["partitions"],
+                    verdict["groups"],
+                    verdict["rumors"],
+                    verdict["breaches"],
+                    verdict["oversize_hits"],
+                    verdict["peak"],
                 ]
             )
-        return rows, peaks
+        return rows, peaks, elapsed
 
-    rows, peaks = run_once(benchmark, experiment)
+    rows, peaks, elapsed = run_once(benchmark, experiment)
     ratio_rows = [
         [
             tau,
@@ -79,16 +109,17 @@ def test_e09_collusion_tolerance(benchmark):
         ]
         for tau in sorted(peaks)
     ]
+    headers = [
+        "tau",
+        "partitions",
+        "groups",
+        "rumors",
+        "tau-coalition breaches",
+        "(tau+1)-coalition hits",
+        "max msgs/round",
+    ]
     table = format_table(
-        [
-            "tau",
-            "partitions",
-            "groups",
-            "rumors",
-            "tau-coalition breaches",
-            "(tau+1)-coalition hits",
-            "max msgs/round",
-        ],
+        headers,
         rows,
         title="E9  Theorem 16: coalitions of size <= tau never reconstruct",
     )
@@ -97,7 +128,17 @@ def test_e09_collusion_tolerance(benchmark):
         ratio_rows,
         title="Cost growth vs the tau^2 factor",
     )
-    emit("e09_collusion_tolerance", table)
+    emit(
+        "e09_collusion_tolerance",
+        table,
+        data={
+            "grid": grid_payload(headers, rows),
+            "ratios": grid_payload(
+                ["tau", "peak_ratio", "tau_squared"], ratio_rows
+            ),
+            "timing": {"seconds": round(elapsed, 3), "jobs": bench_jobs()},
+        },
+    )
     for row in rows:
         assert row[4] == 0, "a tau-coalition reconstructed a rumor"
     # Tightness: at least one rumor falls to an oversized coalition.
@@ -110,15 +151,11 @@ def test_e09_collusion_tolerance(benchmark):
 
 def test_e09_multiple_seeds_no_breach(benchmark):
     def experiment():
-        breaches = 0
-        rumors = 0
-        for seed in range(4):
-            result = run_tau(2, seed=seed)
-            findings = result.confidentiality.check_coalitions(
-                GreedyCoalition(), tau=2, n=N
-            )
-            rumors += len(findings)
-            breaches += sum(1 for f in findings if f.reconstructs)
+        verdicts = run_tasks(
+            [(2, seed) for seed in range(4)], fn=_tau_task, jobs=bench_jobs()
+        )
+        breaches = sum(v["breaches"] for v in verdicts)
+        rumors = sum(v["rumors"] for v in verdicts)
         return breaches, rumors
 
     breaches, rumors = run_once(benchmark, experiment)
@@ -127,5 +164,6 @@ def test_e09_multiple_seeds_no_breach(benchmark):
         "E9b  tau=2 greedy coalitions across 4 seeds: {} breaches / {} rumors".format(
             breaches, rumors
         ),
+        data={"breaches": breaches, "rumors": rumors, "seeds": 4},
     )
     assert breaches == 0

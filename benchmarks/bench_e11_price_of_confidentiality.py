@@ -10,7 +10,14 @@ One workload, four ways to serve it:
 * **LKH key tree** (cost model) — the cryptographic alternative: cheap
   for stable groups, expensive when every rumor has a fresh destination
   set and crashes force re-keying.
+
+The three simulations are independent, so they run concurrently as pool
+tasks; each worker ships back a slim metrics dict (plus, for CONGOS, the
+``(source, destinations)`` pairs the LKH cost models replay — the cost
+models themselves are cheap and run in the parent).
 """
+
+import time
 
 import pytest
 
@@ -18,11 +25,13 @@ from repro.audit.delivery import DeliveryAuditor
 from repro.baselines.direct import direct_factory
 from repro.baselines.key_tree import KeyTreeCostModel
 from repro.baselines.plain_gossip import plain_gossip_factory
+from repro.exec.bench_io import grid_payload
+from repro.exec.pool import run_tasks
 from repro.harness.report import format_table
 from repro.harness.runner import run_congos_scenario, run_with_factory
 from repro.harness.scenarios import steady_scenario
 
-from _util import emit, lean_params, run_once
+from _util import bench_jobs, emit, lean_params, run_once
 
 N = 16
 ROUNDS = 360
@@ -55,60 +64,70 @@ def run_baseline(kind):
     return run_with_factory(scenario, factory, delivery=delivery)
 
 
-def key_tree_costs(rumors, mode):
-    model = KeyTreeCostModel(N, mode=mode)
-    for rumor in rumors:
-        model.on_rumor(rumor.rid.src, rumor.dest)
-    return model.report
-
-
-def mean_latency(result):
+def _protocol_task(kind):
+    """Worker-side unit: one full simulation, slim metrics back."""
+    if kind == "congos":
+        result = run_congos_scenario(build_scenario("congos"))
+        rumor_pairs = [
+            (rumor.rid.src, sorted(rumor.dest))
+            for rumor in result.delivery.rumors.values()
+        ]
+    else:
+        result = run_baseline(kind)
+        rumor_pairs = None
     latencies = result.qod.latencies()
-    return round(sum(latencies) / len(latencies), 1) if latencies else None
+    return {
+        "kind": kind,
+        "total": result.stats.total,
+        "peak": result.stats.max_per_round(),
+        "satisfied": result.qod.satisfied,
+        "mean_latency": (
+            round(sum(latencies) / len(latencies), 1) if latencies else None
+        ),
+        "leaks": result.confidentiality.violation_counts()["plaintext"],
+        "rumor_count": result.rumors_injected,
+        "rumor_pairs": rumor_pairs,
+    }
+
+
+def key_tree_costs(rumor_pairs, mode):
+    model = KeyTreeCostModel(N, mode=mode)
+    for src, dest in rumor_pairs:
+        model.on_rumor(src, dest)
+    return model.report
 
 
 def test_e11_price_of_confidentiality(benchmark):
     def experiment():
-        congos = run_congos_scenario(build_scenario("congos"))
-        plain = run_baseline("plain")
-        direct = run_baseline("direct")
-        rumors = list(congos.delivery.rumors.values())
-        lkh_cover = key_tree_costs(rumors, "subset-cover")
-        lkh_rekey = key_tree_costs(rumors, "rekey")
-        return congos, plain, direct, lkh_cover, lkh_rekey
+        started = time.perf_counter()
+        congos, plain, direct = run_tasks(
+            ["congos", "plain", "direct"], fn=_protocol_task, jobs=bench_jobs()
+        )
+        lkh_cover = key_tree_costs(congos["rumor_pairs"], "subset-cover")
+        lkh_rekey = key_tree_costs(congos["rumor_pairs"], "rekey")
+        elapsed = time.perf_counter() - started
+        return congos, plain, direct, lkh_cover, lkh_rekey, elapsed
 
-    congos, plain, direct, lkh_cover, lkh_rekey = run_once(benchmark, experiment)
-    assert congos.qod.satisfied and plain.qod.satisfied and direct.qod.satisfied
-    rumor_count = congos.rumors_injected
+    congos, plain, direct, lkh_cover, lkh_rekey, elapsed = run_once(
+        benchmark, experiment
+    )
+    assert congos["satisfied"] and plain["satisfied"] and direct["satisfied"]
+    rumor_count = congos["rumor_count"]
 
-    def leak(result):
-        return result.confidentiality.violation_counts()["plaintext"]
+    def sim_row(label, verdict):
+        return [
+            label,
+            verdict["total"],
+            round(verdict["total"] / rumor_count, 1),
+            verdict["peak"],
+            verdict["mean_latency"],
+            verdict["leaks"],
+        ]
 
     rows = [
-        [
-            "CONGOS",
-            congos.stats.total,
-            round(congos.stats.total / rumor_count, 1),
-            congos.stats.max_per_round(),
-            mean_latency(congos),
-            leak(congos),
-        ],
-        [
-            "plain gossip",
-            plain.stats.total,
-            round(plain.stats.total / rumor_count, 1),
-            plain.stats.max_per_round(),
-            mean_latency(plain),
-            leak(plain),
-        ],
-        [
-            "direct send",
-            direct.stats.total,
-            round(direct.stats.total / rumor_count, 1),
-            direct.stats.max_per_round(),
-            mean_latency(direct),
-            leak(direct),
-        ],
+        sim_row("CONGOS", congos),
+        sim_row("plain gossip", plain),
+        sim_row("direct send", direct),
         [
             "LKH subset-cover",
             lkh_cover.total_messages,
@@ -126,25 +145,34 @@ def test_e11_price_of_confidentiality(benchmark):
             0,
         ],
     ]
+    headers = [
+        "protocol",
+        "total msgs",
+        "msgs/rumor",
+        "max/round",
+        "mean latency",
+        "plaintext leaks",
+    ]
     table = format_table(
-        [
-            "protocol",
-            "total msgs",
-            "msgs/rumor",
-            "max/round",
-            "mean latency",
-            "plaintext leaks",
-        ],
+        headers,
         rows,
         title=(
             "E11  Price of confidentiality: same workload across CONGOS, "
             "plain gossip, direct send and the LKH crypto model"
         ),
     )
-    emit("e11_price_of_confidentiality", table)
+    emit(
+        "e11_price_of_confidentiality",
+        table,
+        data={
+            "grid": grid_payload(headers, rows),
+            "rumor_count": rumor_count,
+            "timing": {"seconds": round(elapsed, 3), "jobs": bench_jobs()},
+        },
+    )
     # The claims being reproduced:
-    assert leak(congos) == 0 and leak(direct) == 0
-    assert leak(plain) > 0, "plain gossip must leak — that is its point"
+    assert congos["leaks"] == 0 and direct["leaks"] == 0
+    assert plain["leaks"] > 0, "plain gossip must leak — that is its point"
     # Under per-rumor random destination sets, LKH re-keying costs a
     # log-factor more than the bare payload multicast per rumor.
     assert lkh_rekey.mean_per_rumor() > 4
@@ -174,10 +202,15 @@ def test_e11_lkh_churn_amplification(benchmark):
         ["stable group", stable.total_messages, stable.churn_rekey_messages],
         ["with churn", churned.total_messages, churned.churn_rekey_messages],
     ]
+    headers = ["regime", "total msgs", "churn re-key msgs"]
     table = format_table(
-        ["regime", "total msgs", "churn re-key msgs"],
+        headers,
         rows,
         title="E11b  LKH under churn: every crash forces root-path re-keying",
     )
-    emit("e11b_lkh_churn", table)
+    emit(
+        "e11b_lkh_churn",
+        table,
+        data={"grid": grid_payload(headers, rows)},
+    )
     assert churned.total_messages > stable.total_messages

@@ -1,0 +1,35 @@
+"""Parallel experiment execution engine.
+
+The exec subsystem turns a scenario into *data* and runs it anywhere:
+
+* :mod:`repro.exec.tasks` — :class:`RunSpec`, a picklable description of
+  one run (registered builder name + kwargs + params overrides + seed)
+  with a stable content-hash key;
+* :mod:`repro.exec.results` — :class:`RunRecord`, the slim picklable
+  metrics extract that crosses process boundaries (engines never do);
+* :mod:`repro.exec.pool` — a ``ProcessPoolExecutor`` runner with
+  configurable jobs, per-task timeouts and retry-on-worker-crash;
+* :mod:`repro.exec.cache` — an on-disk JSON result cache keyed by
+  RunSpec hash, so interrupted sweeps resume instead of recomputing;
+* :mod:`repro.exec.progress` — wall-clock / tasks-per-second reporting;
+* :mod:`repro.exec.bench_io` — machine-readable ``BENCH_<name>.json``
+  artifacts alongside the human-readable tables.
+"""
+
+from repro.exec.cache import ResultCache
+from repro.exec.pool import TaskTimeoutError, WorkerCrashError, run_specs, run_tasks
+from repro.exec.progress import Progress
+from repro.exec.results import RunRecord
+from repro.exec.tasks import RunSpec, execute_spec
+
+__all__ = [
+    "Progress",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "TaskTimeoutError",
+    "WorkerCrashError",
+    "execute_spec",
+    "run_specs",
+    "run_tasks",
+]

@@ -1,0 +1,110 @@
+"""Machine-readable bench artifacts: ``BENCH_<name>.json``.
+
+Every bench historically emitted only an ASCII table; downstream tooling
+(perf trajectories, regression dashboards) needs numbers it can parse.
+This module writes one timestamped JSON document per bench next to the
+``.txt`` table, with a uniform envelope::
+
+    {
+      "name": "...",          # bench name
+      "created": "...",       # ISO-8601 UTC timestamp
+      "schema": 1,
+      ...payload...           # grid/cells, metrics, timing, table
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from datetime import datetime, timezone
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "artifact_path",
+    "grid_payload",
+    "sweep_payload",
+    "write_bench_json",
+]
+
+SCHEMA_VERSION = 1
+
+
+def artifact_path(name: str, results_dir: str) -> str:
+    return os.path.join(results_dir, "BENCH_{}.json".format(name))
+
+
+def write_bench_json(
+    name: str,
+    payload: Dict[str, object],
+    results_dir: str,
+    created: Optional[str] = None,
+) -> str:
+    """Write the artifact atomically; returns its path.
+
+    ``created`` overrides the timestamp (tests pin it for determinism).
+    """
+    os.makedirs(results_dir, exist_ok=True)
+    document: Dict[str, object] = {
+        "name": name,
+        "created": created
+        if created is not None
+        else datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "schema": SCHEMA_VERSION,
+    }
+    for key, value in payload.items():
+        if key not in document:
+            document[key] = value
+    path = artifact_path(name, results_dir)
+    rendered = json.dumps(document, sort_keys=True, indent=1, default=str)
+    fd, tmp_path = tempfile.mkstemp(dir=results_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return path
+
+
+def grid_payload(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> List[Dict[str, object]]:
+    """Zip table headers and rows into a list of JSON row objects."""
+    out: List[Dict[str, object]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                "row width {} != header width {}".format(len(row), len(headers))
+            )
+        out.append({str(h): v for h, v in zip(headers, row)})
+    return out
+
+
+def sweep_payload(sweep) -> Dict[str, object]:
+    """Serialize a :class:`~repro.analysis.sweeps.SweepResult`."""
+    cells: List[Dict[str, object]] = []
+    for cell in sweep.cells:
+        peak = cell.peak_summary()
+        total = cell.total_summary()
+        latency = cell.latency_summary()
+        cells.append(
+            {
+                "cell": dict(cell.cell),
+                "seeds": cell.seeds,
+                "peak": peak.as_dict(),
+                "total": total.as_dict(),
+                "latency": latency.as_dict() if latency is not None else None,
+                "fallback_rate": cell.fallback_rate(),
+                "qod_satisfied": cell.all_satisfied(),
+                "clean": cell.all_clean(),
+            }
+        )
+    return {
+        "cells": cells,
+        "all_satisfied": sweep.all_satisfied(),
+        "all_clean": sweep.all_clean(),
+    }

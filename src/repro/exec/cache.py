@@ -1,0 +1,83 @@
+"""On-disk JSON result cache keyed by RunSpec content hash.
+
+One file per completed run (``<root>/<key>.json``), written atomically,
+so an interrupted sweep leaves a directory of finished cells behind and
+a resumed sweep re-runs only the missing ones.  Entries are
+:class:`~repro.exec.results.RunRecord` dicts; the cache never stores
+engines or any other heavyweight state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Iterator, Optional
+
+from repro.exec.results import RunRecord
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of ``<spec key>.json`` run records."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> str:
+        if not key or os.sep in key or key.startswith("."):
+            raise ValueError("invalid cache key: {!r}".format(key))
+        return os.path.join(self.root, "{}.json".format(key))
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        for entry in sorted(os.listdir(self.root)):
+            if entry.endswith(".json"):
+                yield entry[: -len(".json")]
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        """The cached record for ``key``, or ``None`` (counted as a miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunRecord.from_dict(data)
+
+    def put(self, record: RunRecord, key: Optional[str] = None) -> str:
+        """Persist a record atomically; returns the file path."""
+        resolved = key if key is not None else record.spec_key
+        if not resolved:
+            raise ValueError("record has no spec_key and no key was given")
+        path = self.path_for(resolved)
+        payload = json.dumps(record.to_dict(), sort_keys=True, indent=1)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            os.unlink(self.path_for(key))
+            removed += 1
+        return removed

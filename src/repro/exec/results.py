@@ -1,0 +1,102 @@
+"""Slim, picklable run metrics.
+
+A :class:`~repro.harness.runner.RunResult` drags the whole engine,
+auditors and partition set along — exactly what a worker process must
+*not* ship back to the parent.  :class:`RunRecord` is the flat extract
+the sweeps and benches actually aggregate: message counts, the QoD
+verdict with its latencies and delivery paths, and the confidentiality
+verdict.  It round-trips through plain JSON so the on-disk result cache
+can store it verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["RunRecord"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Everything a sweep aggregates about one run, and nothing more."""
+
+    scenario: str
+    n: int
+    rounds: int
+    seed: int
+    # message complexity
+    peak: int
+    total: int
+    total_size: int
+    mean_per_round: float
+    filtered: int
+    by_service: Dict[str, int] = field(default_factory=dict)
+    # quality of delivery
+    qod_satisfied: bool = True
+    pairs: int = 0
+    admissible_pairs: int = 0
+    missed: int = 0
+    paths: Dict[str, int] = field(default_factory=dict)
+    latencies: Tuple[int, ...] = ()
+    # confidentiality
+    clean: bool = True
+    violations: Dict[str, int] = field(default_factory=dict)
+    border_messages: int = 0
+    # bookkeeping
+    rumors_injected: int = 0
+    spec_key: Optional[str] = None
+
+    @classmethod
+    def from_result(cls, result, spec_key: Optional[str] = None) -> "RunRecord":
+        """Extract the record from a :class:`RunResult` (inside the worker)."""
+        stats = result.stats
+        qod = result.qod
+        confidentiality = result.confidentiality
+        return cls(
+            scenario=result.scenario.name,
+            n=result.scenario.n,
+            rounds=result.scenario.rounds,
+            seed=result.scenario.seed,
+            peak=stats.max_per_round(),
+            total=stats.total,
+            total_size=stats.total_size,
+            mean_per_round=stats.mean_per_round(),
+            filtered=stats.filtered,
+            by_service=dict(stats.by_service()),
+            qod_satisfied=qod.satisfied,
+            pairs=len(qod.outcomes),
+            admissible_pairs=qod.admissible_pairs,
+            missed=len(qod.missed),
+            paths=dict(qod.path_counts(admissible_only=True)),
+            latencies=tuple(qod.latencies()),
+            clean=confidentiality.is_clean(),
+            violations=dict(confidentiality.violation_counts()),
+            border_messages=confidentiality.total_border_messages,
+            rumors_injected=result.rumors_injected,
+            spec_key=spec_key,
+        )
+
+    # -- fallback accounting (Lemma 4's shoot path) ----------------------
+
+    def fallback_shots(self) -> int:
+        return self.paths.get("shoot", 0)
+
+    def served_pairs(self) -> int:
+        return sum(self.paths.values())
+
+    # -- JSON round-trip -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["latencies"] = list(self.latencies)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunRecord":
+        payload = dict(data)
+        payload["latencies"] = tuple(payload.get("latencies", ()))
+        payload["by_service"] = dict(payload.get("by_service", {}))
+        payload["paths"] = dict(payload.get("paths", {}))
+        payload["violations"] = dict(payload.get("violations", {}))
+        return cls(**payload)

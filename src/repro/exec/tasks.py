@@ -1,0 +1,142 @@
+"""Picklable run specifications with stable content-hash keys.
+
+A :class:`RunSpec` captures one scenario run as plain data — the *name*
+of a registered scenario builder, its keyword arguments, an optional
+:class:`~repro.core.config.CongosParams` override set, and the seed —
+so it can cross a process boundary and serve as a cache key.  The hash
+is computed over a canonical JSON rendering, so two specs describing the
+same run always collide (kwarg order, tuple-vs-list spelling and set
+ordering do not matter) and the key survives interpreter restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, is_dataclass
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from repro.core.config import CongosParams
+
+__all__ = ["RunSpec", "execute_spec", "canonical_json"]
+
+
+def _canonical(value: object) -> object:
+    """Reduce a kwarg value to a JSON-stable canonical form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): _canonical(val) for key, val in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonical(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if is_dataclass(value) and not isinstance(value, type):
+        return _canonical(asdict(value))
+    raise TypeError(
+        "RunSpec kwargs must be JSON-representable, got {!r}".format(type(value))
+    )
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace)."""
+    return json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One run of a registered scenario builder, as data.
+
+    ``builder`` names an entry of the registry in
+    :mod:`repro.harness.scenarios`; ``params`` holds the full field dict
+    of a :class:`CongosParams` (or ``None`` for the builder's default).
+    """
+
+    builder: str
+    seed: int
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    params: Optional[Dict[str, object]] = None
+
+    @classmethod
+    def make(
+        cls,
+        builder: Union[str, Callable],
+        seed: int,
+        params: Union[CongosParams, Mapping, None] = None,
+        **kwargs: object,
+    ) -> "RunSpec":
+        """Build a spec, resolving builder callables and params objects.
+
+        Builders passed as callables must be registered in
+        :data:`repro.harness.scenarios.BUILDERS` so the worker process can
+        find them again by name.
+        """
+        from repro.harness.scenarios import builder_name
+
+        name = builder if isinstance(builder, str) else builder_name(builder)
+        if isinstance(params, CongosParams):
+            resolved: Optional[Dict[str, object]] = asdict(params)
+        elif params is not None:
+            resolved = asdict(CongosParams(**dict(params)))
+        else:
+            resolved = None
+        return cls(builder=name, seed=seed, kwargs=dict(kwargs), params=resolved)
+
+    @property
+    def key(self) -> str:
+        """Stable content hash identifying this run."""
+        payload = {
+            "builder": self.builder,
+            "seed": self.seed,
+            "kwargs": self.kwargs,
+            "params": self.params,
+        }
+        digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+        return digest.hexdigest()
+
+    def resolve_params(self) -> Optional[CongosParams]:
+        if self.params is None:
+            return None
+        return CongosParams(**self.params)
+
+    def to_scenario(self):
+        """Instantiate the scenario this spec describes (any process)."""
+        from repro.harness.scenarios import get_builder
+
+        builder = get_builder(self.builder)
+        kwargs = dict(self.kwargs)
+        params = self.resolve_params()
+        if params is not None:
+            kwargs["params"] = params
+        return builder(seed=self.seed, **kwargs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "builder": self.builder,
+            "seed": self.seed,
+            "kwargs": dict(self.kwargs),
+            "params": dict(self.params) if self.params is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+        return cls(
+            builder=str(data["builder"]),
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            kwargs=dict(data.get("kwargs") or {}),
+            params=dict(data["params"]) if data.get("params") else None,
+        )
+
+
+def execute_spec(spec: RunSpec):
+    """Run one spec to completion and return its slim record.
+
+    This is the unit of work shipped to pool workers: the engine and
+    auditors live and die inside this call; only the
+    :class:`~repro.exec.results.RunRecord` crosses back.
+    """
+    from repro.exec.results import RunRecord
+    from repro.harness.runner import run_congos_scenario
+
+    result = run_congos_scenario(spec.to_scenario())
+    return RunRecord.from_result(result, spec_key=spec.key)

@@ -3,9 +3,14 @@
 Commands
 --------
 ``run``
-    Run an audited CONGOS scenario and print its summary.
+    Run an audited CONGOS scenario (optionally replicated across seeds,
+    in parallel with ``--jobs``) and print its summary.
+``sweep``
+    Run a scenario family over an ``n`` × ``deadline`` grid on the exec
+    pool, with a resumable on-disk result cache and machine-readable
+    artifacts (``--jobs``, ``--resume``, ``--out``).
 ``scenarios``
-    List the available scenario builders.
+    List the registered scenario builders and their keyword arguments.
 ``partitions``
     Inspect the partition family a deployment would use.
 ``bounds``
@@ -15,9 +20,11 @@ Commands
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
+import os
 import sys
-from typing import Callable, Dict
+from typing import Dict, List
 
 from repro.analysis.bounds import (
     collusion_lower_bound,
@@ -25,22 +32,19 @@ from repro.analysis.bounds import (
     congos_upper_bound,
     strong_confidentiality_lower_bound,
 )
+from repro.analysis.sweeps import grid, sweep_congos
 from repro.core.config import CongosParams
 from repro.core.congos import build_partition_set
-from repro.harness import scenarios as scenario_module
+from repro.exec.bench_io import sweep_payload, write_bench_json
+from repro.exec.cache import ResultCache
+from repro.exec.pool import run_specs
+from repro.exec.progress import Progress
+from repro.exec.tasks import RunSpec
 from repro.harness.report import format_kv, format_table
 from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import BUILDERS
 
-SCENARIOS: Dict[str, Callable] = {
-    "steady": scenario_module.steady_scenario,
-    "churn": scenario_module.churn_scenario,
-    "proxy-killer": scenario_module.proxy_killer_scenario,
-    "group-killer": scenario_module.group_killer_scenario,
-    "source-killer": scenario_module.source_killer_scenario,
-    "rolling-blackout": scenario_module.rolling_blackout_scenario,
-    "burst": scenario_module.burst_scenario,
-    "theorem1": scenario_module.theorem1_scenario,
-}
+SCENARIOS = BUILDERS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,11 +59,72 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-n", type=int, default=16, help="process count")
     run.add_argument("--rounds", type=int, default=400)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="SEED",
+        help="replicate the run across these seeds (aggregated table)",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for multi-seed runs (0 = cpu count)",
+    )
     run.add_argument("--deadline", type=int, default=128)
     run.add_argument("--tau", type=int, default=1, help="collusion tolerance")
     run.add_argument("--json", action="store_true", help="emit JSON summary")
 
-    sub.add_parser("scenarios", help="list available scenarios")
+    sweep = sub.add_parser(
+        "sweep", help="run a scenario grid on the parallel exec pool"
+    )
+    sweep.add_argument("scenario", choices=sorted(SCENARIOS))
+    sweep.add_argument(
+        "-n",
+        type=int,
+        nargs="+",
+        default=[16],
+        metavar="N",
+        help="process-count axis of the grid",
+    )
+    sweep.add_argument(
+        "--deadline",
+        type=int,
+        nargs="+",
+        default=[128],
+        metavar="D",
+        help="deadline axis of the grid",
+    )
+    sweep.add_argument("--rounds", type=int, default=400)
+    sweep.add_argument(
+        "--seeds", type=int, default=2, help="seed replicates per cell"
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes (0 = cpu count, 1 = serial)",
+    )
+    sweep.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory: result cache, TXT table, BENCH JSON",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse cached cells under --out instead of re-running them",
+    )
+    sweep.add_argument("--tau", type=int, default=1)
+    sweep.add_argument(
+        "--lean", action="store_true", help="use CongosParams.lean()"
+    )
+    sweep.add_argument("--json", action="store_true", help="emit JSON payload")
+
+    sub.add_parser("scenarios", help="list registered scenario builders")
 
     partitions = sub.add_parser("partitions", help="inspect a partition family")
     partitions.add_argument("-n", type=int, default=16)
@@ -74,15 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    params = CongosParams(tau=args.tau) if args.tau > 1 else CongosParams()
-    builder = SCENARIOS[args.scenario]
-    kwargs = dict(
-        n=args.n,
-        rounds=args.rounds,
-        seed=args.seed,
-        params=params,
-    )
+def _scenario_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """Map CLI flags onto the builder's kwargs (axis-name quirks included)."""
+    kwargs: Dict[str, object] = {"n": args.n, "rounds": args.rounds}
     if args.scenario == "theorem1":
         kwargs["dmax"] = args.deadline
     elif args.scenario == "collusion":
@@ -90,7 +149,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         kwargs["deadline"] = args.deadline
     else:
         kwargs["deadline"] = args.deadline
-    result = run_congos_scenario(builder(**kwargs))
+    return kwargs
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    params = CongosParams(tau=args.tau) if args.tau > 1 else CongosParams()
+    kwargs = _scenario_kwargs(args)
+    if args.seeds is not None and len(args.seeds) > 1:
+        return _run_multi_seed(args, params, kwargs)
+    seed = args.seeds[0] if args.seeds else args.seed
+    builder = SCENARIOS[args.scenario]
+    result = run_congos_scenario(builder(seed=seed, params=params, **kwargs))
     summary = result.summary()
     if args.json:
         print(json.dumps(summary, indent=2, default=str))
@@ -110,12 +179,127 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _run_multi_seed(
+    args: argparse.Namespace, params: CongosParams, kwargs: Dict[str, object]
+) -> int:
+    """Replicate one scenario across seeds on the exec pool."""
+    specs = [
+        RunSpec.make(args.scenario, seed=seed, params=params, **kwargs)
+        for seed in args.seeds
+    ]
+    records = run_specs(specs, jobs=args.jobs)
+    if args.json:
+        print(json.dumps([record.to_dict() for record in records], indent=2))
+    else:
+        rows: List[List[object]] = [
+            [
+                record.seed,
+                record.peak,
+                record.total,
+                record.rumors_injected,
+                record.qod_satisfied,
+                record.clean,
+            ]
+            for record in records
+        ]
+        print(
+            format_table(
+                ["seed", "peak", "total msgs", "rumors", "qod", "clean"],
+                rows,
+                title="{} across {} seeds".format(args.scenario, len(records)),
+            )
+        )
+    ok = all(r.qod_satisfied for r in records) and all(r.clean for r in records)
+    return 0 if ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.resume and not args.out:
+        print("--resume needs --out (the cache lives there)", file=sys.stderr)
+        return 2
+    axis = "dmax" if args.scenario == "theorem1" else "deadline"
+    cells = grid(**{"n": args.n, axis: args.deadline})
+    if args.lean:
+        params = CongosParams.lean(tau=args.tau)
+    elif args.tau > 1:
+        params = CongosParams(tau=args.tau)
+    else:
+        params = CongosParams()
+    fixed: Dict[str, object] = {"rounds": args.rounds, "params": params}
+    if args.scenario == "collusion":
+        fixed["tau"] = args.tau
+    cache = None
+    if args.out:
+        cache = ResultCache(os.path.join(args.out, "cache"))
+    total = len(cells) * args.seeds
+    progress = Progress.for_tty(total, label="sweep {}".format(args.scenario))
+    try:
+        result = sweep_congos(
+            args.scenario,
+            cells,
+            seeds=range(args.seeds),
+            jobs=args.jobs,
+            cache=cache,
+            resume=args.resume,
+            progress=progress,
+            **fixed,
+        )
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted after {} of {} tasks{}".format(
+                progress.done,
+                total,
+                " — rerun with --resume to continue" if args.out else "",
+            ),
+            file=sys.stderr,
+        )
+        return 130
+    progress.finish()
+    table = format_table(
+        result.table_headers(),
+        result.table_rows(),
+        title="sweep {} ({} cells x {} seeds)".format(
+            args.scenario, len(cells), args.seeds
+        ),
+    )
+    payload = sweep_payload(result)
+    payload["scenario"] = args.scenario
+    payload["seeds"] = args.seeds
+    payload["elapsed_seconds"] = round(progress.elapsed(), 3)
+    payload["executed_tasks"] = progress.executed
+    payload["cached_tasks"] = progress.cached
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(table)
+    if args.out:
+        name = "{}_sweep".format(args.scenario)
+        with open(
+            os.path.join(args.out, "{}.txt".format(name)), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(table + "\n")
+        artifact = write_bench_json(name, payload, results_dir=args.out)
+        print("artifacts: {}".format(artifact), file=sys.stderr)
+    return 0 if result.all_satisfied() and result.all_clean() else 1
+
+
+def _builder_kwargs(builder) -> str:
+    """Render a builder's keyword arguments for the listing."""
+    parts: List[str] = []
+    for parameter in inspect.signature(builder).parameters.values():
+        if parameter.default is inspect.Parameter.empty:
+            parts.append(parameter.name)
+        else:
+            parts.append("{}={!r}".format(parameter.name, parameter.default))
+    return ", ".join(parts)
+
+
 def cmd_scenarios(_: argparse.Namespace) -> int:
     rows = []
     for name, builder in sorted(SCENARIOS.items()):
         doc = (builder.__doc__ or "").strip().splitlines()
-        rows.append([name, doc[0] if doc else ""])
-    print(format_table(["scenario", "description"], rows))
+        rows.append([name, doc[0] if doc else "", _builder_kwargs(builder)])
+    print(format_table(["scenario", "description", "kwargs"], rows))
     return 0
 
 
@@ -175,6 +359,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": cmd_run,
+        "sweep": cmd_sweep,
         "scenarios": cmd_scenarios,
         "partitions": cmd_partitions,
         "bounds": cmd_bounds,

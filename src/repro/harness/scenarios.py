@@ -10,7 +10,7 @@ inside the run, so the QoD report judges all of them).
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.adversary.adaptive import (
     GroupKillerAdversary,
@@ -20,6 +20,7 @@ from repro.adversary.adaptive import (
 from repro.adversary.injection import (
     BurstWorkload,
     GroupTrafficWorkload,
+    ScriptedWorkload,
     SteadyWorkload,
     Theorem1Workload,
 )
@@ -37,8 +38,13 @@ __all__ = [
     "source_killer_scenario",
     "rolling_blackout_scenario",
     "burst_scenario",
+    "scripted_burst_scenario",
     "theorem1_scenario",
     "collusion_scenario",
+    "BUILDERS",
+    "get_builder",
+    "builder_name",
+    "register_builder",
 ]
 
 
@@ -300,6 +306,52 @@ def burst_scenario(
     )
 
 
+def scripted_burst_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    deadline: int = 128,
+    sources: int = 8,
+    inject_round: Optional[int] = None,
+    offsets: Sequence[int] = (5, 9),
+    params: Optional[CongosParams] = None,
+    name: str = "scripted-burst",
+) -> Scenario:
+    """A fixed-size simultaneous burst with deterministic destinations.
+
+    ``sources`` processes inject at the same round, each to the two
+    destinations ``(src + offsets[i]) % n`` — a constant in-flight rumor
+    population, which is what deadline-dependence experiments (E6b) need:
+    a fixed *arrival rate* would conflate longer deadlines with more
+    concurrent rumors.
+    """
+    resolved = params if params is not None else CongosParams()
+    when = (
+        inject_round
+        if inject_round is not None
+        else max(1, min(2 * deadline, rounds // 2))
+    )
+    script = [
+        (when, src, deadline, {(src + offset) % n for offset in offsets})
+        for src in range(sources)
+    ]
+
+    def workload(rng: random.Random) -> ScriptedWorkload:
+        return ScriptedWorkload(script, rng)
+
+    return Scenario(
+        name=name,
+        n=n,
+        rounds=rounds,
+        seed=seed,
+        params=resolved,
+        workload_factory=workload,
+        description="{}-source burst at round {}, deadline={}".format(
+            sources, when, deadline
+        ),
+    )
+
+
 def theorem1_scenario(
     n: int,
     rounds: int,
@@ -356,4 +408,60 @@ def collusion_scenario(
         dest_size=dest_size,
         params=resolved,
         name=name if name is not None else "collusion-tau{}".format(tau),
+    )
+
+
+# ----------------------------------------------------------------------
+# Builder registry
+# ----------------------------------------------------------------------
+#
+# The exec subsystem ships scenarios across process boundaries as
+# *names* (a builder callable is not reliably picklable); everything a
+# RunSpec can run must be registered here.  The CLI's ``run``/``sweep``
+# commands and ``scenarios`` listing read the same table.
+
+ScenarioBuilder = Callable[..., Scenario]
+
+BUILDERS: Dict[str, ScenarioBuilder] = {
+    "steady": steady_scenario,
+    "churn": churn_scenario,
+    "proxy-killer": proxy_killer_scenario,
+    "group-killer": group_killer_scenario,
+    "source-killer": source_killer_scenario,
+    "rolling-blackout": rolling_blackout_scenario,
+    "burst": burst_scenario,
+    "scripted-burst": scripted_burst_scenario,
+    "theorem1": theorem1_scenario,
+    "collusion": collusion_scenario,
+}
+
+
+def register_builder(
+    name: str, builder: ScenarioBuilder, replace: bool = False
+) -> None:
+    """Add a builder to the registry (tests and extensions hook in here)."""
+    if not replace and name in BUILDERS and BUILDERS[name] is not builder:
+        raise ValueError("builder {!r} is already registered".format(name))
+    BUILDERS[name] = builder
+
+
+def get_builder(name: str) -> ScenarioBuilder:
+    try:
+        return BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown scenario builder {!r}; registered: {}".format(
+                name, ", ".join(sorted(BUILDERS))
+            )
+        ) from None
+
+
+def builder_name(builder: ScenarioBuilder) -> str:
+    """Reverse registry lookup (identity), for callable convenience APIs."""
+    for name, registered in BUILDERS.items():
+        if registered is builder:
+            return name
+    raise KeyError(
+        "builder {!r} is not registered in repro.harness.scenarios.BUILDERS; "
+        "register it (register_builder) or pass its registry name".format(builder)
     )

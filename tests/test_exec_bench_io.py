@@ -1,0 +1,111 @@
+"""Tests for repro.exec.bench_io and the bench emit() sidecar."""
+
+import json
+import os
+
+import pytest
+
+from repro.exec.bench_io import (
+    artifact_path,
+    grid_payload,
+    sweep_payload,
+    write_bench_json,
+)
+
+
+class TestWriteBenchJson:
+    def test_writes_envelope(self, tmp_path):
+        path = write_bench_json(
+            "e99_example",
+            {"metrics": {"peak": 12}},
+            results_dir=str(tmp_path),
+        )
+        assert os.path.basename(path) == "BENCH_e99_example.json"
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["name"] == "e99_example"
+        assert data["schema"] == 1
+        assert data["metrics"] == {"peak": 12}
+        # timestamped: ISO-8601, parseable
+        assert "T" in data["created"]
+
+    def test_created_can_be_pinned(self, tmp_path):
+        path = write_bench_json(
+            "e99", {}, results_dir=str(tmp_path), created="2026-01-01T00:00:00Z"
+        )
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["created"] == "2026-01-01T00:00:00Z"
+
+    def test_payload_cannot_shadow_envelope(self, tmp_path):
+        path = write_bench_json(
+            "e99", {"name": "spoof", "x": 1}, results_dir=str(tmp_path)
+        )
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["name"] == "e99"
+        assert data["x"] == 1
+
+    def test_creates_results_dir(self, tmp_path):
+        nested = str(tmp_path / "deep" / "results")
+        write_bench_json("e99", {}, results_dir=nested)
+        assert os.path.exists(artifact_path("e99", nested))
+
+
+class TestGridPayload:
+    def test_zips_headers_and_rows(self):
+        rows = grid_payload(["n", "peak"], [[8, 10], [16, 30]])
+        assert rows == [{"n": 8, "peak": 10}, {"n": 16, "peak": 30}]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grid_payload(["n"], [[8, 10]])
+
+
+class TestSweepPayload:
+    def test_serializes_cells(self):
+        from repro.analysis.sweeps import CellResult, SweepResult
+        from repro.exec.results import RunRecord
+
+        record = RunRecord(
+            scenario="steady",
+            n=8,
+            rounds=100,
+            seed=0,
+            peak=10,
+            total=50,
+            total_size=50,
+            mean_per_round=0.5,
+            filtered=0,
+            paths={"pipeline": 4},
+            latencies=(3, 5),
+        )
+        sweep = SweepResult(
+            cells=[CellResult(cell={"n": 8}, runs=[record])]
+        )
+        payload = sweep_payload(sweep)
+        assert payload["all_satisfied"] is True
+        cell = payload["cells"][0]
+        assert cell["cell"] == {"n": 8}
+        assert cell["peak"]["max"] == 10
+        assert cell["latency"]["count"] == 2
+        assert json.dumps(payload)  # JSON-serializable end to end
+
+    def test_empty_latencies_serialize_as_none(self):
+        from repro.analysis.sweeps import CellResult, SweepResult
+        from repro.exec.results import RunRecord
+
+        record = RunRecord(
+            scenario="steady",
+            n=8,
+            rounds=100,
+            seed=0,
+            peak=10,
+            total=50,
+            total_size=50,
+            mean_per_round=0.5,
+            filtered=0,
+        )
+        payload = sweep_payload(
+            SweepResult(cells=[CellResult(cell={"n": 8}, runs=[record])])
+        )
+        assert payload["cells"][0]["latency"] is None

@@ -1,0 +1,150 @@
+"""Tests for repro.exec.pool: ordering, parity, crash retry, timeouts.
+
+The crash/exception helpers must live at module scope so the forked
+workers can unpickle them by qualified name.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.config import CongosParams
+from repro.exec.pool import (
+    TaskTimeoutError,
+    WorkerCrashError,
+    resolve_jobs,
+    run_specs,
+    run_tasks,
+)
+from repro.exec.progress import Progress
+from repro.exec.tasks import RunSpec
+
+
+def _identity(value):
+    return value
+
+
+def _square(value):
+    return value * value
+
+
+def _raise(value):
+    raise ValueError("task failed: {}".format(value))
+
+
+def _sleep(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _crash_until_marker(path):
+    """Kill the worker hard on the first call, succeed once the marker
+    exists — a deterministic 'crash once, then recover' workload."""
+    if not os.path.exists(path):
+        with open(path, "w", encoding="utf-8"):
+            pass
+        os._exit(13)
+    return "survived"
+
+
+def _always_crash(_):
+    os._exit(13)
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_default_is_cpu_count(self):
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+class TestRunTasks:
+    def test_serial_preserves_order(self):
+        assert run_tasks(range(5), _square, jobs=1) == [0, 1, 4, 9, 16]
+
+    def test_parallel_preserves_order(self):
+        assert run_tasks(range(6), _square, jobs=2) == [0, 1, 4, 9, 16, 25]
+
+    def test_serial_accepts_closures(self):
+        calls = []
+
+        def fn(item):
+            calls.append(item)
+            return item
+
+        assert run_tasks([1, 2], fn, jobs=1) == [1, 2]
+        assert calls == [1, 2]
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(ValueError, match="task failed"):
+            run_tasks([1], _raise, jobs=1)
+
+    def test_parallel_exception_propagates(self):
+        with pytest.raises(ValueError, match="task failed"):
+            run_tasks([1], _raise, jobs=2)
+
+    def test_progress_counts_tasks(self):
+        progress = Progress(total=3)
+        run_tasks(range(3), _identity, jobs=1, progress=progress)
+        assert progress.done == 3
+        assert progress.executed == 3
+        assert progress.cached == 0
+
+    def test_worker_crash_is_retried(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        result = run_tasks([marker], _crash_until_marker, jobs=2, retries=1)
+        assert result == ["survived"]
+        assert os.path.exists(marker)
+
+    def test_innocent_bystanders_survive_a_crash(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        # The crasher takes the whole pool down; the other tasks must be
+        # re-run transparently and keep their slots.
+        crash_and_friends = [marker, str(tmp_path / "absent-a"), marker]
+        results = run_tasks(
+            crash_and_friends,
+            _crash_until_marker,
+            jobs=2,
+            retries=2,
+        )
+        assert results == ["survived", "survived", "survived"]
+
+    def test_crash_budget_exhausted_raises(self):
+        with pytest.raises(WorkerCrashError, match="crashed its worker"):
+            run_tasks([None], _always_crash, jobs=2, retries=1)
+
+    def test_timeout_raises(self):
+        with pytest.raises(TaskTimeoutError, match="per-task timeout"):
+            run_tasks([1.5], _sleep, jobs=2, timeout=0.2)
+
+
+class TestRunSpecsParity:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return [
+            RunSpec.make(
+                "steady",
+                seed=seed,
+                n=8,
+                rounds=200,
+                deadline=64,
+                params=CongosParams.lean(),
+            )
+            for seed in (0, 1)
+        ]
+
+    def test_pool_results_identical_to_serial(self, specs):
+        serial = run_specs(specs, jobs=1)
+        pooled = run_specs(specs, jobs=2)
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in pooled]
+        # same seeds -> same peak/total/QoD, bit for bit
+        assert [r.peak for r in serial] == [r.peak for r in pooled]
+        assert [r.total for r in serial] == [r.total for r in pooled]
+        assert all(r.qod_satisfied for r in pooled)
+
+    def test_different_seeds_differ(self, specs):
+        records = run_specs(specs, jobs=1)
+        assert records[0].total != records[1].total

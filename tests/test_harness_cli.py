@@ -96,3 +96,129 @@ class TestCommands:
             ]
         )
         assert code == 0
+
+
+class TestScenarioListing:
+    def test_lists_builder_kwargs(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "kwargs" in out
+        assert "deadline=128" in out  # defaults are rendered
+        assert "collusion" in out  # registry exposes the Section-6 variant
+        assert "scripted-burst" in out
+
+
+class TestMultiSeedRun:
+    def test_run_seeds_aggregates(self, capsys):
+        code = main(
+            [
+                "run",
+                "steady",
+                "-n",
+                "8",
+                "--rounds",
+                "200",
+                "--deadline",
+                "64",
+                "--seeds",
+                "0",
+                "1",
+                "--jobs",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "across 2 seeds" in out
+        assert "peak" in out
+
+    def test_run_seeds_json(self, capsys):
+        code = main(
+            [
+                "run",
+                "steady",
+                "-n",
+                "8",
+                "--rounds",
+                "200",
+                "--deadline",
+                "64",
+                "--seeds",
+                "0",
+                "1",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        records = json.loads(out)
+        assert len(records) == 2
+        assert records[0]["qod_satisfied"] is True
+        assert records[0]["seed"] == 0
+
+
+class TestSweepCommand:
+    def test_sweep_smoke_with_artifacts(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "artifacts")
+        code = main(
+            [
+                "sweep",
+                "steady",
+                "-n",
+                "8",
+                "--deadline",
+                "64",
+                "--rounds",
+                "200",
+                "--seeds",
+                "1",
+                "--jobs",
+                "1",
+                "--lean",
+                "--out",
+                out_dir,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "peak mean" in captured.out
+        artifact = tmp_path / "artifacts" / "BENCH_steady_sweep.json"
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["executed_tasks"] == 1
+        assert payload["cells"][0]["qod_satisfied"] is True
+        assert (tmp_path / "artifacts" / "steady_sweep.txt").exists()
+        assert (tmp_path / "artifacts" / "cache").is_dir()
+
+    def test_sweep_resume_skips_cached_cells(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "artifacts")
+        argv = [
+            "sweep",
+            "steady",
+            "-n",
+            "8",
+            "--deadline",
+            "64",
+            "--rounds",
+            "200",
+            "--seeds",
+            "1",
+            "--jobs",
+            "1",
+            "--lean",
+            "--out",
+            out_dir,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        capsys.readouterr()
+        payload = json.loads(
+            (tmp_path / "artifacts" / "BENCH_steady_sweep.json").read_text()
+        )
+        assert payload["executed_tasks"] == 0
+        assert payload["cached_tasks"] == 1
+
+    def test_resume_requires_out(self, capsys):
+        code = main(["sweep", "steady", "--resume"])
+        assert code == 2
