@@ -17,7 +17,7 @@ import time
 import pytest
 
 from repro.analysis.fitting import fit_with_polylog
-from repro.exec.bench_io import grid_payload
+from repro.exec.bench_io import grid_payload, profile_payload
 from repro.exec.pool import run_specs
 from repro.exec.tasks import RunSpec
 from repro.harness.report import format_table
@@ -60,9 +60,9 @@ def test_e06_scaling_exponent(benchmark):
                 peaks.append(record.peak)
                 rows.append([deadline, n, record.peak])
             fits[deadline] = fit_with_polylog(SIZES, peaks, polylog_power=2.0)
-        return rows, fits, elapsed
+        return rows, fits, elapsed, records
 
-    rows, fits, elapsed = run_once(benchmark, experiment)
+    rows, fits, elapsed, records = run_once(benchmark, experiment)
     fit_rows = [
         [
             deadline,
@@ -95,6 +95,7 @@ def test_e06_scaling_exponent(benchmark):
                 for deadline, fit in fits.items()
             },
             "timing": {"seconds": round(elapsed, 3), "jobs": bench_jobs()},
+            "profile": profile_payload(records),
         },
     )
     for deadline, fit in fits.items():
@@ -140,9 +141,9 @@ def test_e06_deadline_sweep_at_fixed_n(benchmark):
         for deadline, record in zip(deadlines, records):
             assert record.qod_satisfied
             rows.append([deadline, record.peak])
-        return rows, elapsed
+        return rows, elapsed, records
 
-    rows, elapsed = run_once(benchmark, experiment)
+    rows, elapsed, records = run_once(benchmark, experiment)
     headers = ["dline", "max msgs/round (n=32, 8-rumor burst)"]
     table = format_table(
         headers,
@@ -155,6 +156,7 @@ def test_e06_deadline_sweep_at_fixed_n(benchmark):
         data={
             "grid": grid_payload(headers, rows),
             "timing": {"seconds": round(elapsed, 3), "jobs": bench_jobs()},
+            "profile": profile_payload(records),
         },
     )
     peaks = [row[1] for row in rows]

@@ -26,6 +26,7 @@ from repro.core.partitions import PartitionSet
 from repro.core.splitting import Fragment, merge_fragments
 from repro.gossip.rumor import Rumor, RumorId
 from repro.gossip.service import SubService
+from repro.obs.instrument import NULL_TELEMETRY
 from repro.sim.messages import Message, ServiceTags
 
 __all__ = [
@@ -91,8 +92,10 @@ class ConfidentialGossipCoordinator(SubService):
         params: CongosParams,
         partition_set: PartitionSet,
         deliver_callback: Optional[DeliverCallback] = None,
+        telemetry=None,
     ):
         super().__init__(pid, n, ServiceTags.CONFIDENTIAL, self.CHANNEL)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.params = params
         self.partition_set = partition_set
         self.deliver_callback = deliver_callback
@@ -125,6 +128,14 @@ class ConfidentialGossipCoordinator(SubService):
         Theorem-16 case 1)."""
         self._pending_direct.append(rumor)
         self.direct_sends += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "rumor_direct",
+                round_no,
+                pid=self.pid,
+                rid=rumor.rid,
+                targets=sorted(rumor.dest - {self.pid}),
+            )
 
     def deliver_local(
         self, round_no: int, rid: RumorId, data: bytes, path: str
@@ -134,6 +145,11 @@ class ConfidentialGossipCoordinator(SubService):
             return
         record = DeliveryRecord(rid=rid, data=data, round_no=round_no, path=path)
         self.deliveries[rid] = record
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("rumor.delivered", path=path).inc()
+            self.telemetry.emit(
+                "rumor_deliver", round_no, pid=self.pid, rid=rid, path=path
+            )
         if self.deliver_callback is not None:
             self.deliver_callback(self.pid, round_no, rid, data, path)
 
@@ -178,6 +194,15 @@ class ConfidentialGossipCoordinator(SubService):
                     self._shoot(cached.rumor, "shoot", targets=targets)
                 )
                 self.fallbacks += 1
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter("rumor.fallbacks").inc()
+                    self.telemetry.emit(
+                        "rumor_fallback",
+                        round_no,
+                        pid=self.pid,
+                        rid=rid,
+                        targets=sorted(targets - {self.pid}),
+                    )
                 expired.append(rid)
         for rid in expired:
             del self.rumor_cache[rid]
@@ -263,6 +288,14 @@ class ConfidentialGossipCoordinator(SubService):
             if self._covered(cached):
                 cached.confirmed_at = round_no
                 self.confirmations += 1
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter("rumor.confirmations").inc()
+                    self.telemetry.emit(
+                        "rumor_confirm",
+                        round_no,
+                        pid=self.pid,
+                        rid=cached.rumor.rid,
+                    )
 
     def _covered(self, cached: CachedRumor) -> bool:
         """Figure 8 lines 41-46: some partition covers the whole

@@ -40,6 +40,7 @@ from repro.core.splitting import Fragment, split_rumor
 from repro.gossip.continuous import ContinuousGossip
 from repro.gossip.rumor import GossipItem, Rumor
 from repro.gossip.service import ServiceHost
+from repro.obs.instrument import NULL_TELEMETRY
 from repro.sim.clock import BlockSchedule
 from repro.sim.messages import Message, ServiceTags
 from repro.sim.process import NodeBehavior
@@ -89,8 +90,10 @@ class CongosNode(NodeBehavior):
         partition_set: PartitionSet,
         seeds: SeedSequence,
         deliver_callback: Optional[DeliverCallback] = None,
+        telemetry=None,
     ):
         super().__init__(pid, n)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         if partition_set.n != n:
             raise ValueError("partition set built for different n")
         if partition_set.num_groups != params.num_groups:
@@ -130,6 +133,7 @@ class CongosNode(NodeBehavior):
             fanout_scale=self.params.gossip_fanout_scale,
             schedule=self.params.gossip_schedule,
             reliable=self.params.gossip_reliable,
+            telemetry=self.telemetry,
         )
         self.host.register(self.all_gossip)
         self.coordinator = ConfidentialGossipCoordinator(
@@ -138,6 +142,7 @@ class CongosNode(NodeBehavior):
             params=self.params,
             partition_set=self.partition_set,
             deliver_callback=self.deliver_callback,
+            telemetry=self.telemetry,
         )
         self.host.register(self.coordinator)
         self._split_rng = self._seed_scope.rng("split")
@@ -154,13 +159,27 @@ class CongosNode(NodeBehavior):
         if not (rumor.dest - {self.pid}):
             return  # nothing to disseminate
         dline = pipeline_deadline(rumor.deadline, self.params, self.n)
-        if dline is None or self.params.collusion_forces_direct(self.n):
+        direct = dline is None or self.params.collusion_forces_direct(self.n)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "rumor_inject",
+                round_no,
+                rid=rumor.rid,
+                src=self.pid,
+                dest=sorted(rumor.dest),
+                dest_size=len(rumor.dest),
+                deadline=rumor.deadline,
+                dline=dline,
+                direct=direct,
+            )
+        if direct:
             self.coordinator.direct_send(round_no, rumor)
             return
         self.coordinator.register(round_no, rumor, dline)
         bundle = self._instance(dline, round_no)
         schedule = BlockSchedule(dline)
         expiry = round_no + rumor.deadline
+        fragment_count = 0
         for partition in range(self.partition_set.count):
             fragments = split_rumor(
                 rumor,
@@ -181,6 +200,16 @@ class CongosNode(NodeBehavior):
             )
             bundle.proxies[partition].distribute(
                 round_no, [f for f in fragments if f.group != my_group]
+            )
+            fragment_count += len(fragments)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "rumor_split",
+                round_no,
+                rid=rumor.rid,
+                partitions=self.partition_set.count,
+                groups=self.partition_set.num_groups,
+                fragments=fragment_count,
             )
 
     # ------------------------------------------------------------------
@@ -235,6 +264,7 @@ class CongosNode(NodeBehavior):
                 fanout_scale=self.params.gossip_fanout_scale,
                 schedule=self.params.gossip_schedule,
                 reliable=self.params.gossip_reliable,
+                telemetry=self.telemetry,
             )
             px = ProxyService(
                 pid=self.pid,
@@ -248,6 +278,7 @@ class CongosNode(NodeBehavior):
                 gossip=gg,
                 on_group_fragments=self._proxy_return_handler(dline, partition),
                 wakeup=self.wakeup,
+                telemetry=self.telemetry,
             )
             gd = GroupDistributionService(
                 pid=self.pid,
@@ -262,6 +293,7 @@ class CongosNode(NodeBehavior):
                 all_gossip=self.all_gossip,
                 on_fragments=self._on_gd_fragments,
                 wakeup=self.wakeup,
+                telemetry=self.telemetry,
             )
             self.host.register(gg)
             self.host.register(px)
@@ -343,11 +375,14 @@ def congos_factory(
     seed: int = 0,
     deliver_callback: Optional[DeliverCallback] = None,
     partition_set: Optional[PartitionSet] = None,
+    telemetry=None,
 ) -> Callable[[int], CongosNode]:
     """Build a node factory for :class:`repro.sim.engine.Engine`.
 
     The partition set and seed hierarchy are shared across all nodes (and
-    all restarts), as the model requires.
+    all restarts), as the model requires.  ``telemetry`` (an
+    :class:`repro.obs.Telemetry`) is shared too — it observes, it is not
+    protocol state, so restarts keep emitting into the same stream.
     """
     resolved_params = params if params is not None else CongosParams()
     resolved_partitions = (
@@ -365,6 +400,7 @@ def congos_factory(
             partition_set=resolved_partitions,
             seeds=seeds,
             deliver_callback=deliver_callback,
+            telemetry=telemetry,
         )
 
     return factory

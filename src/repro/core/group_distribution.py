@@ -35,6 +35,7 @@ from repro.core.splitting import Fragment
 from repro.gossip.continuous import ContinuousGossip
 from repro.gossip.rumor import RumorId
 from repro.gossip.service import SubService
+from repro.obs.instrument import NULL_TELEMETRY
 from repro.sim.clock import BlockSchedule
 from repro.sim.messages import KnowledgeAtom, Message, ServiceTags
 
@@ -103,8 +104,10 @@ class GroupDistributionService(SubService):
         all_gossip: ContinuousGossip,
         on_fragments: Callable[[int, List[Fragment]], None],
         wakeup: int,
+        telemetry=None,
     ):
         super().__init__(pid, n, ServiceTags.GROUP_DISTRIBUTION, channel)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dline = dline
         self.partition = partition
         self.partition_set = partition_set
@@ -286,6 +289,19 @@ class GroupDistributionService(SubService):
                 )
             )
             self.fragments_sent += len(appropriate)
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "gd.fragments_sent", partition=str(self.partition)
+                ).inc(len(appropriate))
+                self.telemetry.emit(
+                    "gd_send",
+                    round_no,
+                    pid=self.pid,
+                    partition=self.partition,
+                    group=self.my_group,
+                    target=target,
+                    rids=sorted({f.rid for f in appropriate}, key=str),
+                )
         return messages
 
     def _inject_share(self, round_no: int) -> None:

@@ -39,6 +39,7 @@ from repro.core.partitions import PartitionSet
 from repro.core.splitting import Fragment
 from repro.gossip.continuous import ContinuousGossip
 from repro.gossip.service import SubService
+from repro.obs.instrument import NULL_TELEMETRY
 from repro.sim.clock import BlockSchedule
 from repro.sim.messages import KnowledgeAtom, Message, ServiceTags
 
@@ -108,8 +109,10 @@ class ProxyService(SubService):
         gossip: ContinuousGossip,
         on_group_fragments: Callable[[int, List[Fragment]], None],
         wakeup: int,
+        telemetry=None,
     ):
         super().__init__(pid, n, ServiceTags.PROXY, channel)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dline = dline
         self.partition = partition
         self.partition_set = partition_set
@@ -209,6 +212,10 @@ class ProxyService(SubService):
             for requester in sorted(self.ack_pending):
                 messages.append(self.make_message(requester, ProxyAck(self.pid)))
                 self.acks_sent += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "proxy.acks", partition=str(self.partition)
+                ).inc(len(self.ack_pending))
             self.ack_pending.clear()
         return messages
 
@@ -228,6 +235,16 @@ class ProxyService(SubService):
                 if fragment.uid not in self.proxy_buffer:
                     self.proxy_buffer[fragment.uid] = fragment
                     self._buffer_new.append(fragment)
+                    if self.telemetry.enabled:
+                        self.telemetry.emit(
+                            "proxy_crossing",
+                            round_no,
+                            pid=self.pid,
+                            partition=self.partition,
+                            group=self.my_group,
+                            sender=payload.sender,
+                            rids=[fragment.rid],
+                        )
             self.ack_pending.add(payload.sender)
         elif isinstance(payload, ProxyAck):
             self._acks_this_iteration.add(payload.sender)
@@ -325,6 +342,21 @@ class ProxyService(SubService):
                     self.make_message(target, request, size=len(fragments))
                 )
                 self.requests_sent += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "proxy.requests", partition=str(self.partition)
+                ).inc(len(targets))
+                self.telemetry.emit(
+                    "proxy_request",
+                    round_no,
+                    pid=self.pid,
+                    partition=self.partition,
+                    dline=self.dline,
+                    group=group,
+                    targets=sorted(targets),
+                    rids=sorted({f.rid for f in fragments}, key=str),
+                    fragments=len(fragments),
+                )
         return messages
 
     def _inject_share(self, round_no: int) -> None:

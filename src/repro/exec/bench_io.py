@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 __all__ = [
     "artifact_path",
     "grid_payload",
+    "profile_payload",
     "sweep_payload",
     "write_bench_json",
 ]
@@ -82,6 +83,38 @@ def grid_payload(
             )
         out.append({str(h): v for h, v in zip(headers, row)})
     return out
+
+
+def profile_payload(records: Sequence[object]) -> Dict[str, object]:
+    """Aggregate exec-pool profiling from a batch of ``RunRecord``s.
+
+    Cache hits are excluded from the timing summary — their ``wall_time``
+    is the *original* run's, not this batch's.
+    """
+    records = list(records)
+    fresh = [r for r in records if not getattr(r, "cache_hit", False)]
+    times = [
+        r.wall_time for r in fresh if getattr(r, "wall_time", 0.0) > 0.0
+    ]
+    pids = sorted(
+        {
+            r.worker_pid
+            for r in fresh
+            if getattr(r, "worker_pid", None) is not None
+        }
+    )
+    return {
+        "tasks": len(records),
+        "executed": len(fresh),
+        "cache_hits": len(records) - len(fresh),
+        "task_seconds_total": round(sum(times), 6),
+        "task_seconds_max": round(max(times), 6) if times else 0.0,
+        "task_seconds_mean": (
+            round(sum(times) / len(times), 6) if times else 0.0
+        ),
+        "workers": len(pids),
+        "worker_pids": pids,
+    }
 
 
 def sweep_payload(sweep) -> Dict[str, object]:

@@ -151,7 +151,7 @@ def run_specs(
     for index, spec in enumerate(specs):
         cached = cache.get(spec.key) if (cache is not None and resume) else None
         if cached is not None:
-            records[index] = cached
+            records[index] = cached.with_profile(cache_hit=True)
             if progress is not None:
                 progress.task_done(cached=True)
         else:
@@ -162,6 +162,8 @@ def run_specs(
         records[index] = record
         if cache is not None:
             cache.put(record, key=specs[index].key)
+        if progress is not None:
+            progress.task_done(wall_time=getattr(record, "wall_time", None))
 
     run_tasks(
         [specs[index] for index in todo],
@@ -169,7 +171,6 @@ def run_specs(
         jobs=jobs,
         timeout=timeout,
         retries=retries,
-        progress=progress,
         on_result=checkpoint,
     )
     return [record for record in records if record is not None]

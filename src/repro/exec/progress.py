@@ -2,8 +2,10 @@
 
 A :class:`Progress` is fed one :meth:`task_done` per finished run and
 prints rate-limited status lines (done/total, cached count, tasks per
-second, elapsed seconds) to a stream — or collects silently when the
-stream is ``None``, which is what the tests use.
+second, accumulated task seconds, elapsed seconds) to a stream — or
+collects silently when the stream is ``None``, which is what the tests
+use.  :meth:`finish` prints the final line only if the last
+:meth:`task_done` did not already report it.
 """
 
 from __future__ import annotations
@@ -33,20 +35,27 @@ class Progress:
         self.min_interval = min_interval
         self.done = 0
         self.cached = 0
+        self.task_seconds = 0.0
         self._started = time.monotonic()
         self._last_report = 0.0
+        self._reported_done = -1  # `done` value of the last printed line
 
     # -- accounting ------------------------------------------------------
 
-    def task_done(self, cached: bool = False) -> None:
+    def task_done(
+        self, cached: bool = False, wall_time: Optional[float] = None
+    ) -> None:
         self.done += 1
         if cached:
             self.cached += 1
+        if wall_time is not None:
+            self.task_seconds += wall_time
         now = time.monotonic()
         if self.stream is not None and (
             now - self._last_report >= self.min_interval or self.done == self.total
         ):
             self._last_report = now
+            self._reported_done = self.done
             print(self.render(), file=self.stream)
 
     # -- queries ---------------------------------------------------------
@@ -64,18 +73,23 @@ class Progress:
         return self.done / elapsed if elapsed > 0 else 0.0
 
     def render(self) -> str:
-        parts = [
-            "{}: {}/{} tasks".format(self.label, self.done, self.total),
-        ]
+        parts = ["{}: {}/{} tasks".format(self.label, self.done, self.total)]
+        if self.total > 0:
+            parts.append("{:.0f}%".format(100.0 * self.done / self.total))
         if self.cached:
             parts.append("{} cached".format(self.cached))
         parts.append("{:.2f} tasks/s".format(self.rate()))
+        if self.task_seconds > 0:
+            parts.append("task time {:.1f}s".format(self.task_seconds))
         parts.append("elapsed {:.1f}s".format(self.elapsed()))
         return "  ".join(parts)
 
     def finish(self) -> str:
         line = self.render()
-        if self.stream is not None:
+        # The last task_done may already have printed this state; don't
+        # emit the same final line twice.
+        if self.stream is not None and self._reported_done != self.done:
+            self._reported_done = self.done
             print(line, file=self.stream)
         return line
 

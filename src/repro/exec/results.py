@@ -11,7 +11,7 @@ can store it verbatim.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Mapping, Optional, Tuple
 
 __all__ = ["RunRecord"]
@@ -46,6 +46,12 @@ class RunRecord:
     # bookkeeping
     rumors_injected: int = 0
     spec_key: Optional[str] = None
+    # exec-pool profiling (set by execute_spec / run_specs, not by the
+    # simulation — nondeterministic, so comparisons that assert bit
+    # identity must go through without_profile())
+    wall_time: float = 0.0
+    worker_pid: Optional[int] = None
+    cache_hit: bool = False
 
     @classmethod
     def from_result(cls, result, spec_key: Optional[str] = None) -> "RunRecord":
@@ -84,6 +90,32 @@ class RunRecord:
 
     def served_pairs(self) -> int:
         return sum(self.paths.values())
+
+    # -- profiling -------------------------------------------------------
+
+    def with_profile(
+        self,
+        wall_time: Optional[float] = None,
+        worker_pid: Optional[int] = None,
+        cache_hit: Optional[bool] = None,
+    ) -> "RunRecord":
+        """Copy with profiling fields updated (record is frozen)."""
+        updates: Dict[str, object] = {}
+        if wall_time is not None:
+            updates["wall_time"] = wall_time
+        if worker_pid is not None:
+            updates["worker_pid"] = worker_pid
+        if cache_hit is not None:
+            updates["cache_hit"] = cache_hit
+        return replace(self, **updates) if updates else self
+
+    def without_profile(self) -> "RunRecord":
+        """Copy with profiling fields zeroed — the deterministic payload.
+
+        Parity tests (serial vs pooled, fresh vs cached) compare these:
+        wall-clock and worker pids legitimately differ between runs.
+        """
+        return replace(self, wall_time=0.0, worker_pid=None, cache_hit=False)
 
     # -- JSON round-trip -------------------------------------------------
 

@@ -133,10 +133,19 @@ def execute_spec(spec: RunSpec):
 
     This is the unit of work shipped to pool workers: the engine and
     auditors live and die inside this call; only the
-    :class:`~repro.exec.results.RunRecord` crosses back.
+    :class:`~repro.exec.results.RunRecord` crosses back — stamped with
+    the task's wall-clock time and the worker's pid for profiling.
     """
+    import os
+    import time
+
     from repro.exec.results import RunRecord
     from repro.harness.runner import run_congos_scenario
 
+    started = time.perf_counter()
     result = run_congos_scenario(spec.to_scenario())
-    return RunRecord.from_result(result, spec_key=spec.key)
+    record = RunRecord.from_result(result, spec_key=spec.key)
+    return record.with_profile(
+        wall_time=round(time.perf_counter() - started, 6),
+        worker_pid=os.getpid(),
+    )

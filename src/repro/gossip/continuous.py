@@ -32,6 +32,7 @@ from repro.gossip.expander import ShiftExpander
 from repro.gossip.filter import GroupFilter
 from repro.gossip.rumor import GossipItem
 from repro.gossip.service import SubService
+from repro.obs.instrument import NULL_TELEMETRY
 from repro.sim.messages import Message, ServiceTags
 
 __all__ = ["ContinuousGossip"]
@@ -74,8 +75,10 @@ class ContinuousGossip(SubService):
         schedule: str = "random",
         reliable: bool = False,
         resend_horizon: Optional[int] = None,
+        telemetry=None,
     ):
         super().__init__(pid, n, service, channel)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.filter = GroupFilter(scope)
         if pid not in self.filter.scope:
             raise ValueError(
@@ -145,6 +148,23 @@ class ContinuousGossip(SubService):
         )
         self._seen.add(uid)
         self._active[uid] = item
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "gossip.injected", service=self.service
+            ).inc()
+            rid = getattr(payload, "rid", None)
+            if rid is not None:
+                # Only Fragments carry a rid; share payloads are counted
+                # above but not traced (they dominate event volume).
+                self.telemetry.emit(
+                    "gossip_inject",
+                    round_no,
+                    pid=self.pid,
+                    channel=self.channel,
+                    service=self.service,
+                    rid=rid,
+                    expiry=item.expiry,
+                )
         if self.pid in item.dest and self.deliver is not None:
             self.deliver(round_no, item)
         return item

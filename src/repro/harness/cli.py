@@ -4,11 +4,19 @@ Commands
 --------
 ``run``
     Run an audited CONGOS scenario (optionally replicated across seeds,
-    in parallel with ``--jobs``) and print its summary.
+    in parallel with ``--jobs``) and print its summary.  ``--metrics``
+    appends a telemetry-registry dump.
 ``sweep``
     Run a scenario family over an ``n`` × ``deadline`` grid on the exec
     pool, with a resumable on-disk result cache and machine-readable
-    artifacts (``--jobs``, ``--resume``, ``--out``).
+    artifacts (``--jobs``, ``--resume``, ``--out``, ``--metrics``).
+``trace``
+    Run one scenario with full telemetry and stream every event —
+    rumor lifecycle stages, proxy crossings, GD fan-out — to a JSONL
+    file, then print per-rumor timelines (``--rumor`` replays one).
+``profile-sweep``
+    Run a sweep with exec-pool profiling and print the per-task
+    wall-clock / worker-pid / cache-hit breakdown.
 ``scenarios``
     List the registered scenario builders and their keyword arguments.
 ``partitions``
@@ -35,7 +43,7 @@ from repro.analysis.bounds import (
 from repro.analysis.sweeps import grid, sweep_congos
 from repro.core.config import CongosParams
 from repro.core.congos import build_partition_set
-from repro.exec.bench_io import sweep_payload, write_bench_json
+from repro.exec.bench_io import profile_payload, sweep_payload, write_bench_json
 from repro.exec.cache import ResultCache
 from repro.exec.pool import run_specs
 from repro.exec.progress import Progress
@@ -43,6 +51,7 @@ from repro.exec.tasks import RunSpec
 from repro.harness.report import format_kv, format_table
 from repro.harness.runner import run_congos_scenario
 from repro.harness.scenarios import BUILDERS
+from repro.obs import JsonlSink, MetricsRegistry, RumorTimeline, Telemetry
 
 SCENARIOS = BUILDERS
 
@@ -76,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--deadline", type=int, default=128)
     run.add_argument("--tau", type=int, default=1, help="collusion tolerance")
     run.add_argument("--json", action="store_true", help="emit JSON summary")
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a telemetry-registry dump after the summary",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run a scenario grid on the parallel exec pool"
@@ -123,6 +137,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--lean", action="store_true", help="use CongosParams.lean()"
     )
     sweep.add_argument("--json", action="store_true", help="emit JSON payload")
+    sweep.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a registry dump aggregated from the run records",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="run one scenario with full telemetry, stream JSONL"
+    )
+    trace.add_argument("scenario", choices=sorted(SCENARIOS))
+    trace.add_argument("-n", type=int, default=16, help="process count")
+    trace.add_argument("--rounds", type=int, default=400)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--deadline", type=int, default=128)
+    trace.add_argument("--tau", type=int, default=1)
+    trace.add_argument(
+        "--lean", action="store_true", help="use CongosParams.lean()"
+    )
+    trace.add_argument(
+        "--out",
+        default="events.jsonl",
+        metavar="FILE",
+        help="JSONL destination (events + one rumor_lifecycle per rumor)",
+    )
+    trace.add_argument(
+        "--rumor",
+        default=None,
+        metavar="RID",
+        help="replay one rumor's timeline (default: the first injected)",
+    )
+    trace.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the telemetry-registry dump after the timelines",
+    )
+
+    profile = sub.add_parser(
+        "profile-sweep",
+        help="run a sweep and print the per-task wall-clock breakdown",
+    )
+    profile.add_argument("scenario", choices=sorted(SCENARIOS))
+    profile.add_argument(
+        "-n", type=int, nargs="+", default=[16], metavar="N"
+    )
+    profile.add_argument(
+        "--deadline", type=int, nargs="+", default=[128], metavar="D"
+    )
+    profile.add_argument("--rounds", type=int, default=400)
+    profile.add_argument(
+        "--seeds", type=int, default=2, help="seed replicates per cell"
+    )
+    profile.add_argument(
+        "--jobs", type=int, default=0, help="worker processes (0 = cpu count)"
+    )
+    profile.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory: result cache + BENCH profile JSON",
+    )
+    profile.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse cached cells under --out instead of re-running them",
+    )
+    profile.add_argument("--tau", type=int, default=1)
+    profile.add_argument(
+        "--lean", action="store_true", help="use CongosParams.lean()"
+    )
+    profile.add_argument("--json", action="store_true", help="emit JSON payload")
 
     sub.add_parser("scenarios", help="list registered scenario builders")
 
@@ -152,6 +236,30 @@ def _scenario_kwargs(args: argparse.Namespace) -> Dict[str, object]:
     return kwargs
 
 
+def _registry_from_records(records) -> MetricsRegistry:
+    """Aggregate a parent-side registry from RunRecords.
+
+    Worker registries do not cross the process boundary; what the pool
+    hands back are slim records, so the sweep-level ``--metrics`` view is
+    rebuilt from those.
+    """
+    registry = MetricsRegistry()
+    for record in records:
+        registry.counter("exec.runs").inc()
+        if record.cache_hit:
+            registry.counter("exec.cache_hits").inc()
+        elif record.wall_time > 0:
+            registry.histogram("exec.task_seconds").observe(record.wall_time)
+        registry.counter("messages.total").inc(record.total)
+        registry.counter("messages.filtered").inc(record.filtered)
+        for service, count in sorted(record.by_service.items()):
+            registry.counter("messages.by_service", service=service).inc(count)
+        for path, count in sorted(record.paths.items()):
+            registry.counter("deliveries.by_path", path=path).inc(count)
+        registry.counter("rumors.injected").inc(record.rumors_injected)
+    return registry
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     params = CongosParams(tau=args.tau) if args.tau > 1 else CongosParams()
     kwargs = _scenario_kwargs(args)
@@ -159,9 +267,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         return _run_multi_seed(args, params, kwargs)
     seed = args.seeds[0] if args.seeds else args.seed
     builder = SCENARIOS[args.scenario]
-    result = run_congos_scenario(builder(seed=seed, params=params, **kwargs))
+    telemetry = Telemetry() if args.metrics else None
+    result = run_congos_scenario(
+        builder(seed=seed, params=params, **kwargs), telemetry=telemetry
+    )
     summary = result.summary()
     if args.json:
+        if telemetry is not None:
+            summary["metrics"] = telemetry.metrics.dump()
         print(json.dumps(summary, indent=2, default=str))
     else:
         print(format_kv(sorted(summary["messages"].items()), title="Messages"))
@@ -175,6 +288,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
         print()
         print(format_kv(sorted(summary["faults"].items()), title="CRRI events"))
+        if telemetry is not None:
+            print()
+            print("Telemetry registry")
+            print(telemetry.metrics.render())
     ok = result.qod.satisfied and result.confidentiality.is_clean()
     return 0 if ok else 1
 
@@ -209,6 +326,12 @@ def _run_multi_seed(
                 title="{} across {} seeds".format(args.scenario, len(records)),
             )
         )
+        if args.metrics:
+            print()
+            print("Telemetry registry (aggregated from {} records)".format(
+                len(records)
+            ))
+            print(_registry_from_records(records).render())
     ok = all(r.qod_satisfied for r in records) and all(r.clean for r in records)
     return 0 if ok else 1
 
@@ -262,22 +385,200 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             args.scenario, len(cells), args.seeds
         ),
     )
+    flat_records = [record for cell in result.cells for record in cell.runs]
     payload = sweep_payload(result)
     payload["scenario"] = args.scenario
     payload["seeds"] = args.seeds
     payload["elapsed_seconds"] = round(progress.elapsed(), 3)
     payload["executed_tasks"] = progress.executed
     payload["cached_tasks"] = progress.cached
+    payload["profile"] = profile_payload(flat_records)
     if args.json:
         print(json.dumps(payload, indent=2, default=str))
     else:
         print(table)
+        if args.metrics:
+            print()
+            print("Telemetry registry (aggregated from {} records)".format(
+                len(flat_records)
+            ))
+            print(_registry_from_records(flat_records).render())
     if args.out:
         name = "{}_sweep".format(args.scenario)
         with open(
             os.path.join(args.out, "{}.txt".format(name)), "w", encoding="utf-8"
         ) as handle:
             handle.write(table + "\n")
+        artifact = write_bench_json(name, payload, results_dir=args.out)
+        print("artifacts: {}".format(artifact), file=sys.stderr)
+    return 0 if result.all_satisfied() and result.all_clean() else 1
+
+
+def _trace_params(args: argparse.Namespace) -> CongosParams:
+    if args.lean:
+        return CongosParams.lean(tau=args.tau)
+    if args.tau > 1:
+        return CongosParams(tau=args.tau)
+    return CongosParams()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    params = _trace_params(args)
+    kwargs = _scenario_kwargs(args)
+    builder = SCENARIOS[args.scenario]
+    timeline = RumorTimeline()
+    with JsonlSink(path=args.out) as sink:
+        telemetry = Telemetry(sinks=[sink])
+        telemetry.subscribe(timeline)
+        result = run_congos_scenario(
+            builder(seed=args.seed, params=params, **kwargs),
+            observers=[timeline],
+            telemetry=telemetry,
+        )
+        timeline.export(sink)
+        emitted = sink.emitted
+    lifecycles = timeline.lifecycles()
+    rows: List[List[object]] = [
+        [
+            rec.rid,
+            rec.src,
+            rec.inject_round,
+            len(rec.dest),
+            rec.fragments,
+            rec.delivered_count,
+            rec.confirmed_round if rec.confirmed_round is not None else "-",
+            rec.fallback_round if rec.fallback_round is not None else "-",
+            (max(rec.latencies()) if rec.latencies() else "-"),
+        ]
+        for rec in lifecycles
+    ]
+    print(
+        format_table(
+            [
+                "rumor",
+                "src",
+                "inject",
+                "|D|",
+                "frags",
+                "delivered",
+                "confirm",
+                "fallback",
+                "max lat",
+            ],
+            rows,
+            title="trace {}: {} rumors, {} events -> {}".format(
+                args.scenario, len(lifecycles), emitted, args.out
+            ),
+        )
+    )
+    replay_rid = args.rumor if args.rumor is not None else (
+        lifecycles[0].rid if lifecycles else None
+    )
+    if replay_rid is not None:
+        print()
+        print("timeline of rumor {}".format(replay_rid))
+        for line in timeline.replay(replay_rid):
+            print("  " + line)
+    if args.metrics:
+        print()
+        print("Telemetry registry")
+        print(telemetry.metrics.render())
+    ok = result.qod.satisfied and result.confidentiality.is_clean()
+    return 0 if ok else 1
+
+
+def cmd_profile_sweep(args: argparse.Namespace) -> int:
+    if args.resume and not args.out:
+        print("--resume needs --out (the cache lives there)", file=sys.stderr)
+        return 2
+    axis = "dmax" if args.scenario == "theorem1" else "deadline"
+    cells = grid(**{"n": args.n, axis: args.deadline})
+    if args.lean:
+        params = CongosParams.lean(tau=args.tau)
+    elif args.tau > 1:
+        params = CongosParams(tau=args.tau)
+    else:
+        params = CongosParams()
+    fixed: Dict[str, object] = {"rounds": args.rounds, "params": params}
+    if args.scenario == "collusion":
+        fixed["tau"] = args.tau
+    cache = None
+    if args.out:
+        cache = ResultCache(os.path.join(args.out, "cache"))
+    total = len(cells) * args.seeds
+    progress = Progress.for_tty(
+        total, label="profile {}".format(args.scenario)
+    )
+    result = sweep_congos(
+        args.scenario,
+        cells,
+        seeds=range(args.seeds),
+        jobs=args.jobs,
+        cache=cache,
+        resume=args.resume,
+        progress=progress,
+        **fixed,
+    )
+    progress.finish()
+    axis_names = sorted(result.cells[0].cell) if result.cells else []
+    rows = []
+    flat_records = []
+    for cell in result.cells:
+        for record in cell.runs:
+            flat_records.append(record)
+            rows.append(
+                [
+                    *[cell.cell[key] for key in axis_names],
+                    record.seed,
+                    round(record.wall_time, 3),
+                    record.worker_pid if record.worker_pid is not None else "-",
+                    "yes" if record.cache_hit else "no",
+                ]
+            )
+    profile = profile_payload(flat_records)
+    elapsed = progress.elapsed()
+    speedup = (
+        profile["task_seconds_total"] / elapsed if elapsed > 0 else 0.0
+    )
+    payload: Dict[str, object] = {
+        "scenario": args.scenario,
+        "seeds": args.seeds,
+        "jobs": args.jobs,
+        "elapsed_seconds": round(elapsed, 3),
+        "speedup": round(speedup, 2),
+        "profile": profile,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(
+            format_table(
+                [*axis_names, "seed", "wall s", "worker pid", "cached"],
+                rows,
+                title="profile-sweep {} ({} tasks)".format(
+                    args.scenario, len(rows)
+                ),
+            )
+        )
+        print()
+        print(
+            format_kv(
+                [
+                    ("tasks", profile["tasks"]),
+                    ("executed", profile["executed"]),
+                    ("cache hits", profile["cache_hits"]),
+                    ("workers", profile["workers"]),
+                    ("task seconds (total)", profile["task_seconds_total"]),
+                    ("task seconds (mean)", profile["task_seconds_mean"]),
+                    ("task seconds (max)", profile["task_seconds_max"]),
+                    ("elapsed seconds", round(elapsed, 3)),
+                    ("parallel speedup", round(speedup, 2)),
+                ],
+                title="Exec-pool profile",
+            )
+        )
+    if args.out:
+        name = "{}_profile".format(args.scenario)
         artifact = write_bench_json(name, payload, results_dir=args.out)
         print("artifacts: {}".format(artifact), file=sys.stderr)
     return 0 if result.all_satisfied() and result.all_clean() else 1
@@ -360,6 +661,8 @@ def main(argv=None) -> int:
     handlers = {
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "trace": cmd_trace,
+        "profile-sweep": cmd_profile_sweep,
         "scenarios": cmd_scenarios,
         "partitions": cmd_partitions,
         "bounds": cmd_bounds,

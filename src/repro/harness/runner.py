@@ -87,8 +87,13 @@ def run_congos_scenario(
     scenario: Scenario,
     observers: Iterable[SimObserver] = (),
     partition_set: Optional[PartitionSet] = None,
+    telemetry=None,
 ) -> RunResult:
-    """Run CONGOS under the scenario's workload and faults, fully audited."""
+    """Run CONGOS under the scenario's workload and faults, fully audited.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) is threaded through the
+    whole protocol stack; ``None`` keeps the zero-overhead null telemetry.
+    """
     resolved_partitions = (
         partition_set
         if partition_set is not None
@@ -101,6 +106,7 @@ def run_congos_scenario(
         seed=scenario.seed,
         deliver_callback=delivery.record_delivery,
         partition_set=resolved_partitions,
+        telemetry=telemetry,
     )
     return run_with_factory(
         scenario,

@@ -1,0 +1,86 @@
+"""JSON-safe telemetry events.
+
+An :class:`ObsEvent` is one record in the telemetry stream: a ``kind``
+tag, the simulation round it happened in, and a flat field dict that is
+*guaranteed* JSON-serializable.  The guarantee is enforced at emission
+time by :func:`json_safe`, which reduces arbitrary payload values to
+JSON primitives — rumor ids become their string form, sets become sorted
+lists, and raw byte strings are replaced by a length marker so that a
+trace file never leaks a rumor's confidential payload ``z``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+__all__ = ["ObsEvent", "json_safe", "REQUIRED_KEYS"]
+
+# Every serialized event carries at least these keys (the CI trace-smoke
+# job validates them on real output).
+REQUIRED_KEYS = ("kind", "round")
+
+_RESERVED = frozenset(REQUIRED_KEYS)
+
+
+def json_safe(value: Any) -> Any:
+    """Reduce ``value`` to something ``json.dumps`` accepts verbatim.
+
+    * primitives pass through;
+    * ``bytes`` are replaced by a ``"<N bytes>"`` marker — confidential
+      rumor payloads must never appear in a trace;
+    * mappings keep their structure with stringified keys;
+    * sets/frozensets become deterministically sorted lists;
+    * anything else (RumorId, dataclasses, ...) becomes ``str(value)``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return "<{} bytes>".format(len(value))
+    if isinstance(value, Mapping):
+        return {str(key): json_safe(val) for key, val in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted((json_safe(item) for item in value), key=_sort_key)
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return str(value)
+
+
+def _sort_key(item: Any):
+    """Total order over heterogeneous JSON values (for set rendering)."""
+    return (type(item).__name__, str(item))
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One telemetry event.
+
+    ``fields`` must already be JSON-safe; :meth:`make` sanitizes for you.
+    Field names colliding with the envelope keys (``kind``, ``round``)
+    are dropped rather than allowed to shadow the envelope.
+    """
+
+    kind: str
+    round_no: int
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def make(cls, kind: str, round_no: int, **fields: Any) -> "ObsEvent":
+        return cls(kind=kind, round_no=round_no, fields=json_safe(fields))
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind, "round": self.round_no}
+        for key, value in self.fields.items():
+            if key not in _RESERVED:
+                out[key] = value
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def __str__(self) -> str:
+        parts = " ".join(
+            "{}={}".format(key, value) for key, value in sorted(self.fields.items())
+        )
+        return "[r{:>5}] {:<16} {}".format(self.round_no, self.kind, parts)

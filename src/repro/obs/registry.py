@@ -1,0 +1,185 @@
+"""Metrics registry: labelled counters, gauges, histograms, span timers.
+
+The registry is deliberately tiny and dependency-free.  Instruments are
+created on first use and keyed by ``(name, sorted(labels))``, so
+
+    registry.counter("gossip.injected", service="gg").inc()
+
+always returns the same :class:`Counter` for the same label set.  A
+:class:`Span` wraps ``time.perf_counter`` and lands its duration in a
+histogram, usable as a context manager::
+
+    with registry.span("exec.task", scenario="steady"):
+        ...
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Span"]
+
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _label_key(name: str, labels: Dict[str, Any]) -> LabelKey:
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways (e.g. active blocks, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Streaming summary: count / total / min / max / mean.
+
+    No buckets — the repro workloads need magnitudes, not quantiles, and
+    a five-number summary keeps merge and JSON output trivial.
+    """
+
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 6),
+        }
+
+
+class Span:
+    """Times a block and records the duration into a histogram."""
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started: Optional[float] = None
+        self.seconds: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._started is not None:
+            self.seconds = time.perf_counter() - self._started
+            self._histogram.observe(self.seconds)
+
+
+class MetricsRegistry:
+    """Get-or-create home for all instruments in one run."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[LabelKey, Any] = {}
+
+    def _get(self, factory, name: str, labels: Dict[str, Any]):
+        key = _label_key(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, factory):
+            raise TypeError(
+                "metric {!r} already registered as {}".format(
+                    name, instrument.kind
+                )
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def span(self, name: str, **labels: Any) -> Span:
+        return Span(self.histogram(name, **labels))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def items(self) -> Iterator[Tuple[LabelKey, Any]]:
+        return iter(sorted(self._instruments.items()))
+
+    def dump(self) -> List[Dict[str, Any]]:
+        """All instruments as JSON-safe dicts, deterministically ordered."""
+        out: List[Dict[str, Any]] = []
+        for (name, labels), instrument in self.items():
+            entry: Dict[str, Any] = {
+                "name": name,
+                "type": instrument.kind,
+                "labels": dict(labels),
+            }
+            entry.update(instrument.as_dict())
+            out.append(entry)
+        return out
+
+    def render(self) -> str:
+        """Human-readable registry dump (the CLI ``--metrics`` view)."""
+        lines: List[str] = []
+        for entry in self.dump():
+            labels = ",".join(
+                "{}={}".format(k, v) for k, v in sorted(entry["labels"].items())
+            )
+            head = "{}{}".format(
+                entry["name"], "{" + labels + "}" if labels else ""
+            )
+            body = " ".join(
+                "{}={}".format(k, v)
+                for k, v in entry.items()
+                if k not in ("name", "type", "labels")
+            )
+            lines.append("{:<44} {:<9} {}".format(head, entry["type"], body))
+        return "\n".join(lines) if lines else "(no metrics recorded)"

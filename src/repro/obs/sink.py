@@ -1,0 +1,94 @@
+"""Event sinks: JSONL writer, flight-recorder ring buffer, test collector.
+
+A sink is anything with ``write(event)``.  :class:`JsonlSink` streams
+events to a file (or any text stream) one JSON object per line;
+:class:`RingBufferSink` keeps only the most recent ``capacity`` events in
+memory so always-on flight recording stays bounded, and can drain its
+contents into another sink after the fact (e.g. only when a run fails).
+"""
+
+from __future__ import annotations
+
+import io
+from collections import deque
+from typing import Deque, List, Optional, TextIO
+
+from repro.obs.events import ObsEvent
+
+__all__ = ["CollectSink", "JsonlSink", "RingBufferSink"]
+
+
+class JsonlSink:
+    """Serialize events to a text stream, one JSON object per line."""
+
+    def __init__(self, path: Optional[str] = None, stream: Optional[TextIO] = None):
+        if (path is None) == (stream is None):
+            raise ValueError("pass exactly one of path= or stream=")
+        self._owns_stream = stream is None
+        self._stream: Optional[TextIO] = (
+            io.open(path, "w", encoding="utf-8") if path is not None else stream
+        )
+        self.path = path
+        self.emitted = 0
+
+    def write(self, event: ObsEvent) -> None:
+        if self._stream is None:
+            raise ValueError("sink is closed")
+        self._stream.write(event.to_json())
+        self._stream.write("\n")
+        self.emitted += 1
+
+    def flush(self) -> None:
+        if self._stream is not None:
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+        self._stream = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class RingBufferSink:
+    """Flight recorder: keep the last ``capacity`` events, count the rest."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[ObsEvent] = deque(maxlen=capacity)
+        self.seen = 0
+
+    def write(self, event: ObsEvent) -> None:
+        self.seen += 1
+        self._events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        return self.seen - len(self._events)
+
+    def events(self) -> List[ObsEvent]:
+        return list(self._events)
+
+    def drain_to(self, sink: "JsonlSink") -> int:
+        """Flush the buffered tail into another sink; returns the count."""
+        drained = 0
+        while self._events:
+            sink.write(self._events.popleft())
+            drained += 1
+        return drained
+
+
+class CollectSink:
+    """Append every event to a plain list (test helper)."""
+
+    def __init__(self) -> None:
+        self.events: List[ObsEvent] = []
+
+    def write(self, event: ObsEvent) -> None:
+        self.events.append(event)

@@ -1,0 +1,331 @@
+"""Per-rumor lifecycle reconstruction from the telemetry stream.
+
+:class:`RumorTimeline` subscribes to a :class:`~repro.obs.instrument.Telemetry`
+(via ``telemetry.subscribe(timeline)``) and folds the instrumentation
+events emitted by ``core``/``gossip`` into one :class:`RumorLifecycle`
+record per rumor id:
+
+    inject round → fragment/split counts → first gossip injection →
+    proxy requests and crossings → GroupDistribution fan-out →
+    hitSet confirmation → fallback trigger → delivery (round, path,
+    latency) per destination.
+
+It is *also* a :class:`~repro.sim.engine.SimObserver`, so a rumor the
+engine injects shows up even before (or without) protocol-level events —
+the engine hook only backfills; protocol events are authoritative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.events import ObsEvent, json_safe
+from repro.sim.engine import SimObserver
+
+__all__ = ["RumorLifecycle", "RumorTimeline"]
+
+
+@dataclass
+class RumorLifecycle:
+    """Everything observed about one rumor, keyed by its string rid."""
+
+    rid: str
+    src: Optional[int] = None
+    inject_round: Optional[int] = None
+    deadline: Optional[int] = None
+    dline: Optional[int] = None
+    dest: List[int] = field(default_factory=list)
+    direct: bool = False
+    partitions: Optional[int] = None
+    fragments: int = 0
+    gossip_injects: int = 0
+    first_gossip_round: Optional[int] = None
+    proxy_requests: int = 0
+    first_proxy_round: Optional[int] = None
+    last_proxy_round: Optional[int] = None
+    gd_sends: int = 0
+    first_gd_round: Optional[int] = None
+    last_gd_round: Optional[int] = None
+    confirmed_round: Optional[int] = None
+    fallback_round: Optional[int] = None
+    deliveries: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.deliveries)
+
+    @property
+    def complete(self) -> bool:
+        """Every known destination has received the rumor."""
+        if not self.dest:
+            return False
+        return all(dst in self.deliveries for dst in self.dest)
+
+    def latencies(self) -> List[int]:
+        return sorted(
+            entry["latency"]
+            for entry in self.deliveries.values()
+            if entry.get("latency") is not None
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "rid": self.rid,
+            "src": self.src,
+            "inject_round": self.inject_round,
+            "deadline": self.deadline,
+            "dline": self.dline,
+            "dest": list(self.dest),
+            "direct": self.direct,
+            "partitions": self.partitions,
+            "fragments": self.fragments,
+            "gossip_injects": self.gossip_injects,
+            "first_gossip_round": self.first_gossip_round,
+            "proxy_requests": self.proxy_requests,
+            "first_proxy_round": self.first_proxy_round,
+            "last_proxy_round": self.last_proxy_round,
+            "gd_sends": self.gd_sends,
+            "first_gd_round": self.first_gd_round,
+            "last_gd_round": self.last_gd_round,
+            "confirmed_round": self.confirmed_round,
+            "fallback_round": self.fallback_round,
+            "delivered": self.delivered_count,
+            "complete": self.complete,
+            "deliveries": {
+                str(dst): dict(entry) for dst, entry in sorted(self.deliveries.items())
+            },
+        }
+        return json_safe(out)
+
+
+def _span(first: Optional[int], new: int) -> int:
+    return new if first is None else min(first, new)
+
+
+class RumorTimeline(SimObserver):
+    """Folds telemetry events into per-rumor lifecycle records."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, RumorLifecycle] = {}
+        self.events_seen = 0
+
+    # -- access --------------------------------------------------------
+
+    def lifecycle(self, rid: object) -> Optional[RumorLifecycle]:
+        return self._records.get(str(rid))
+
+    def lifecycles(self) -> List[RumorLifecycle]:
+        """All records, ordered by injection round then rid."""
+        return sorted(
+            self._records.values(),
+            key=lambda rec: (
+                rec.inject_round if rec.inject_round is not None else -1,
+                rec.rid,
+            ),
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def _get(self, rid: object) -> RumorLifecycle:
+        key = str(rid)
+        record = self._records.get(key)
+        if record is None:
+            record = RumorLifecycle(rid=key)
+            self._records[key] = record
+        return record
+
+    # -- engine hook (backfill only) -----------------------------------
+
+    def on_inject(self, round_no: int, pid: int, rumor: object) -> None:
+        rid = getattr(rumor, "rid", None)
+        if rid is None:
+            return
+        record = self._get(rid)
+        if record.inject_round is None:
+            record.inject_round = round_no
+            record.src = pid
+            deadline = getattr(rumor, "deadline", None)
+            if deadline is not None:
+                record.deadline = deadline
+            dest = getattr(rumor, "dest", None)
+            if dest and not record.dest:
+                record.dest = sorted(dest)
+
+    # -- telemetry events (authoritative) ------------------------------
+
+    def on_event(self, event: ObsEvent) -> None:
+        handler = self._HANDLERS.get(event.kind)
+        if handler is None:
+            return
+        self.events_seen += 1
+        handler(self, event.round_no, event.fields)
+
+    def _on_rumor_inject(self, round_no: int, f: Dict[str, Any]) -> None:
+        record = self._get(f["rid"])
+        record.inject_round = round_no
+        record.src = f.get("src", record.src)
+        record.deadline = f.get("deadline", record.deadline)
+        record.dline = f.get("dline", record.dline)
+        record.direct = bool(f.get("direct", record.direct))
+        dest = f.get("dest")
+        if dest:
+            record.dest = sorted(dest)
+
+    def _on_rumor_split(self, round_no: int, f: Dict[str, Any]) -> None:
+        record = self._get(f["rid"])
+        record.partitions = f.get("partitions", record.partitions)
+        record.fragments += int(f.get("fragments", 0))
+
+    def _on_gossip_inject(self, round_no: int, f: Dict[str, Any]) -> None:
+        record = self._get(f["rid"])
+        record.gossip_injects += 1
+        record.first_gossip_round = _span(record.first_gossip_round, round_no)
+
+    def _on_proxy_request(self, round_no: int, f: Dict[str, Any]) -> None:
+        for rid in f.get("rids", ()):
+            record = self._get(rid)
+            record.proxy_requests += 1
+            record.first_proxy_round = _span(record.first_proxy_round, round_no)
+            if record.last_proxy_round is None or round_no > record.last_proxy_round:
+                record.last_proxy_round = round_no
+
+    def _on_proxy_crossing(self, round_no: int, f: Dict[str, Any]) -> None:
+        for rid in f.get("rids", ()):
+            record = self._get(rid)
+            record.first_proxy_round = _span(record.first_proxy_round, round_no)
+            if record.last_proxy_round is None or round_no > record.last_proxy_round:
+                record.last_proxy_round = round_no
+
+    def _on_gd_send(self, round_no: int, f: Dict[str, Any]) -> None:
+        for rid in f.get("rids", ()):
+            record = self._get(rid)
+            record.gd_sends += 1
+            record.first_gd_round = _span(record.first_gd_round, round_no)
+            if record.last_gd_round is None or round_no > record.last_gd_round:
+                record.last_gd_round = round_no
+
+    def _on_rumor_deliver(self, round_no: int, f: Dict[str, Any]) -> None:
+        record = self._get(f["rid"])
+        dst = f.get("pid")
+        if dst is None or dst in record.deliveries:
+            return
+        latency = (
+            round_no - record.inject_round
+            if record.inject_round is not None
+            else None
+        )
+        record.deliveries[dst] = {
+            "round": round_no,
+            "path": f.get("path"),
+            "latency": latency,
+        }
+
+    def _on_rumor_confirm(self, round_no: int, f: Dict[str, Any]) -> None:
+        record = self._get(f["rid"])
+        if record.confirmed_round is None:
+            record.confirmed_round = round_no
+
+    def _on_rumor_fallback(self, round_no: int, f: Dict[str, Any]) -> None:
+        record = self._get(f["rid"])
+        if record.fallback_round is None:
+            record.fallback_round = round_no
+
+    _HANDLERS = {
+        "rumor_inject": _on_rumor_inject,
+        "rumor_split": _on_rumor_split,
+        "gossip_inject": _on_gossip_inject,
+        "proxy_request": _on_proxy_request,
+        "proxy_crossing": _on_proxy_crossing,
+        "gd_send": _on_gd_send,
+        "rumor_deliver": _on_rumor_deliver,
+        "rumor_confirm": _on_rumor_confirm,
+        "rumor_fallback": _on_rumor_fallback,
+    }
+
+    # -- output --------------------------------------------------------
+
+    def export(self, sink: Any) -> int:
+        """Append one ``rumor_lifecycle`` event per rumor to a sink."""
+        exported = 0
+        for record in self.lifecycles():
+            round_no = record.inject_round if record.inject_round is not None else -1
+            sink.write(
+                ObsEvent.make("rumor_lifecycle", round_no, **record.to_dict())
+            )
+            exported += 1
+        return exported
+
+    def summary(self) -> Dict[str, Any]:
+        records = self.lifecycles()
+        complete = sum(1 for r in records if r.complete)
+        fallbacks = sum(1 for r in records if r.fallback_round is not None)
+        confirmed = sum(1 for r in records if r.confirmed_round is not None)
+        latencies = [lat for r in records for lat in r.latencies()]
+        return {
+            "rumors": len(records),
+            "complete": complete,
+            "confirmed": confirmed,
+            "fallbacks": fallbacks,
+            "deliveries": sum(r.delivered_count for r in records),
+            "max_latency": max(latencies) if latencies else None,
+            "mean_latency": (
+                round(sum(latencies) / len(latencies), 2) if latencies else None
+            ),
+        }
+
+    def replay(self, rid: object) -> List[str]:
+        """Human-readable, round-ordered milestones of one rumor."""
+        record = self.lifecycle(rid)
+        if record is None:
+            return ["rumor {!r}: no events observed".format(str(rid))]
+        moments: List[tuple] = []
+
+        def moment(round_no: Optional[int], text: str) -> None:
+            if round_no is not None:
+                moments.append((round_no, text))
+
+        moment(
+            record.inject_round,
+            "injected at p{} (|D|={}, deadline={}, dline={}{})".format(
+                record.src,
+                len(record.dest),
+                record.deadline,
+                record.dline,
+                ", direct" if record.direct else "",
+            ),
+        )
+        if record.fragments:
+            moment(
+                record.inject_round,
+                "split into {} fragments over {} partitions".format(
+                    record.fragments, record.partitions
+                ),
+            )
+        moment(record.first_gossip_round, "first intra-group gossip injection")
+        moment(
+            record.first_proxy_round,
+            "first proxy crossing ({} requests through r{})".format(
+                record.proxy_requests, record.last_proxy_round
+            ),
+        )
+        moment(
+            record.first_gd_round,
+            "group-distribution fan-out begins ({} sends through r{})".format(
+                record.gd_sends, record.last_gd_round
+            ),
+        )
+        moment(record.confirmed_round, "hitSet confirmed at the source")
+        moment(record.fallback_round, "fallback (shoot) triggered")
+        for dst, entry in sorted(record.deliveries.items()):
+            moment(
+                entry["round"],
+                "delivered to p{} via {} (latency {})".format(
+                    dst, entry.get("path"), entry.get("latency")
+                ),
+            )
+        moments.sort(key=lambda pair: pair[0])
+        return [
+            "r{:>5}  {}".format(round_no, text) for round_no, text in moments
+        ]

@@ -79,7 +79,22 @@ class Tracer(SimObserver):
         self._record(TraceEvent(round_no, "restart", {"pid": pid}))
 
     def on_inject(self, round_no: int, pid: int, rumor: object) -> None:
-        self._record(TraceEvent(round_no, "inject", {"pid": pid, "rumor": rumor}))
+        # Record identifying metadata only: holding the rumor object itself
+        # would leak the confidential payload ``z`` into traces (and make
+        # the event unserializable).
+        dest = getattr(rumor, "dest", None)
+        self._record(
+            TraceEvent(
+                round_no,
+                "inject",
+                {
+                    "pid": pid,
+                    "rid": str(getattr(rumor, "rid", None)),
+                    "dest_size": len(dest) if dest is not None else 0,
+                    "deadline": getattr(rumor, "deadline", None),
+                },
+            )
+        )
 
     def on_deliver(self, round_no: int, message: Message) -> None:
         if self.message_filter is not None and not self.message_filter(message):

@@ -114,9 +114,11 @@ class TestResume:
         resumed = run_specs(specs, jobs=1, cache=cache, fn=counting_execute)
         assert len(executed) == 3
         assert executed.count(specs[2].key) == 1
-        assert [r.to_dict() for r in resumed[:2]] == [
-            r.to_dict() for r in first
+        assert [r.without_profile().to_dict() for r in resumed[:2]] == [
+            r.without_profile().to_dict() for r in first
         ]
+        assert all(r.cache_hit for r in resumed[:2])
+        assert not resumed[2].cache_hit
         assert cache.hits == 2
 
     def test_interrupt_mid_batch_keeps_completed_work(self, tmp_path):
@@ -164,4 +166,5 @@ class TestResume:
         fresh = run_specs([spec], jobs=1)[0]
         run_specs([spec], jobs=1, cache=cache)
         cached = run_specs([spec], jobs=1, cache=cache)[0]
-        assert cached.to_dict() == fresh.to_dict()
+        assert cached.cache_hit and not fresh.cache_hit
+        assert cached.without_profile().to_dict() == fresh.without_profile().to_dict()

@@ -1,5 +1,6 @@
 """Tests for repro.exec.tasks / results: specs, hashing, records."""
 
+import os
 import pickle
 
 import pytest
@@ -138,7 +139,11 @@ class TestExecuteSpec:
             ),
             spec_key=spec.key,
         )
-        assert record == direct
+        # execute_spec stamps wall_time/worker_pid; the simulation payload
+        # must match the direct run exactly.
+        assert record.without_profile() == direct
+        assert record.wall_time > 0
+        assert record.worker_pid == os.getpid()
         assert record.spec_key == spec.key
         assert record.qod_satisfied and record.clean
         assert record.peak > 0 and record.total >= record.peak

@@ -222,3 +222,205 @@ class TestSweepCommand:
     def test_resume_requires_out(self, capsys):
         code = main(["sweep", "steady", "--resume"])
         assert code == 2
+
+    def test_sweep_payload_carries_exec_profile(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "artifacts")
+        code = main(
+            [
+                "sweep",
+                "steady",
+                "-n",
+                "8",
+                "--deadline",
+                "64",
+                "--rounds",
+                "200",
+                "--seeds",
+                "1",
+                "--jobs",
+                "1",
+                "--lean",
+                "--metrics",
+                "--out",
+                out_dir,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Telemetry registry" in captured.out
+        assert "exec.task_seconds" in captured.out
+        payload = json.loads(
+            (tmp_path / "artifacts" / "BENCH_steady_sweep.json").read_text()
+        )
+        profile = payload["profile"]
+        assert profile["tasks"] == 1
+        assert profile["executed"] == 1
+        assert profile["task_seconds_total"] > 0
+        assert profile["workers"] >= 1
+
+
+class TestMetricsFlag:
+    def test_run_metrics_renders_registry(self, capsys):
+        code = main(
+            [
+                "run",
+                "steady",
+                "-n",
+                "8",
+                "--rounds",
+                "200",
+                "--deadline",
+                "64",
+                "--metrics",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Telemetry registry" in out
+        assert "rumor.delivered" in out
+        assert "gossip.injected" in out
+
+    def test_run_metrics_json_embeds_dump(self, capsys):
+        code = main(
+            [
+                "run",
+                "steady",
+                "-n",
+                "8",
+                "--rounds",
+                "200",
+                "--deadline",
+                "64",
+                "--metrics",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        names = {entry["name"] for entry in payload["metrics"]}
+        assert "rumor.delivered" in names
+
+
+class TestTraceCommand:
+    def test_trace_writes_parseable_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "trace",
+                "steady",
+                "-n",
+                "8",
+                "--rounds",
+                "200",
+                "--deadline",
+                "64",
+                "--lean",
+                "--metrics",
+                "--out",
+                str(out_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "timeline of rumor" in captured.out
+        assert "Telemetry registry" in captured.out
+        lines = out_path.read_text().splitlines()
+        assert lines
+        kinds = set()
+        for line in lines:
+            event = json.loads(line)
+            assert "kind" in event and "round" in event
+            kinds.add(event["kind"])
+        assert {"rumor_inject", "rumor_deliver", "rumor_lifecycle"} <= kinds
+        # At least one exported lifecycle is complete end to end.
+        lifecycles = [
+            json.loads(line)
+            for line in lines
+            if json.loads(line)["kind"] == "rumor_lifecycle"
+        ]
+        assert any(record["complete"] for record in lifecycles)
+
+    def test_trace_replays_requested_rumor(self, tmp_path, capsys):
+        code = main(
+            [
+                "trace",
+                "steady",
+                "-n",
+                "8",
+                "--rounds",
+                "200",
+                "--deadline",
+                "64",
+                "--lean",
+                "--rumor",
+                "r0:0",
+                "--out",
+                str(tmp_path / "events.jsonl"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "timeline of rumor r0:0" in out
+
+
+class TestProfileSweepCommand:
+    def test_profile_sweep_smoke(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "artifacts")
+        code = main(
+            [
+                "profile-sweep",
+                "steady",
+                "-n",
+                "8",
+                "--deadline",
+                "64",
+                "--rounds",
+                "200",
+                "--seeds",
+                "1",
+                "--jobs",
+                "1",
+                "--lean",
+                "--out",
+                out_dir,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Exec-pool profile" in captured.out
+        assert "wall s" in captured.out
+        payload = json.loads(
+            (tmp_path / "artifacts" / "BENCH_steady_profile.json").read_text()
+        )
+        assert payload["profile"]["tasks"] == 1
+        assert payload["profile"]["task_seconds_total"] > 0
+        assert payload["speedup"] >= 0
+
+    def test_profile_sweep_json(self, capsys):
+        code = main(
+            [
+                "profile-sweep",
+                "steady",
+                "-n",
+                "8",
+                "--deadline",
+                "64",
+                "--rounds",
+                "200",
+                "--seeds",
+                "1",
+                "--jobs",
+                "1",
+                "--lean",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["profile"]["executed"] == 1
+
+    def test_profile_resume_requires_out(self, capsys):
+        code = main(["profile-sweep", "steady", "--resume"])
+        assert code == 2

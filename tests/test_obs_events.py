@@ -1,0 +1,82 @@
+"""Tests for repro.obs.events: JSON-safe telemetry events."""
+
+import json
+
+import pytest
+
+from repro.gossip.rumor import RumorId
+from repro.obs.events import REQUIRED_KEYS, ObsEvent, json_safe
+
+
+class TestJsonSafe:
+    def test_primitives_pass_through(self):
+        for value in (None, True, False, 0, 3, 2.5, "x"):
+            assert json_safe(value) == value
+
+    def test_bytes_become_length_marker(self):
+        # Confidential payloads must never land in a trace file.
+        assert json_safe(b"secret-data!") == "<12 bytes>"
+        assert json_safe(b"") == "<0 bytes>"
+
+    def test_sets_become_sorted_lists(self):
+        assert json_safe({3, 1, 2}) == [1, 2, 3]
+        assert json_safe(frozenset(["b", "a"])) == ["a", "b"]
+
+    def test_mixed_type_set_is_deterministic(self):
+        a = json_safe({1, "1", 2})
+        b = json_safe({"1", 2, 1})
+        assert a == b
+
+    def test_tuples_become_lists(self):
+        assert json_safe((1, (2, 3))) == [1, [2, 3]]
+
+    def test_mapping_keys_stringified_recursively(self):
+        assert json_safe({1: {2: b"xy"}}) == {"1": {"2": "<2 bytes>"}}
+
+    def test_arbitrary_objects_become_str(self):
+        rid = RumorId(4, 7)
+        assert json_safe(rid) == str(rid)
+
+    def test_result_always_dumps(self):
+        blob = {
+            "rid": RumorId(0, 0),
+            "dest": frozenset({2, 1}),
+            "z": b"\x00\x01",
+            "nested": [(1, 2), {3}],
+        }
+        json.dumps(json_safe(blob))  # must not raise
+
+
+class TestObsEvent:
+    def test_make_sanitizes_fields(self):
+        event = ObsEvent.make("x", 5, rid=RumorId(1, 2), dest={3, 1})
+        assert event.fields["rid"] == str(RumorId(1, 2))
+        assert event.fields["dest"] == [1, 3]
+
+    def test_to_dict_has_required_keys(self):
+        data = ObsEvent.make("rumor_inject", 7, pid=1).to_dict()
+        for key in REQUIRED_KEYS:
+            assert key in data
+        assert data["kind"] == "rumor_inject"
+        assert data["round"] == 7
+
+    def test_fields_cannot_shadow_envelope(self):
+        event = ObsEvent("x", 5, {"kind": "evil", "round": 999, "pid": 1})
+        data = event.to_dict()
+        assert data["kind"] == "x"
+        assert data["round"] == 5
+        assert data["pid"] == 1
+
+    def test_to_json_round_trips(self):
+        event = ObsEvent.make("gd_send", 12, pid=3, rids=["r0:1"])
+        parsed = json.loads(event.to_json())
+        assert parsed == {"kind": "gd_send", "round": 12, "pid": 3, "rids": ["r0:1"]}
+
+    def test_to_json_is_compact_and_sorted(self):
+        text = ObsEvent.make("x", 1, b=2, a=1).to_json()
+        assert text.index('"a"') < text.index('"b"')
+        assert ": " not in text
+
+    def test_str_mentions_kind_and_fields(self):
+        text = str(ObsEvent.make("crash", 3, pid=2))
+        assert "crash" in text and "pid=2" in text

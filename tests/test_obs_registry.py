@@ -1,0 +1,88 @@
+"""Tests for repro.obs.registry: counters, gauges, histograms, spans."""
+
+import pytest
+
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.as_dict() == {"value": 5}
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("active.blocks")
+        gauge.set(3)
+        gauge.add(-1)
+        assert gauge.value == 2
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.min == 2.0
+        assert histogram.max == 6.0
+        assert histogram.mean == pytest.approx(4.0)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+
+class TestRegistry:
+    def test_same_labels_return_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("gossip.injected", service="gg")
+        b = registry.counter("gossip.injected", service="gg")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", p=1, g=2)
+        b = registry.counter("x", g=2, p=1)
+        assert a is b
+
+    def test_distinct_labels_distinct_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", service="gg")
+        b = registry.counter("x", service="px")
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_span_lands_in_histogram(self):
+        registry = MetricsRegistry()
+        with registry.span("exec.task", scenario="steady") as span:
+            pass
+        assert span.seconds is not None and span.seconds >= 0
+        histogram = registry.histogram("exec.task", scenario="steady")
+        assert histogram.count == 1
+
+    def test_dump_is_deterministic_and_labelled(self):
+        registry = MetricsRegistry()
+        registry.counter("b.metric").inc()
+        registry.counter("a.metric", svc="gg").inc(2)
+        dump = registry.dump()
+        assert [entry["name"] for entry in dump] == ["a.metric", "b.metric"]
+        assert dump[0]["labels"] == {"svc": "gg"}
+        assert dump[0]["value"] == 2
+        assert dump[0]["type"] == "counter"
+
+    def test_render_empty_and_populated(self):
+        registry = MetricsRegistry()
+        assert registry.render() == "(no metrics recorded)"
+        registry.counter("rumor.delivered", path="pipeline").inc()
+        text = registry.render()
+        assert "rumor.delivered{path=pipeline}" in text
+        assert "value=1" in text

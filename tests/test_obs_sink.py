@@ -1,0 +1,106 @@
+"""Tests for repro.obs.sink and the Telemetry fan-out."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import ObsEvent
+from repro.obs.instrument import NULL_TELEMETRY, Telemetry
+from repro.obs.sink import CollectSink, JsonlSink, RingBufferSink
+
+
+def mk_event(round_no=0, **fields):
+    return ObsEvent.make("test_event", round_no, **fields)
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with JsonlSink(path=path) as sink:
+            sink.write(mk_event(1, pid=0))
+            sink.write(mk_event(2, pid=1))
+            assert sink.emitted == 2
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["round"] == 1
+        assert json.loads(lines[1])["pid"] == 1
+
+    def test_stream_variant_left_open(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream=stream)
+        sink.write(mk_event())
+        sink.close()
+        assert not stream.closed  # caller owns the stream
+        assert json.loads(stream.getvalue())["kind"] == "test_event"
+
+    def test_write_after_close_rejected(self):
+        sink = JsonlSink(stream=io.StringIO())
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.write(mk_event())
+
+    def test_exactly_one_target_required(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink()
+        with pytest.raises(ValueError):
+            JsonlSink(path=str(tmp_path / "x"), stream=io.StringIO())
+
+
+class TestRingBufferSink:
+    def test_keeps_only_the_tail(self):
+        ring = RingBufferSink(capacity=3)
+        for round_no in range(5):
+            ring.write(mk_event(round_no))
+        assert ring.seen == 5
+        assert ring.dropped == 2
+        assert [event.round_no for event in ring.events()] == [2, 3, 4]
+
+    def test_drain_to_jsonl(self):
+        ring = RingBufferSink(capacity=2)
+        ring.write(mk_event(0))
+        ring.write(mk_event(1))
+        stream = io.StringIO()
+        sink = JsonlSink(stream=stream)
+        assert ring.drain_to(sink) == 2
+        assert ring.events() == []
+        assert len(stream.getvalue().splitlines()) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestTelemetryFanOut:
+    def test_emit_reaches_sinks_and_subscribers(self):
+        collect = CollectSink()
+        seen = []
+
+        class Subscriber:
+            def on_event(self, event):
+                seen.append(event.kind)
+
+        telemetry = Telemetry(sinks=[collect])
+        telemetry.subscribe(Subscriber())
+        telemetry.emit("rumor_inject", 3, rid="r0:0")
+        assert telemetry.enabled
+        assert telemetry.emitted == 1
+        assert [event.kind for event in collect.events] == ["rumor_inject"]
+        assert seen == ["rumor_inject"]
+
+    def test_null_telemetry_is_inert(self):
+        assert not NULL_TELEMETRY.enabled
+        assert NULL_TELEMETRY.emit("x", 0, pid=1) is None
+        with pytest.raises(ValueError):
+            NULL_TELEMETRY.add_sink(CollectSink())
+        with pytest.raises(ValueError):
+            NULL_TELEMETRY.subscribe(object())
+
+    def test_close_closes_closable_sinks(self):
+        stream = io.StringIO()
+        jsonl = JsonlSink(stream=stream)
+        telemetry = Telemetry(sinks=[jsonl, CollectSink()])
+        telemetry.close()  # CollectSink has no close(); must not raise
+        with pytest.raises(ValueError):
+            jsonl.write(mk_event())

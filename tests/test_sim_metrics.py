@@ -122,6 +122,49 @@ class TestAggregates:
         assert a.total_size == 4
         assert a.filtered == 1
 
+    def test_merge_folds_per_round_service_counts(self):
+        a, b = MessageStats(), MessageStats()
+        a.record_send(0, mk_message(service=ServiceTags.PROXY))
+        b.record_send(0, mk_message(service=ServiceTags.PROXY))
+        b.record_send(0, mk_message(service=ServiceTags.GROUP_GOSSIP))
+        b.record_send(2, mk_message(service=ServiceTags.PROXY))
+        a.merge(b)
+        assert a.per_round_by_service(0, ServiceTags.PROXY) == 2
+        assert a.per_round_by_service(0, ServiceTags.GROUP_GOSSIP) == 1
+        assert a.service_total(ServiceTags.PROXY) == 3
+        assert a.by_service() == {
+            ServiceTags.PROXY: 3,
+            ServiceTags.GROUP_GOSSIP: 1,
+        }
+
+    def test_merge_folds_round_sizes_and_max(self):
+        a, b = MessageStats(), MessageStats()
+        a.record_send(1, mk_message(size=3))
+        b.record_send(1, mk_message(size=5))
+        b.record_send(4, mk_message(size=1))
+        a.merge(b)
+        assert a.round_record(1).total_size == 8
+        assert a.max_per_round() == 2
+        assert a.argmax_round() == 1
+
+    def test_merge_into_empty_equals_source(self):
+        src = MessageStats()
+        src.record_send(0, mk_message(service=ServiceTags.PROXY, size=2))
+        src.record_send(3, mk_message())
+        src.record_filtered(2)
+        empty = MessageStats()
+        empty.merge(src)
+        assert empty.summary() == src.summary()
+        assert empty.series(0, 3) == src.series(0, 3)
+
+    def test_merge_leaves_other_untouched(self):
+        a, b = MessageStats(), MessageStats()
+        a.record_send(0, mk_message())
+        b.record_send(0, mk_message())
+        a.merge(b)
+        assert b.total == 1
+        assert b.per_round(0) == 1
+
     def test_summary_keys(self):
         summary = MessageStats().summary()
         assert set(summary) >= {"total", "max_per_round", "by_service"}

@@ -64,6 +64,34 @@ class TestTracer:
         assert len(tracer.events) == 2
         assert tracer.truncated
 
+    def test_untruncated_trace_keeps_flag_clear(self):
+        tracer = Tracer()
+        run_traced(tracer)
+        assert not tracer.truncated
+        assert "(trace truncated)" not in tracer.render()
+
+    def test_truncated_render_notes_it(self):
+        tracer = Tracer(max_events=2)
+        run_traced(tracer, rounds=5)
+        lines = tracer.render().splitlines()
+        assert lines[-1] == "... (trace truncated)"
+        assert len(lines) == 3  # the 2 kept events + the note
+
+    def test_inject_detail_is_metadata_not_the_rumor(self):
+        # Holding the rumor object would leak the confidential payload z
+        # into the trace; only identifying metadata may be recorded.
+        import json
+
+        tracer = Tracer(kinds=["inject"])
+        run_traced(tracer)
+        assert tracer.events
+        detail = tracer.events[0].detail
+        assert "rumor" not in detail
+        assert detail["rid"] == str(mk_rumor(src=1).rid)
+        assert detail["dest_size"] == 2
+        assert detail["deadline"] == 64
+        json.dumps(detail)  # serializable: nothing opaque captured
+
     def test_of_kind_and_in_round(self):
         tracer = Tracer()
         run_traced(tracer)
