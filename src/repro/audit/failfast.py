@@ -7,13 +7,23 @@ round number in hand.  :class:`FailFastMonitor` wraps a
 :class:`~repro.audit.confidentiality.ConfidentialityAuditor` and raises
 :class:`InvariantViolation` from within the engine loop the moment a
 violation is recorded.
+
+Given a :class:`~repro.audit.delivery.DeliveryAuditor` as well, the
+monitor also covers Quality of Delivery: at the end of the round in which
+a rumor's deadline elapses, every admissible destination must already
+hold a correct, on-time delivery — a miss raises immediately instead of
+surfacing in the end-of-run report.  QoD checking is opt-in because under
+the chaos fault plane QoD is *expected* to degrade (the paper's Lemma 4
+assumes the reliable network); soak runs keep the confidentiality check
+fatal and merely report QoD.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.audit.confidentiality import ConfidentialityAuditor, Violation
+from repro.audit.delivery import DeliveryAuditor
 from repro.sim.engine import Engine, SimObserver
 
 __all__ = ["InvariantViolation", "FailFastMonitor"]
@@ -25,31 +35,43 @@ class InvariantViolation(AssertionError):
     def __init__(self, round_no: int, violations: Sequence[Violation]):
         self.round_no = round_no
         self.violations = list(violations)
+        kinds = sorted({v.kind for v in self.violations})
         super().__init__(
-            "round {}: {} confidentiality violation(s), first: {}".format(
+            "round {}: {} violation(s) [{}], first: {}".format(
                 round_no,
                 len(self.violations),
+                ", ".join(kinds),
                 self.violations[0] if self.violations else None,
             )
         )
 
+    def __reduce__(self):
+        # Exec-pool workers re-raise this across process boundaries; the
+        # default BaseException reduction would replay the formatted
+        # message into round_no and crash unpickling.
+        return (self.__class__, (self.round_no, self.violations))
+
 
 class FailFastMonitor(SimObserver):
-    """Stops the run at the first confidentiality violation.
+    """Stops the run at the first confidentiality (or QoD) violation.
 
     ``strict`` additionally treats multiplicity breaches (an outsider
     holding two fragments of one partition — not yet a reconstruction,
-    but always a protocol bug) as fatal.
+    but always a protocol bug) as fatal.  ``delivery`` opts into QoD
+    coverage: rumors are judged in the round their deadline elapses.
     """
 
     def __init__(
         self,
         auditor: ConfidentialityAuditor,
         strict: bool = True,
+        delivery: Optional[DeliveryAuditor] = None,
     ):
         self.auditor = auditor
         self.strict = strict
+        self.delivery = delivery
         self._seen = 0
+        self._judged: set = set()
 
     def _fatal(self, violation: Violation) -> bool:
         if violation.kind in ("plaintext", "reconstruction"):
@@ -62,3 +84,45 @@ class FailFastMonitor(SimObserver):
         fatal = [v for v in new if self._fatal(v)]
         if fatal:
             raise InvariantViolation(round_no, fatal)
+        if self.delivery is not None:
+            missed = self._qod_violations(round_no, engine)
+            if missed:
+                raise InvariantViolation(round_no, missed)
+
+    def _qod_violations(self, round_no: int, engine: Engine) -> Sequence[Violation]:
+        """Admissible pairs whose deadline elapsed this round, undelivered."""
+        delivery = self.delivery
+        violations = []
+        for rid, rumor in delivery.rumors.items():
+            if rid in self._judged:
+                continue
+            deadline_round = delivery.injection_rounds[rid] + rumor.deadline
+            if deadline_round > round_no:
+                continue
+            self._judged.add(rid)
+            for pid in sorted(
+                delivery.admissible_destinations(rid, engine.event_log)
+            ):
+                entry = delivery.deliveries.get((rid, pid))
+                if entry is None:
+                    detail = "admissible destination missed deadline {}".format(
+                        deadline_round
+                    )
+                elif entry[0] > deadline_round:
+                    detail = "delivered late (round {} > deadline {})".format(
+                        entry[0], deadline_round
+                    )
+                elif entry[1] != rumor.data:
+                    detail = "delivered corrupted data"
+                else:
+                    continue
+                violations.append(
+                    Violation(
+                        kind="qod",
+                        rid=rid,
+                        pid=pid,
+                        round_no=round_no,
+                        detail=detail,
+                    )
+                )
+        return violations

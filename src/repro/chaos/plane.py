@@ -1,0 +1,239 @@
+"""The pluggable fault plane.
+
+:class:`FaultPlane` is the hook :class:`repro.sim.network.Network` calls
+while routing a round's traffic.  The base class is the paper's reliable
+network — it admits everything, holds nothing, and the network skips the
+chaos branches entirely when no plane is installed, so default runs stay
+bit-identical to the seed.
+
+:class:`ChaosFaultPlane` implements the extended fault model: per-message
+drop / bounded delay / duplication, per-inbox reordering, and scheduled
+partition storms, every decision drawn from a
+:class:`~repro.chaos.schedule.FaultSchedule`.  The plane composes with the
+CRRI adversary rather than replacing it: adversarial drops at
+crash/restart boundaries and crash-loss are applied by the network
+*before* a message reaches the plane, so chaos only ever touches traffic
+the paper's model would have delivered.
+
+Semantics worth pinning down (tests rely on these):
+
+* Delayed and duplicated copies mature through :meth:`release` and are
+  only checked against crash-aliveness at the matured round — they are
+  already past the link, so a partition that begins after the send does
+  not retroactively sever them.
+* A copy whose recipient is crashed at the matured round is lost (the
+  network files it under ``lost_to_crash``).
+* Fault events never carry payload bytes; telemetry records rumor ids
+  via knowledge atoms only, so a chaos trace cannot leak ``z``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.chaos.schedule import DELAY, DELIVER, DROP, DUPLICATE, FaultSchedule
+from repro.chaos.spec import FaultSpec
+from repro.obs.instrument import NULL_TELEMETRY
+from repro.sim.messages import Message, reveals_of
+
+__all__ = ["FaultPlane", "ChaosFaultPlane", "FaultEvent", "SEVER", "message_rids"]
+
+#: Extra fate (beyond the schedule's) for messages crossing a partition cut.
+SEVER = "sever"
+
+_FAULT_KINDS = (DROP, DELAY, DUPLICATE, SEVER, "reorder", "late_loss")
+
+
+def message_rids(message: Message, limit: int = 8) -> List[str]:
+    """Rumor ids referenced by ``message``, for fault attribution.
+
+    Extraction goes through knowledge atoms (``reveals``) plus direct
+    ``rid``/``rumor.rid`` attributes, never through payload bytes, so the
+    result is safe to put in a telemetry event.
+    """
+    rids: Set[str] = set()
+    for atom in reveals_of(message.payload):
+        if len(atom) >= 2:
+            rids.add(str(atom[1]))
+    rid = getattr(message.payload, "rid", None)
+    if rid is not None:
+        rids.add(str(rid))
+    rumor = getattr(message.payload, "rumor", None)
+    if rumor is not None and getattr(rumor, "rid", None) is not None:
+        rids.add(str(rumor.rid))
+    return sorted(rids)[:limit]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, recorded for soak payloads and replay."""
+
+    round_no: int
+    kind: str  # drop | delay | duplicate | sever | reorder | late_loss
+    src: int
+    dst: int
+    service: str
+    detail: int = 0  # delay rounds, inbox size for reorder, 0 otherwise
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "round": self.round_no,
+            "kind": self.kind,
+            "src": self.src,
+            "dst": self.dst,
+            "service": self.service,
+            "detail": self.detail,
+        }
+
+
+class FaultPlane:
+    """Reliable base plane: every hook is the identity / a no-op.
+
+    ``active`` lets the network skip per-message chaos work entirely on
+    the default path; the base plane is never active.
+    """
+
+    def active_in(self, round_no: int) -> bool:
+        return False
+
+    def has_pending(self) -> bool:
+        return False
+
+    def begin_round(self, round_no: int) -> None:
+        pass
+
+    def admit(self, round_no: int, message: Message) -> str:
+        return DELIVER
+
+    def release(self, round_no: int) -> List[Message]:
+        return []
+
+    def record_late_loss(self, round_no: int, message: Message) -> None:
+        pass
+
+    def shuffle_inboxes(
+        self, round_no: int, inboxes: Dict[int, List[Message]]
+    ) -> None:
+        pass
+
+
+class ChaosFaultPlane(FaultPlane):
+    """Seed-keyed drop/delay/duplicate/reorder/partition injection."""
+
+    def __init__(
+        self,
+        seed: int,
+        spec: FaultSpec,
+        n: int,
+        telemetry: Any = None,
+        keep_events: bool = True,
+        max_events: int = 200_000,
+    ):
+        self.spec = spec
+        self.schedule = FaultSchedule(seed, spec, n)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.keep_events = keep_events
+        self.max_events = max_events
+        self.counts: Dict[str, int] = {kind: 0 for kind in _FAULT_KINDS}
+        self.events: List[FaultEvent] = []
+        # deliver_round -> messages matured that round, in queue order
+        self._pending: Dict[int, List[Message]] = {}
+        self._round_rng = None  # set by begin_round
+        self._severed: Optional[frozenset] = None
+
+    # -- state queries ---------------------------------------------------
+
+    def active_in(self, round_no: int) -> bool:
+        return self.spec.active_in(round_no)
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def counts_summary(self) -> Dict[str, int]:
+        """Stable-keyed fault counts (zero entries included)."""
+        return {kind: self.counts[kind] for kind in _FAULT_KINDS}
+
+    # -- network hooks ---------------------------------------------------
+
+    def begin_round(self, round_no: int) -> None:
+        self._round_rng = self.schedule.round_rng(round_no)
+        self._severed = self.schedule.severed(round_no)
+
+    def admit(self, round_no: int, message: Message) -> str:
+        """Decide the fate of one in-flight message.
+
+        Returns the fate tag; ``DELAY``/``DUPLICATE`` copies are queued
+        internally and surface later through :meth:`release`.
+        """
+        severed = self._severed
+        if severed is not None and (
+            (message.src in severed) != (message.dst in severed)
+        ):
+            self._record(round_no, SEVER, message)
+            return SEVER
+        fate, hold = self.schedule.decide(self._round_rng)
+        if fate == DROP:
+            self._record(round_no, DROP, message)
+            return DROP
+        if fate == DELAY:
+            self._pending.setdefault(round_no + hold, []).append(message)
+            self._record(round_no, DELAY, message, detail=hold)
+            return DELAY
+        if fate == DUPLICATE:
+            self._pending.setdefault(round_no + hold, []).append(message)
+            self._record(round_no, DUPLICATE, message, detail=hold)
+            return DUPLICATE
+        return DELIVER
+
+    def release(self, round_no: int) -> List[Message]:
+        """Messages queued in earlier rounds that mature now."""
+        return self._pending.pop(round_no, [])
+
+    def record_late_loss(self, round_no: int, message: Message) -> None:
+        """A matured copy whose recipient is crashed — counted as a fault
+        consequence so soak reports can attribute the loss."""
+        self._record(round_no, "late_loss", message)
+
+    def shuffle_inboxes(
+        self, round_no: int, inboxes: Dict[int, List[Message]]
+    ) -> None:
+        if self.spec.reorder <= 0.0 or not inboxes:
+            return
+        rng = self.schedule.reorder_rng(round_no)
+        for dst in sorted(inboxes):
+            inbox = inboxes[dst]
+            if len(inbox) > 1 and rng.random() < self.spec.reorder:
+                rng.shuffle(inbox)
+                self.counts["reorder"] += 1
+                if self.keep_events and len(self.events) < self.max_events:
+                    self.events.append(
+                        FaultEvent(round_no, "reorder", -1, dst, "*", len(inbox))
+                    )
+                if self.telemetry.enabled:
+                    self.telemetry.emit(
+                        "fault_reorder", round_no, dst=dst, inbox=len(inbox)
+                    )
+
+    # -- internals -------------------------------------------------------
+
+    def _record(
+        self, round_no: int, kind: str, message: Message, detail: int = 0
+    ) -> None:
+        self.counts[kind] += 1
+        if self.keep_events and len(self.events) < self.max_events:
+            self.events.append(
+                FaultEvent(
+                    round_no, kind, message.src, message.dst, message.service, detail
+                )
+            )
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "fault_" + kind,
+                round_no,
+                src=message.src,
+                dst=message.dst,
+                service=message.service,
+                detail=detail,
+                rids=message_rids(message),
+            )

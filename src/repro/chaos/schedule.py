@@ -1,0 +1,117 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` turns ``(master_seed, FaultSpec, n)`` into a
+fully reproducible stream of fault decisions.  Determinism is structured
+the same way as everywhere else in the simulator (:mod:`repro.sim.rng`):
+every decision comes from a stream derived by hashing the master seed
+with a label path, so
+
+* the same seed always yields the same schedule, independent of how many
+  worker processes the exec pool uses (``--jobs`` invariance);
+* per-round streams are independent — a run sliced at round ``r`` makes
+  exactly the same decisions from round ``r`` on as an unsliced run.
+
+Per-message decisions are drawn in *message-index order* from the round's
+stream (`("chaos", "round", round_no)`), which matches the engine's
+deterministic send-phase ordering.  Partition storms are cut from their
+own windowed streams (`("chaos", "partition", window_index)`), so the
+bisection chosen for storm ``k`` does not depend on traffic volume.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.spec import FaultSpec
+from repro.sim.rng import derive_rng
+
+__all__ = ["FaultSchedule", "FaultDecision"]
+
+# Per-message fates, in precedence order.
+DELIVER = "deliver"
+DROP = "drop"
+DELAY = "delay"
+DUPLICATE = "duplicate"
+
+#: ``(fate, delay_rounds)`` — ``delay_rounds`` is 0 unless fate needs one.
+FaultDecision = Tuple[str, int]
+
+_DELIVER: FaultDecision = (DELIVER, 0)
+
+
+class FaultSchedule:
+    """Seed-keyed source of per-round, per-message fault decisions."""
+
+    def __init__(self, master_seed: int, spec: FaultSpec, n: int):
+        if n <= 0:
+            raise ValueError("schedule needs at least one process")
+        self.master_seed = int(master_seed)
+        self.spec = spec
+        self.n = n
+        self._partition_cache: Dict[int, frozenset] = {}
+
+    # -- per-round message stream ---------------------------------------
+
+    def round_rng(self, round_no: int) -> random.Random:
+        """The stream all per-message decisions for ``round_no`` come from."""
+        return derive_rng(self.master_seed, "chaos", "round", round_no)
+
+    def reorder_rng(self, round_no: int) -> random.Random:
+        """A separate stream for inbox shuffles, so reorder decisions do
+        not perturb the per-message fate draws (and vice versa)."""
+        return derive_rng(self.master_seed, "chaos", "reorder", round_no)
+
+    def decide(self, rng: random.Random) -> FaultDecision:
+        """Draw the fate of the next message from ``rng``.
+
+        Exactly one uniform draw decides the fate; a delayed message
+        draws once more for its hold time.  Fates are mutually exclusive
+        (a message is never both dropped and duplicated).
+        """
+        spec = self.spec
+        roll = rng.random()
+        if roll < spec.drop:
+            return (DROP, 0)
+        roll -= spec.drop
+        if roll < spec.delay:
+            return (DELAY, rng.randint(1, spec.max_delay))
+        roll -= spec.delay
+        if roll < spec.duplicate:
+            return (DUPLICATE, 1)
+        return _DELIVER
+
+    def decisions(self, round_no: int, count: int) -> List[FaultDecision]:
+        """The fates of ``count`` messages sent in ``round_no``, in order.
+
+        Pure function of ``(seed, spec, round_no, count)`` — the
+        determinism tests pin schedules by comparing these lists.
+        """
+        if not self.spec.active_in(round_no):
+            return [_DELIVER] * count
+        rng = self.round_rng(round_no)
+        return [self.decide(rng) for _ in range(count)]
+
+    # -- partition storms ------------------------------------------------
+
+    def severed(self, round_no: int) -> Optional[frozenset]:
+        """The pid set on one side of the cut, or ``None`` if no storm.
+
+        While a storm is active every message crossing the cut is
+        severed.  The bisection for storm window ``k`` is drawn from its
+        own stream, so it is identical regardless of when (or whether)
+        earlier rounds were simulated.
+        """
+        spec = self.spec
+        if not spec.partition_period or not spec.active_in(round_no):
+            return None
+        window, phase = divmod(round_no, spec.partition_period)
+        if phase >= spec.partition_width:
+            return None
+        cached = self._partition_cache.get(window)
+        if cached is None:
+            rng = derive_rng(self.master_seed, "chaos", "partition", window)
+            side_size = max(1, self.n // 2)
+            cached = frozenset(rng.sample(range(self.n), side_size))
+            self._partition_cache[window] = cached
+        return cached

@@ -1,0 +1,133 @@
+"""Chaos soak harness: fault-intensity matrices on the exec pool.
+
+A soak run sweeps the ``chaos`` scenario builder over a drop × delay
+intensity grid (with duplicate/reorder/partition/churn knobs held fixed
+across the matrix), replicates every cell across seeds, and aggregates
+what the robustness story cares about: how much was injected (fault
+counts per kind), what survived (delivery rate against admissible
+pairs), what it cost (fallback escalations, message peak), and the one
+invariant that must *never* bend — confidentiality stays clean at every
+intensity.
+
+Everything here is deterministic: the fault schedule is keyed on each
+run's scenario seed (see :class:`~repro.chaos.schedule.FaultSchedule`),
+the sweep runs on the :mod:`repro.exec` pool whose records are
+bit-identical at any ``jobs`` setting, and :func:`soak_payload` excludes
+wall-clock/profiling fields — the CLI attaches those separately, mirroring
+the ``sweep_payload`` / ``profile`` split in :mod:`repro.exec.bench_io`.
+The artifact is ``BENCH_e15_chaos_matrix.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.analysis.sweeps import SweepResult, grid, sweep_congos
+from repro.chaos.spec import FaultSpec
+from repro.exec.cache import ResultCache
+from repro.exec.progress import Progress
+
+__all__ = ["BENCH_NAME", "chaos_cells", "run_soak", "soak_payload"]
+
+BENCH_NAME = "e15_chaos_matrix"
+
+_SPEC_FIELDS = frozenset(f.name for f in dataclass_fields(FaultSpec))
+
+
+def chaos_cells(
+    drop: Sequence[float], delay: Sequence[float]
+) -> List[Dict[str, object]]:
+    """The intensity matrix: cartesian product of drop and delay axes."""
+    return grid(drop=list(drop), delay=list(delay))
+
+
+def cell_spec(
+    cell: Mapping[str, object], fixed: Optional[Mapping[str, object]] = None
+) -> FaultSpec:
+    """The :class:`FaultSpec` a matrix cell runs under (cell overrides
+    fixed; non-spec sweep kwargs like ``rounds`` are ignored)."""
+    merged: Dict[str, object] = {}
+    for source in (fixed or {}), cell:
+        for key, value in source.items():
+            if key in _SPEC_FIELDS:
+                merged[key] = value
+    return FaultSpec(**merged)  # type: ignore[arg-type]
+
+
+def run_soak(
+    cells: Iterable[Mapping[str, object]],
+    seeds: Sequence[int] = (0, 1),
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    resume: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[Progress] = None,
+    **fixed: object,
+) -> SweepResult:
+    """Sweep the ``chaos`` builder over the matrix on the exec pool."""
+    return sweep_congos(
+        "chaos",
+        cells,
+        seeds=seeds,
+        jobs=jobs,
+        cache=cache,
+        resume=resume,
+        timeout=timeout,
+        retries=retries,
+        progress=progress,
+        **fixed,
+    )
+
+
+def _sum_faults(runs) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for run in runs:
+        for kind, count in run.faults.items():
+            totals[kind] = totals.get(kind, 0) + count
+    return {kind: totals[kind] for kind in sorted(totals)}
+
+
+def soak_payload(
+    sweep: SweepResult, fixed: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """The deterministic portion of the E15 artifact.
+
+    Same seed set and matrix => byte-identical payload at any ``jobs``
+    setting; callers add nondeterministic timing/profile keys on top.
+    """
+    cells: List[Dict[str, object]] = []
+    for cell in sweep.cells:
+        spec = cell_spec(cell.cell, fixed)
+        admissible = sum(run.admissible_pairs for run in cell.runs)
+        missed = sum(run.missed for run in cell.runs)
+        peak = cell.peak_summary()
+        cells.append(
+            {
+                "cell": dict(cell.cell),
+                "intensity": spec.intensity(),
+                "seeds": cell.seeds,
+                "faults": _sum_faults(cell.runs),
+                "admissible_pairs": admissible,
+                "missed": missed,
+                "delivery_rate": (
+                    round((admissible - missed) / admissible, 6)
+                    if admissible
+                    else None
+                ),
+                "qod_satisfied": cell.all_satisfied(),
+                "fallback_rate": round(cell.fallback_rate(), 6),
+                "clean": cell.all_clean(),
+                "peak": peak.as_dict(),
+            }
+        )
+    total_faults = _sum_faults(
+        run for cell in sweep.cells for run in cell.runs
+    )
+    return {
+        "cells": cells,
+        "all_clean": sweep.all_clean(),
+        "all_satisfied": sweep.all_satisfied(),
+        "total_faults": total_faults,
+    }

@@ -1,0 +1,133 @@
+"""Fault-intensity specifications for the chaos plane.
+
+A :class:`FaultSpec` is plain data describing *how hostile* the network
+should be — drop/delay/duplication/reorder probabilities, the delay
+bound, and the geometry of scheduled partition storms.  It deliberately
+contains no randomness and no state: the same spec plus the same master
+seed always produces the same :class:`~repro.chaos.schedule.FaultSchedule`,
+which is what makes chaos runs reproducible and cacheable (the spec
+rides inside :class:`~repro.exec.tasks.RunSpec` kwargs as a JSON dict).
+
+The paper's model (Section 2) is a *reliable* network: messages are lost
+only at crash/restart boundaries chosen by the CRRI adversary.  A
+``FaultSpec`` with every knob at zero — :meth:`is_null` — is exactly that
+model, and the engine never even instantiates a fault plane for it.
+Everything beyond null is a deliberate departure from the paper, studied
+as a robustness extension (see EXPERIMENTS.md E15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Mapping, Optional
+
+__all__ = ["FaultSpec"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic fault-intensity knobs for one chaos run.
+
+    Attributes
+    ----------
+    drop:
+        Per-message probability of silent loss in transit.
+    delay:
+        Per-message probability of being held back; the held copy is
+        delivered ``1..max_delay`` rounds later (chosen uniformly), or
+        never if the recipient is crashed at the matured round.
+    max_delay:
+        Upper bound, in rounds, on any injected delay (the network stays
+        *eventually* timely — unbounded delay would collapse into drop).
+    duplicate:
+        Per-message probability of a spurious second copy arriving one
+        round after the original.
+    reorder:
+        Per-inbox, per-round probability that the recipient's inbox is
+        shuffled before the receive phase (the synchronous model itself
+        imposes no intra-round order, but protocol code should not
+        accidentally depend on engine iteration order).
+    partition_period:
+        Every ``partition_period`` rounds a partition storm begins,
+        severing every link between two randomly chosen halves of the
+        system.  ``0`` disables partitions.
+    partition_width:
+        How many rounds each partition storm lasts.
+    start_round / stop_round:
+        The window in which the plane is active; outside it the network
+        is paper-reliable.  ``stop_round=None`` means "until the end".
+    """
+
+    drop: float = 0.0
+    delay: float = 0.0
+    max_delay: int = 4
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    partition_period: int = 0
+    partition_width: int = 0
+    start_round: int = 0
+    stop_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay", "duplicate", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    "{} must be a probability in [0, 1], got {}".format(name, value)
+                )
+        if self.max_delay < 1:
+            raise ValueError("max_delay must be >= 1 round")
+        if self.partition_period < 0 or self.partition_width < 0:
+            raise ValueError("partition geometry must be non-negative")
+        if self.partition_period and self.partition_width >= self.partition_period:
+            raise ValueError(
+                "partition_width must be smaller than partition_period "
+                "(otherwise the system is permanently partitioned)"
+            )
+        if self.partition_width and not self.partition_period:
+            raise ValueError("partition_width needs a partition_period")
+        if self.start_round < 0:
+            raise ValueError("start_round must be non-negative")
+        if self.stop_round is not None and self.stop_round <= self.start_round:
+            raise ValueError("stop_round must be after start_round")
+
+    def is_null(self) -> bool:
+        """True iff this spec is the paper's reliable network."""
+        return (
+            self.drop == 0.0
+            and self.delay == 0.0
+            and self.duplicate == 0.0
+            and self.reorder == 0.0
+            and self.partition_period == 0
+        )
+
+    def active_in(self, round_no: int) -> bool:
+        if round_no < self.start_round:
+            return False
+        return self.stop_round is None or round_no < self.stop_round
+
+    def intensity(self) -> float:
+        """A scalar summary used to order matrix cells in reports."""
+        partition_load = (
+            self.partition_width / self.partition_period
+            if self.partition_period
+            else 0.0
+        )
+        return round(
+            self.drop + self.delay + self.duplicate + partition_load, 6
+        )
+
+    # -- JSON round-trip (RunSpec kwargs, BENCH payloads) ----------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultSpec":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                "unknown FaultSpec fields: {}".format(sorted(unknown))
+            )
+        return cls(**dict(data))  # type: ignore[arg-type]

@@ -17,6 +17,7 @@ This is the top of the CONGOS stack at each process.  It
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -48,10 +49,17 @@ class CachedRumor:
     dline: int
     injected_at: int
     confirmed_at: Optional[int] = None
+    # Degradation knob (params.fallback_early_fraction): < 1.0 shoots
+    # unconfirmed rumors before the full deadline elapses.  1.0 is the
+    # paper's deadline-exact fallback (Figure 8 line 47).
+    fallback_fraction: float = 1.0
 
     @property
     def fallback_round(self) -> int:
-        return self.injected_at + self.rumor.deadline
+        horizon = self.rumor.deadline
+        if self.fallback_fraction < 1.0:
+            horizon = max(1, math.ceil(self.fallback_fraction * horizon))
+        return self.injected_at + horizon
 
 
 @dataclass(frozen=True)
@@ -120,7 +128,10 @@ class ConfidentialGossipCoordinator(SubService):
     def register(self, round_no: int, rumor: Rumor, dline: int) -> None:
         """Track an own rumor going through the pipeline."""
         self.rumor_cache[rumor.rid] = CachedRumor(
-            rumor=rumor, dline=dline, injected_at=round_no
+            rumor=rumor,
+            dline=dline,
+            injected_at=round_no,
+            fallback_fraction=self.params.fallback_early_fraction,
         )
 
     def direct_send(self, round_no: int, rumor: Rumor) -> None:

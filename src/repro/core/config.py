@@ -69,6 +69,26 @@ class CongosParams:
         its whole destination set at the deadline.  ``"unconfirmed"``
         implements Figure 2's noted optimization — shoot only destinations
         whose hit records do not already cover them in some partition.
+    proxy_retransmit:
+        Graceful-degradation knob (chaos runs): how many extra times an
+        iteration's unacknowledged proxy requests are re-sent (to fresh
+        proxy samples) at exponentially spaced positions within the same
+        iteration.  ``0`` (default) is the paper's send-once rule.
+    gd_redundancy:
+        Graceful-degradation knob: a ``(destination, rid)`` pair counts as
+        *hit* only after GroupDistribution has sent it ``gd_redundancy``
+        times.  ``1`` (default) is the paper's optimistic first-send rule
+        and reproduces its random draws exactly.
+    fallback_early_fraction:
+        Graceful-degradation knob: the source shoots unconfirmed rumors at
+        ``injection + ceil(fraction * dline)`` instead of the full
+        deadline, trading message complexity for QoD under loss.  ``1.0``
+        (default) is the paper's deadline-exact fallback.
+    gossip_resend_backoff:
+        Graceful-degradation knob: when set, continuous-gossip items past
+        the substrate's resend horizon are rebroadcast at exponentially
+        spaced ages until expiry, instead of going silent.  Off by default
+        (the paper's substrate stops re-sending after the horizon).
     """
 
     tau: int = 1
@@ -85,6 +105,10 @@ class CongosParams:
     gd_target_pool: str = "destinations"
     collusion_direct_factor: float = 4.0
     fallback_scope: str = "all"
+    proxy_retransmit: int = 0
+    gd_redundancy: int = 1
+    fallback_early_fraction: float = 1.0
+    gossip_resend_backoff: bool = False
 
     def __post_init__(self) -> None:
         if self.tau < 1:
@@ -105,6 +129,12 @@ class CongosParams:
             raise ValueError("deadline_cap must be >= 4")
         if self.fallback_scope not in ("all", "unconfirmed"):
             raise ValueError("fallback_scope must be 'all' or 'unconfirmed'")
+        if self.proxy_retransmit < 0:
+            raise ValueError("proxy_retransmit must be non-negative")
+        if self.gd_redundancy < 1:
+            raise ValueError("gd_redundancy must be >= 1")
+        if not 0.0 < self.fallback_early_fraction <= 1.0:
+            raise ValueError("fallback_early_fraction must be in (0, 1]")
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -201,6 +231,23 @@ class CongosParams:
             fanout_scale=0.25,
             min_fanout=1,
             gossip_fanout_scale=1.5,
+        )
+        return replace(params, **overrides) if overrides else params
+
+    def hardened(self, **overrides: object) -> "CongosParams":
+        """This parameter set with the graceful-degradation knobs on.
+
+        Meant for chaos runs (lossy/delaying networks): bounded proxy
+        retransmits, doubled GD send redundancy, earlier fallback and
+        gossip resend backoff.  Under the paper's reliable network these
+        only add redundant traffic — correctness is unchanged.
+        """
+        params = replace(
+            self,
+            proxy_retransmit=2,
+            gd_redundancy=2,
+            fallback_early_fraction=0.75,
+            gossip_resend_backoff=True,
         )
         return replace(params, **overrides) if overrides else params
 

@@ -133,6 +133,7 @@ class CongosNode(NodeBehavior):
             fanout_scale=self.params.gossip_fanout_scale,
             schedule=self.params.gossip_schedule,
             reliable=self.params.gossip_reliable,
+            resend_backoff=self.params.gossip_resend_backoff,
             telemetry=self.telemetry,
         )
         self.host.register(self.all_gossip)
@@ -264,6 +265,7 @@ class CongosNode(NodeBehavior):
                 fanout_scale=self.params.gossip_fanout_scale,
                 schedule=self.params.gossip_schedule,
                 reliable=self.params.gossip_reliable,
+                resend_backoff=self.params.gossip_resend_backoff,
                 telemetry=self.telemetry,
             )
             px = ProxyService(

@@ -124,6 +124,11 @@ class GroupDistributionService(SubService):
         self.waiting: Dict[Tuple, Fragment] = {}
         self.partials: Dict[Tuple, Fragment] = {}
         self.hit_set: Set[HitEntry] = set()
+        # Degradation bookkeeping: sends per (dst, rid) this block.  An
+        # entry joins hit_set after params.gd_redundancy sends; with the
+        # default redundancy of 1 this reduces to the paper's optimistic
+        # first-send rule.
+        self._send_counts: Dict[HitEntry, int] = {}
         self.collaborators: Set[int] = {pid}
         self._collaborators_next: Set[int] = set()
 
@@ -215,6 +220,7 @@ class GroupDistributionService(SubService):
         }
         self.waiting = {}
         self.hit_set = set()
+        self._send_counts = {}
         self.collaborators = set(
             self.partition_set.members(self.partition, self.my_group)
         )
@@ -280,7 +286,11 @@ class GroupDistributionService(SubService):
             if not appropriate and self.params.gd_target_pool != "group":
                 continue
             for fragment in appropriate:
-                self.hit_set.add((target, fragment.rid))
+                entry = (target, fragment.rid)
+                sends = self._send_counts.get(entry, 0) + 1
+                self._send_counts[entry] = sends
+                if sends >= self.params.gd_redundancy:
+                    self.hit_set.add(entry)
             messages.append(
                 self.make_message(
                     target,

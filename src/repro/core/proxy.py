@@ -145,6 +145,7 @@ class ProxyService(SubService):
         self.requests_sent = 0
         self.acks_sent = 0
         self.blocks_active = 0
+        self.retransmits_sent = 0
 
     # ------------------------------------------------------------------
     # Upstream API
@@ -204,6 +205,17 @@ class ProxyService(SubService):
                 messages.extend(self._send_requests(round_no))
         elif position == 1:
             self._inject_share(round_no)
+        elif (
+            self.params.proxy_retransmit
+            and self.status == ACTIVE
+            and not self.schedule.is_iteration_last_round(round_no)
+            and position in self._retransmit_positions()
+        ):
+            # Graceful degradation (off by default): re-request at
+            # exponentially spaced positions, sampling proxies not yet
+            # tried this iteration.  Acks only arrive at the iteration's
+            # last round, so every pending group is still unacknowledged.
+            messages.extend(self._send_requests(round_no, retransmit=True))
         if (
             self.schedule.is_iteration_last_round(round_no)
             and self.status != WAITING
@@ -310,7 +322,23 @@ class ProxyService(SubService):
         self._targets_this_iteration = {}
         self._acks_this_iteration = set()
 
-    def _send_requests(self, round_no: int) -> List[Message]:
+    def _retransmit_positions(self) -> List[int]:
+        """Iteration positions for degradation retransmits: 2, 4, 8, ...
+
+        Bounded by ``params.proxy_retransmit`` and by the iteration length
+        (the last position is reserved for acks, 0/1 for requests/share).
+        """
+        positions: List[int] = []
+        position = 2
+        limit = self.schedule.iteration_len - 1
+        while len(positions) < self.params.proxy_retransmit and position < limit:
+            positions.append(position)
+            position *= 2
+        return positions
+
+    def _send_requests(
+        self, round_no: int, retransmit: bool = False
+    ) -> List[Message]:
         messages: List[Message] = []
         fanout = self.params.service_fanout(
             self.n, self.dline, len(self.collaborators)
@@ -325,9 +353,10 @@ class ProxyService(SubService):
             )
             if not fragments:
                 continue
+            tried = self._targets_this_iteration.get(group, set())
+            excluded = self.failed_proxies | (tried if retransmit else set())
             pool = sorted(
-                self.partition_set.members(self.partition, group)
-                - self.failed_proxies
+                self.partition_set.members(self.partition, group) - excluded
             )
             if not pool:
                 # Everyone blacklisted: desperation reset (the blacklist is
@@ -335,17 +364,20 @@ class ProxyService(SubService):
                 pool = sorted(self.partition_set.members(self.partition, group))
             count = min(fanout, len(pool))
             targets = pool if count == len(pool) else self.rng.sample(pool, count)
-            self._targets_this_iteration[group] = set(targets)
+            self._targets_this_iteration.setdefault(group, set()).update(targets)
             request = ProxyRequest(self.pid, fragments)
             for target in targets:
                 messages.append(
                     self.make_message(target, request, size=len(fragments))
                 )
                 self.requests_sent += 1
+                if retransmit:
+                    self.retransmits_sent += 1
             if self.telemetry.enabled:
                 self.telemetry.metrics.counter(
                     "proxy.requests", partition=str(self.partition)
                 ).inc(len(targets))
+                extra = {"retransmit": True} if retransmit else {}
                 self.telemetry.emit(
                     "proxy_request",
                     round_no,
@@ -356,6 +388,7 @@ class ProxyService(SubService):
                     targets=sorted(targets),
                     rids=sorted({f.rid for f in fragments}, key=str),
                     fragments=len(fragments),
+                    **extra
                 )
         return messages
 

@@ -3,8 +3,12 @@
 :func:`run_tasks` fans a list of picklable items out over a
 ``ProcessPoolExecutor`` and returns the results *in input order*.  A
 worker crash (segfault, ``os._exit``, OOM-kill) breaks the whole pool;
-the runner rebuilds it and re-submits every unfinished task, charging
-each one attempt, until a task exceeds ``retries`` re-runs.  With
+the runner rebuilds it and re-submits every unfinished task, charging an
+attempt only to the tasks that could actually have been executing (at
+most ``max_workers`` of them, in submission order) — queued tasks keep
+their full budget.  Timeouts share the same budget: a task that exceeds
+the per-task timeout is retried on a fresh pool until it exhausts
+``retries``, with already-finished neighbors harvested first.  With
 ``jobs=1`` no subprocess is ever spawned — the serial fallback runs the
 same code path tests and debuggers can step through.
 
@@ -43,7 +47,30 @@ class WorkerCrashError(RuntimeError):
 
 
 class TaskTimeoutError(RuntimeError):
-    """A task exceeded the per-task timeout."""
+    """A task exceeded the per-task timeout more than ``retries`` times."""
+
+
+def _task_label(index: int, item: object) -> str:
+    """``task 3 (spec 1a2b3c4d5e6f)`` when the item carries a spec key."""
+    key = getattr(item, "key", None)
+    if key:
+        return "task {} (spec {})".format(index, str(key)[:12])
+    return "task {}".format(index)
+
+
+def _terminate_workers(executor: ProcessPoolExecutor) -> None:
+    """Kill worker processes so a hung task cannot stall pool shutdown.
+
+    ``ProcessPoolExecutor`` has no public kill switch; terminating the
+    worker processes is the standard workaround and leaves the executor
+    broken, which the retry loop handles by rebuilding it.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -89,41 +116,74 @@ def run_tasks(
     results: Dict[int, R] = {}
     remaining: Dict[int, T] = dict(enumerate(work))
     attempts: Dict[int, int] = {index: 0 for index in remaining}
+
+    def finish(index: int) -> None:
+        remaining.pop(index)
+        if on_result is not None:
+            on_result(index, results[index])
+        if progress is not None:
+            progress.task_done()
+
     while remaining:
         broken = False
-        with ProcessPoolExecutor(
-            max_workers=min(resolved_jobs, len(remaining))
-        ) as executor:
+        timed_out: Optional[int] = None
+        max_workers = min(resolved_jobs, len(remaining))
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
             futures = {
                 index: executor.submit(fn, item)
                 for index, item in sorted(remaining.items())
             }
             for index, future in futures.items():
+                if timed_out is not None:
+                    # A task timed out and the workers were killed; only
+                    # harvest results that had already landed.
+                    if not future.done():
+                        continue
+                    try:
+                        results[index] = future.result(timeout=0)
+                    except Exception:
+                        continue
+                    finish(index)
+                    continue
                 try:
                     results[index] = future.result(timeout=timeout)
                 except BrokenProcessPool:
                     broken = True
                     continue
                 except FuturesTimeoutError:
-                    executor.shutdown(wait=False, cancel_futures=True)
-                    raise TaskTimeoutError(
-                        "task {} exceeded the {}s per-task timeout".format(
-                            index, timeout
-                        )
-                    )
-                remaining.pop(index)
-                if on_result is not None:
-                    on_result(index, results[index])
-                if progress is not None:
-                    progress.task_done()
+                    timed_out = index
+                    for pending in futures.values():
+                        pending.cancel()
+                    _terminate_workers(executor)
+                    continue
+                finish(index)
         if broken:
-            for index in sorted(remaining):
+            # At most max_workers tasks can have been executing when the
+            # pool died; queued-but-unstarted tasks are innocent and keep
+            # their full retry budget.  Submission order means the
+            # earliest unfinished indices were the ones in flight.
+            for index in sorted(remaining)[:max_workers]:
                 attempts[index] += 1
                 if attempts[index] > retries:
                     raise WorkerCrashError(
-                        "task {} crashed its worker {} times "
-                        "(retries={})".format(index, attempts[index], retries)
+                        "{} crashed its worker {} times (retries={})".format(
+                            _task_label(index, remaining[index]),
+                            attempts[index],
+                            retries,
+                        )
                     )
+        if timed_out is not None:
+            attempts[timed_out] += 1
+            if attempts[timed_out] > retries:
+                raise TaskTimeoutError(
+                    "{} exceeded the {}s per-task timeout {} time(s) "
+                    "(retries={})".format(
+                        _task_label(timed_out, remaining[timed_out]),
+                        timeout,
+                        attempts[timed_out],
+                        retries,
+                    )
+                )
     return [results[index] for index in range(len(work))]
 
 

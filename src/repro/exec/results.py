@@ -43,6 +43,8 @@ class RunRecord:
     clean: bool = True
     violations: Dict[str, int] = field(default_factory=dict)
     border_messages: int = 0
+    # chaos fault plane (empty for reliable-network runs)
+    faults: Dict[str, int] = field(default_factory=dict)
     # bookkeeping
     rumors_injected: int = 0
     spec_key: Optional[str] = None
@@ -79,6 +81,7 @@ class RunRecord:
             clean=confidentiality.is_clean(),
             violations=dict(confidentiality.violation_counts()),
             border_messages=confidentiality.total_border_messages,
+            faults=dict(result.chaos_summary() or {}),
             rumors_injected=result.rumors_injected,
             spec_key=spec_key,
         )
@@ -131,4 +134,5 @@ class RunRecord:
         payload["by_service"] = dict(payload.get("by_service", {}))
         payload["paths"] = dict(payload.get("paths", {}))
         payload["violations"] = dict(payload.get("violations", {}))
+        payload["faults"] = dict(payload.get("faults", {}))
         return cls(**payload)

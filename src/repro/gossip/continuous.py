@@ -40,6 +40,12 @@ __all__ = ["ContinuousGossip"]
 DeliverCallback = Callable[[int, GossipItem], None]
 
 
+def _backoff_due(age: int, horizon: int) -> bool:
+    """True at exponentially spaced ages past the resend horizon."""
+    offset = age - horizon
+    return offset >= 1 and (offset & (offset - 1)) == 0
+
+
 class ContinuousGossip(SubService):
     """One continuous-gossip instance at one process.
 
@@ -75,6 +81,7 @@ class ContinuousGossip(SubService):
         schedule: str = "random",
         reliable: bool = False,
         resend_horizon: Optional[int] = None,
+        resend_backoff: bool = False,
         telemetry=None,
     ):
         super().__init__(pid, n, service, channel)
@@ -111,6 +118,11 @@ class ContinuousGossip(SubService):
                 8, 2 * math.ceil(math.log2(max(2, len(self.filter.scope)))) + 4
             )
         self.resend_horizon = resend_horizon
+        # Degradation knob: items past the horizon are normally silent;
+        # with backoff they are rebroadcast at exponentially spaced ages
+        # (horizon+1, +2, +4, ...) until expiry, so a lossy network gets
+        # bounded extra chances instead of none.
+        self.resend_backoff = resend_backoff
 
     # ------------------------------------------------------------------
     # Injection
@@ -182,6 +194,7 @@ class ContinuousGossip(SubService):
             item
             for item in self._active.values()
             if round_no - item.born <= horizon
+            or (self.resend_backoff and _backoff_due(round_no - item.born, horizon))
         )
         messages: List[Message] = []
         targets: List[int] = []

@@ -17,6 +17,12 @@ Commands
 ``profile-sweep``
     Run a sweep with exec-pool profiling and print the per-task
     wall-clock / worker-pid / cache-hit breakdown.
+``chaos-soak``
+    Sweep the chaos scenario over a drop × delay fault-intensity matrix
+    on the exec pool (confidentiality monitored fail-fast in every run),
+    write ``BENCH_e15_chaos_matrix.json`` under ``--out``, and with
+    ``--trace FILE`` re-run the worst cell with full telemetry so the
+    rumor timelines show which injected fault broke a delivery.
 ``scenarios``
     List the registered scenario builders and their keyword arguments.
 ``partitions``
@@ -41,6 +47,14 @@ from repro.analysis.bounds import (
     strong_confidentiality_lower_bound,
 )
 from repro.analysis.sweeps import grid, sweep_congos
+from repro.audit.failfast import InvariantViolation
+from repro.chaos.soak import (
+    BENCH_NAME as CHAOS_BENCH_NAME,
+    cell_spec,
+    chaos_cells,
+    run_soak,
+    soak_payload,
+)
 from repro.core.config import CongosParams
 from repro.core.congos import build_partition_set
 from repro.exec.bench_io import profile_payload, sweep_payload, write_bench_json
@@ -207,6 +221,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--lean", action="store_true", help="use CongosParams.lean()"
     )
     profile.add_argument("--json", action="store_true", help="emit JSON payload")
+
+    soak = sub.add_parser(
+        "chaos-soak",
+        help="sweep a fault-intensity matrix with fail-fast invariants",
+    )
+    soak.add_argument("-n", type=int, default=16, help="process count")
+    soak.add_argument("--rounds", type=int, default=200)
+    soak.add_argument(
+        "--deadline",
+        type=int,
+        default=64,
+        help="rumor deadline (keep above direct_send_threshold=48 to "
+        "exercise the full CONGOS pipeline)",
+    )
+    soak.add_argument(
+        "--drop",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.05, 0.15],
+        metavar="P",
+        help="drop-probability axis of the matrix",
+    )
+    soak.add_argument(
+        "--delay",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.1],
+        metavar="P",
+        help="delay-probability axis of the matrix",
+    )
+    soak.add_argument("--max-delay", type=int, default=4, dest="max_delay")
+    soak.add_argument("--duplicate", type=float, default=0.0)
+    soak.add_argument("--reorder", type=float, default=0.0)
+    soak.add_argument(
+        "--partition-period", type=int, default=0, dest="partition_period"
+    )
+    soak.add_argument(
+        "--partition-width", type=int, default=0, dest="partition_width"
+    )
+    soak.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        help="per-round crash probability of a composed CRRI adversary",
+    )
+    soak.add_argument(
+        "--hardened",
+        action="store_true",
+        help="run with the graceful-degradation knobs (CongosParams.hardened)",
+    )
+    soak.add_argument(
+        "--seeds", type=int, default=2, help="seed replicates per cell"
+    )
+    soak.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes (0 = cpu count, 1 = serial)",
+    )
+    soak.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory: result cache, TXT table, BENCH E15 JSON",
+    )
+    soak.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse cached cells under --out instead of re-running them",
+    )
+    soak.add_argument("--json", action="store_true", help="emit JSON payload")
+    soak.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="re-run the highest-intensity cell with telemetry to this JSONL",
+    )
 
     sub.add_parser("scenarios", help="list registered scenario builders")
 
@@ -584,6 +675,154 @@ def cmd_profile_sweep(args: argparse.Namespace) -> int:
     return 0 if result.all_satisfied() and result.all_clean() else 1
 
 
+def cmd_chaos_soak(args: argparse.Namespace) -> int:
+    if args.resume and not args.out:
+        print("--resume needs --out (the cache lives there)", file=sys.stderr)
+        return 2
+    cells = chaos_cells(args.drop, args.delay)
+    fixed: Dict[str, object] = {
+        "n": args.n,
+        "rounds": args.rounds,
+        "deadline": args.deadline,
+        "max_delay": args.max_delay,
+        "duplicate": args.duplicate,
+        "reorder": args.reorder,
+        "partition_period": args.partition_period,
+        "partition_width": args.partition_width,
+        "churn": args.churn,
+        "hardened": args.hardened,
+    }
+    cache = None
+    if args.out:
+        cache = ResultCache(os.path.join(args.out, "cache"))
+    total = len(cells) * args.seeds
+    progress = Progress.for_tty(total, label="chaos soak")
+    try:
+        result = run_soak(
+            cells,
+            seeds=range(args.seeds),
+            jobs=args.jobs,
+            cache=cache,
+            resume=args.resume,
+            progress=progress,
+            **fixed,
+        )
+    except InvariantViolation as violation:
+        # A worker's FailFastMonitor tripped: loss must degrade delivery,
+        # never confidentiality — this is the soak's red alert.
+        print("\nINVARIANT VIOLATION: {}".format(violation), file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted after {} of {} tasks{}".format(
+                progress.done,
+                total,
+                " — rerun with --resume to continue" if args.out else "",
+            ),
+            file=sys.stderr,
+        )
+        return 130
+    progress.finish()
+    payload = soak_payload(result, fixed)
+    payload["scenario"] = "chaos"
+    payload["seeds"] = args.seeds
+    payload["fixed"] = dict(fixed)
+    # Nondeterministic timing lives under one key so artifact comparisons
+    # can drop it (and "created") and assert the rest byte-identical.
+    flat_records = [record for cell in result.cells for record in cell.runs]
+    payload["profile"] = profile_payload(flat_records)
+    payload["profile"]["elapsed_seconds"] = round(progress.elapsed(), 3)
+    rows: List[List[object]] = []
+    for entry in payload["cells"]:
+        faults = entry["faults"]
+        rows.append(
+            [
+                entry["cell"]["drop"],
+                entry["cell"]["delay"],
+                entry["intensity"],
+                sum(faults.values()),
+                entry["delivery_rate"]
+                if entry["delivery_rate"] is not None
+                else "-",
+                entry["fallback_rate"],
+                entry["qod_satisfied"],
+                entry["clean"],
+            ]
+        )
+    table = format_table(
+        [
+            "drop",
+            "delay",
+            "intensity",
+            "faults",
+            "delivery",
+            "fallback",
+            "qod",
+            "clean",
+        ],
+        rows,
+        title="chaos soak ({} cells x {} seeds{})".format(
+            len(cells), args.seeds, ", hardened" if args.hardened else ""
+        ),
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(table)
+    if args.out:
+        with open(
+            os.path.join(args.out, "chaos_soak.txt"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(table + "\n")
+        artifact = write_bench_json(
+            CHAOS_BENCH_NAME, payload, results_dir=args.out
+        )
+        print("artifacts: {}".format(artifact), file=sys.stderr)
+    if args.trace:
+        _trace_worst_cell(args, result, fixed)
+    return 0 if result.all_clean() else 1
+
+
+def _trace_worst_cell(
+    args: argparse.Namespace, result, fixed: Dict[str, object]
+) -> None:
+    """Re-run the highest-intensity cell in-process with full telemetry."""
+    worst = max(
+        result.cells,
+        key=lambda cell: (
+            cell_spec(cell.cell, fixed).intensity(),
+            sorted(cell.cell.items()),
+        ),
+    )
+    timeline = RumorTimeline()
+    with JsonlSink(path=args.trace) as sink:
+        telemetry = Telemetry(sinks=[sink])
+        telemetry.subscribe(timeline)
+        scenario = SCENARIOS["chaos"](seed=0, **fixed, **worst.cell)
+        run_congos_scenario(
+            scenario, observers=[timeline], telemetry=telemetry
+        )
+        timeline.export(sink)
+        emitted = sink.emitted
+    print(
+        "trace of worst cell {}: {} events -> {}".format(
+            worst.cell, emitted, args.trace
+        )
+    )
+    lifecycles = timeline.lifecycles()
+    faulted = [record for record in lifecycles if record.faults]
+    target = faulted[0] if faulted else (lifecycles[0] if lifecycles else None)
+    if target is not None:
+        print()
+        print(
+            "timeline of rumor {} ({} faults hit its messages)".format(
+                target.rid, len(target.faults)
+            )
+        )
+        for line in timeline.replay(target.rid):
+            print("  " + line)
+
+
 def _builder_kwargs(builder) -> str:
     """Render a builder's keyword arguments for the listing."""
     parts: List[str] = []
@@ -663,6 +902,7 @@ def main(argv=None) -> int:
         "sweep": cmd_sweep,
         "trace": cmd_trace,
         "profile-sweep": cmd_profile_sweep,
+        "chaos-soak": cmd_chaos_soak,
         "scenarios": cmd_scenarios,
         "partitions": cmd_partitions,
         "bounds": cmd_bounds,

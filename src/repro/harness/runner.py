@@ -20,6 +20,9 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.adversary.base import Adversary, ComposedAdversary
 from repro.audit.confidentiality import ConfidentialityAuditor
 from repro.audit.delivery import DeliveryAuditor, QoDReport
+from repro.audit.failfast import FailFastMonitor
+from repro.chaos.plane import ChaosFaultPlane, FaultPlane
+from repro.chaos.spec import FaultSpec
 from repro.core.config import CongosParams
 from repro.core.congos import build_partition_set, congos_factory
 from repro.core.partitions import PartitionSet
@@ -45,12 +48,30 @@ class Scenario:
     workload_factory: Optional[WorkloadFactory] = None
     fault_factory: Optional[FaultFactory] = None
     description: str = ""
+    # Chaos extension (None = the paper's reliable network): a FaultSpec
+    # as a plain dict, so scenarios stay JSON-representable in RunSpecs.
+    chaos: Optional[Dict[str, object]] = None
+    # Fail-fast invariant monitoring: None, "confidentiality" or "qod"
+    # ("qod" implies the confidentiality check too).
+    failfast: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n < 2:
             raise ValueError("scenarios need at least two processes")
         if self.rounds < 1:
             raise ValueError("scenarios need at least one round")
+        if self.failfast not in (None, "confidentiality", "qod"):
+            raise ValueError(
+                "failfast must be None, 'confidentiality' or 'qod'"
+            )
+        if self.chaos is not None:
+            FaultSpec.from_dict(self.chaos)  # validate eagerly
+
+    def fault_spec(self) -> Optional[FaultSpec]:
+        if self.chaos is None:
+            return None
+        spec = FaultSpec.from_dict(self.chaos)
+        return None if spec.is_null() else spec
 
 
 @dataclass
@@ -65,13 +86,20 @@ class RunResult:
     delivery: DeliveryAuditor
     workload: Optional[Adversary]
     partition_set: PartitionSet
+    fault_plane: Optional[FaultPlane] = None
 
     @property
     def rumors_injected(self) -> int:
         return len(self.delivery.rumors)
 
+    def chaos_summary(self) -> Optional[Dict[str, int]]:
+        """Injected-fault counts, or ``None`` for reliable-network runs."""
+        if self.fault_plane is None:
+            return None
+        return self.fault_plane.counts_summary()
+
     def summary(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "scenario": self.scenario.name,
             "n": self.scenario.n,
             "rounds": self.scenario.rounds,
@@ -81,6 +109,12 @@ class RunResult:
             "confidentiality": self.confidentiality.summary(),
             "faults": self.engine.event_log.summary(),
         }
+        chaos = self.chaos_summary()
+        if chaos is not None:
+            # Only present on chaos runs — default-run summaries (and the
+            # bench payloads built from them) are unchanged.
+            out["chaos"] = chaos
+        return out
 
 
 def run_congos_scenario(
@@ -114,6 +148,7 @@ def run_congos_scenario(
         delivery=delivery,
         observers=observers,
         partition_set=resolved_partitions,
+        telemetry=telemetry,
     )
 
 
@@ -123,6 +158,7 @@ def run_with_factory(
     delivery: Optional[DeliveryAuditor] = None,
     observers: Iterable[SimObserver] = (),
     partition_set: Optional[PartitionSet] = None,
+    telemetry=None,
 ) -> RunResult:
     """Run any protocol factory (CONGOS or a baseline) under a scenario.
 
@@ -156,12 +192,31 @@ def run_with_factory(
             )
         )
     adversary: Adversary = ComposedAdversary(parts)
+    spec = scenario.fault_spec()
+    fault_plane: Optional[FaultPlane] = None
+    if spec is not None:
+        # The plane's schedule is keyed on the scenario seed alone, so
+        # "same seed => same fault schedule" holds across builders and at
+        # any --jobs setting.
+        fault_plane = ChaosFaultPlane(
+            scenario.seed, spec, scenario.n, telemetry=telemetry
+        )
+    all_observers: List[SimObserver] = [
+        resolved_delivery, confidentiality, *observers
+    ]
+    if scenario.failfast == "confidentiality":
+        all_observers.append(FailFastMonitor(confidentiality))
+    elif scenario.failfast == "qod":
+        all_observers.append(
+            FailFastMonitor(confidentiality, delivery=resolved_delivery)
+        )
     engine = Engine(
         n=scenario.n,
         node_factory=node_factory,
         adversary=adversary,
-        observers=[resolved_delivery, confidentiality, *observers],
+        observers=all_observers,
         seed=scenario.seed,
+        fault_plane=fault_plane,
     )
     engine.run(scenario.rounds)
     qod = resolved_delivery.report(engine)
@@ -174,4 +229,5 @@ def run_with_factory(
         delivery=resolved_delivery,
         workload=workload,
         partition_set=resolved_partitions,
+        fault_plane=fault_plane,
     )

@@ -26,12 +26,14 @@ from repro.adversary.injection import (
 )
 from repro.adversary.patterns import AlternatingPartitionFaults
 from repro.adversary.random_crash import ChurnAdversary
+from repro.chaos.spec import FaultSpec
 from repro.core.config import CongosParams
 from repro.harness.runner import Scenario
 
 __all__ = [
     "injection_window",
     "steady_scenario",
+    "chaos_scenario",
     "churn_scenario",
     "proxy_killer_scenario",
     "group_killer_scenario",
@@ -91,6 +93,84 @@ def steady_scenario(
         workload_factory=workload,
         description="fault-free steady injections, deadline={}".format(deadline),
     )
+
+
+def chaos_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    # Above direct_send_threshold by default, so chaos exercises the full
+    # proxy/GD/gossip pipeline rather than only direct sends.
+    deadline: int = 64,
+    rate: int = 1,
+    period: int = 4,
+    dest_size: int = 4,
+    drop: float = 0.0,
+    delay: float = 0.0,
+    max_delay: int = 4,
+    duplicate: float = 0.0,
+    reorder: float = 0.0,
+    partition_period: int = 0,
+    partition_width: int = 0,
+    churn: float = 0.0,
+    hardened: bool = False,
+    failfast: Optional[str] = "confidentiality",
+    params: Optional[CongosParams] = None,
+    name: str = "chaos",
+) -> Scenario:
+    """Steady traffic over a faulty network (beyond the paper's model).
+
+    The chaos fault plane drops/delays/duplicates/reorders messages and
+    cuts scheduled partitions, all keyed deterministically on ``seed``;
+    ``churn`` optionally composes a CRRI crash/restart adversary on top,
+    demonstrating that the plane and the paper's adversary stack cleanly.
+    ``hardened`` turns on the graceful-degradation knobs
+    (:meth:`CongosParams.hardened`).  Confidentiality is monitored
+    fail-fast by default — loss must never leak ``z`` — while QoD is
+    reported, not fatal (it is *expected* to degrade beyond the model;
+    pass ``failfast="qod"`` to make misses fatal too).
+    """
+    resolved = params if params is not None else CongosParams()
+    if hardened:
+        resolved = resolved.hardened()
+    base = steady_scenario(
+        n, rounds, seed, deadline, rate, period, dest_size, resolved, name
+    )
+    if churn:
+        def faults(rng: random.Random, partitions, n_: int) -> ChurnAdversary:
+            return ChurnAdversary(
+                rng=rng,
+                p_crash=churn,
+                p_restart=0.25,
+                min_alive=max(2, n // 4),
+            )
+
+        base.fault_factory = faults
+    spec = FaultSpec(
+        drop=drop,
+        delay=delay,
+        max_delay=max_delay,
+        duplicate=duplicate,
+        reorder=reorder,
+        partition_period=partition_period,
+        partition_width=partition_width,
+    )
+    base.chaos = spec.to_dict()
+    base.failfast = failfast
+    base.description = (
+        "chaos drop={} delay={} dup={} reorder={} partition={}/{} churn={}"
+        "{}".format(
+            drop,
+            delay,
+            duplicate,
+            reorder,
+            partition_width,
+            partition_period,
+            churn,
+            " [hardened]" if hardened else "",
+        )
+    )
+    return base
 
 
 def churn_scenario(
@@ -424,6 +504,7 @@ ScenarioBuilder = Callable[..., Scenario]
 
 BUILDERS: Dict[str, ScenarioBuilder] = {
     "steady": steady_scenario,
+    "chaos": chaos_scenario,
     "churn": churn_scenario,
     "proxy-killer": proxy_killer_scenario,
     "group-killer": group_killer_scenario,

@@ -50,6 +50,7 @@ class RumorLifecycle:
     confirmed_round: Optional[int] = None
     fallback_round: Optional[int] = None
     deliveries: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    faults: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def delivered_count(self) -> int:
@@ -95,6 +96,7 @@ class RumorLifecycle:
             "deliveries": {
                 str(dst): dict(entry) for dst, entry in sorted(self.deliveries.items())
             },
+            "faults": [dict(entry) for entry in self.faults],
         }
         return json_safe(out)
 
@@ -156,6 +158,10 @@ class RumorTimeline(SimObserver):
     # -- telemetry events (authoritative) ------------------------------
 
     def on_event(self, event: ObsEvent) -> None:
+        if event.kind.startswith("fault_"):
+            self.events_seen += 1
+            self._on_fault(event.kind[len("fault_"):], event.round_no, event.fields)
+            return
         handler = self._HANDLERS.get(event.kind)
         if handler is None:
             return
@@ -231,6 +237,20 @@ class RumorTimeline(SimObserver):
         record = self._get(f["rid"])
         if record.fallback_round is None:
             record.fallback_round = round_no
+
+    def _on_fault(self, kind: str, round_no: int, f: Dict[str, Any]) -> None:
+        # Chaos fault-plane events carry the rids their payload reveals, so
+        # an injected fault is pinned to every rumor whose message it hit.
+        entry = {
+            "round": round_no,
+            "kind": kind,
+            "src": f.get("src"),
+            "dst": f.get("dst"),
+            "service": f.get("service"),
+            "detail": f.get("detail"),
+        }
+        for rid in f.get("rids", ()):
+            self._get(rid).faults.append(dict(entry))
 
     _HANDLERS = {
         "rumor_inject": _on_rumor_inject,
@@ -318,6 +338,21 @@ class RumorTimeline(SimObserver):
         )
         moment(record.confirmed_round, "hitSet confirmed at the source")
         moment(record.fallback_round, "fallback (shoot) triggered")
+        for fault in record.faults:
+            moment(
+                fault.get("round"),
+                "FAULT {}: {} message p{}->p{}{}".format(
+                    fault.get("kind"),
+                    fault.get("service"),
+                    fault.get("src"),
+                    fault.get("dst"),
+                    (
+                        " (+{} rounds)".format(fault.get("detail"))
+                        if fault.get("kind") in ("delay", "duplicate")
+                        else ""
+                    ),
+                ),
+            )
         for dst, entry in sorted(record.deliveries.items()):
             moment(
                 entry["round"],

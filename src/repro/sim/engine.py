@@ -135,6 +135,7 @@ class Engine:
         observers: Iterable[SimObserver] = (),
         seed: int = 0,
         start_round: int = 0,
+        fault_plane: Optional[object] = None,
     ):
         if n <= 0:
             raise ValueError("need at least one process")
@@ -142,7 +143,7 @@ class Engine:
         self.seeds = SeedSequence(seed)
         self.clock = RoundClock(start_round)
         self.stats = MessageStats()
-        self.network = Network(n, self.stats)
+        self.network = Network(n, self.stats, fault_plane=fault_plane)
         self.event_log = EventLog()
         self.adversary = adversary if adversary is not None else _NullAdversary()
         self.observers: List[SimObserver] = list(observers)
@@ -162,6 +163,11 @@ class Engine:
     @property
     def round(self) -> int:
         return self.clock.round
+
+    @property
+    def fault_plane(self) -> Optional[object]:
+        """The installed chaos fault plane, if any (``None`` = reliable)."""
+        return self.network.fault_plane
 
     def alive_pids(self) -> Set[int]:
         return {pid for pid, shell in self.shells.items() if shell.alive}

@@ -8,15 +8,28 @@ was sent — and *which* of those messages are lost is the adversary's choice.
 :class:`Network` validates sends, counts them into :class:`MessageStats`
 (message complexity counts sends, not deliveries), applies adversarial drops
 that the model permits, and routes the survivors into per-recipient inboxes.
+
+An optional **fault plane** (:mod:`repro.chaos.plane`) extends the model
+beyond the paper: after the CRRI checks, each surviving message may be
+dropped, delayed, duplicated or severed by a seed-keyed schedule, and
+inboxes may be reordered.  With no plane installed (the default) none of
+the chaos branches execute and routing is bit-identical to the paper's
+reliable model.  The plane is duck-typed here — ``sim`` stays free of any
+import from the chaos layer; fates are the plain strings defined in
+:mod:`repro.chaos.schedule` (``deliver``/``drop``/``delay``/``duplicate``
+plus ``sever``).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set, TYPE_CHECKING
 
 from repro.sim.messages import Message
 from repro.sim.metrics import MessageStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps sim below chaos
+    from repro.chaos.plane import FaultPlane
 
 __all__ = ["Network", "DeliveryOutcome"]
 
@@ -29,6 +42,10 @@ class DeliveryOutcome:
         self.delivered: List[Message] = []
         self.lost_to_crash: List[Message] = []
         self.lost_to_adversary: List[Message] = []
+        # Chaos extension; always empty under the paper's reliable model.
+        self.lost_to_fault: List[Message] = []
+        self.delayed: List[Message] = []
+        self.duplicated: List[Message] = []
 
     @property
     def delivered_count(self) -> int:
@@ -38,11 +55,17 @@ class DeliveryOutcome:
 class Network:
     """Reliable, fully connected, synchronous point-to-point network."""
 
-    def __init__(self, n: int, stats: MessageStats = None):  # type: ignore[assignment]
+    def __init__(
+        self,
+        n: int,
+        stats: Optional[MessageStats] = None,
+        fault_plane: Optional["FaultPlane"] = None,
+    ):
         if n <= 0:
             raise ValueError("network needs at least one process")
         self.n = n
         self.stats = stats if stats is not None else MessageStats()
+        self.fault_plane = fault_plane
 
     def validate(self, message: Message) -> None:
         if not 0 <= message.src < self.n:
@@ -77,6 +100,10 @@ class Network:
         """
         outcome = DeliveryOutcome()
         drops = set(adversary_drops)
+        plane = self.fault_plane
+        chaos = plane is not None and plane.active_in(round_no)
+        if chaos:
+            plane.begin_round(round_no)
         for index, message in enumerate(outgoing):
             self.validate(message)
             self.stats.record_send(round_no, message)
@@ -95,6 +122,30 @@ class Network:
             if message.dst not in alive_after_round:
                 outcome.lost_to_crash.append(message)
                 continue
+            if chaos:
+                fate = plane.admit(round_no, message)
+                if fate == "drop" or fate == "sever":
+                    outcome.lost_to_fault.append(message)
+                    continue
+                if fate == "delay":
+                    outcome.delayed.append(message)
+                    continue
+                if fate == "duplicate":
+                    outcome.duplicated.append(message)
+                    # The original is delivered now; the spurious copy
+                    # matures through release() next round.
             outcome.inboxes[message.dst].append(message)
             outcome.delivered.append(message)
+        if plane is not None and plane.has_pending():
+            # Matured delayed/duplicated copies are already past the link:
+            # only crash-aliveness gates them now.
+            for message in plane.release(round_no):
+                if message.dst not in alive_after_round:
+                    outcome.lost_to_crash.append(message)
+                    plane.record_late_loss(round_no, message)
+                    continue
+                outcome.inboxes[message.dst].append(message)
+                outcome.delivered.append(message)
+        if chaos:
+            plane.shuffle_inboxes(round_no, outcome.inboxes)
         return outcome

@@ -1,0 +1,70 @@
+"""Edge-case tests for repro.adversary.patterns.ScriptedFaults: faults
+scripted against a process in the wrong state must be skipped, and a
+same-round crash+restart pair must never produce a conflicting decision."""
+
+from repro.adversary.patterns import ScriptedFaults
+from repro.sim.engine import Engine
+from repro.sim.process import NodeBehavior
+
+
+def make_view(n=8, round_no=0, crashed=frozenset()):
+    engine = Engine(n, lambda pid: NodeBehavior(pid, n))
+    for pid in crashed:
+        engine.shells[pid].crash()
+    for _ in range(round_no):
+        engine.clock.advance()
+    return engine.view
+
+
+class TestWrongStateSkipped:
+    def test_crash_of_already_crashed_pid_is_skipped(self):
+        adversary = ScriptedFaults([(0, "crash", 3)])
+        decision = adversary.round_start(make_view(crashed={3}))
+        assert decision.is_empty()
+
+    def test_restart_of_alive_pid_is_skipped(self):
+        adversary = ScriptedFaults([(0, "restart", 3)])
+        decision = adversary.round_start(make_view())
+        assert decision.is_empty()
+
+    def test_double_crash_entries_collapse(self):
+        adversary = ScriptedFaults([(0, "crash", 3), (0, "crash", 3)])
+        decision = adversary.round_start(make_view())
+        assert decision.crashes == {3}
+
+
+class TestSameRoundCrashRestart:
+    def test_alive_pid_crashes_only(self):
+        # Both entries target round 0; the guards read the *pre-decision*
+        # view, so an alive pid matches the crash and never the restart —
+        # the pair cannot become the crash+restart conflict the engine
+        # rejects ("at most once per round").
+        adversary = ScriptedFaults([(0, "crash", 3), (0, "restart", 3)])
+        decision = adversary.round_start(make_view())
+        assert decision.crashes == {3}
+        assert decision.restarts == set()
+
+    def test_crashed_pid_restarts_only(self):
+        adversary = ScriptedFaults([(0, "crash", 3), (0, "restart", 3)])
+        decision = adversary.round_start(make_view(crashed={3}))
+        assert decision.crashes == set()
+        assert decision.restarts == {3}
+
+    def test_script_order_is_irrelevant(self):
+        forward = ScriptedFaults([(0, "crash", 3), (0, "restart", 3)])
+        reverse = ScriptedFaults([(0, "restart", 3), (0, "crash", 3)])
+        view = make_view()
+        assert forward.round_start(view).crashes == reverse.round_start(
+            view
+        ).crashes
+
+    def test_engine_accepts_the_pair(self):
+        # End to end: the engine's "crash or restart at most once" check
+        # must not trip on a scripted same-round pair.
+        engine = Engine(
+            4,
+            lambda pid: NodeBehavior(pid, 4),
+            adversary=ScriptedFaults([(0, "crash", 1), (0, "restart", 1)]),
+        )
+        engine.run(2)
+        assert not engine.shells[1].alive

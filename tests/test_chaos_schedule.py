@@ -1,0 +1,165 @@
+"""Tests for repro.chaos.spec and repro.chaos.schedule: validation and
+seed-keyed determinism (same seed => identical fault schedule)."""
+
+import pytest
+
+from repro.chaos.schedule import DELAY, DELIVER, DROP, DUPLICATE, FaultSchedule
+from repro.chaos.spec import FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_defaults_are_the_reliable_network(self):
+        spec = FaultSpec()
+        assert spec.is_null()
+        assert spec.intensity() == 0.0
+
+    def test_any_knob_leaves_null(self):
+        assert not FaultSpec(drop=0.1).is_null()
+        assert not FaultSpec(delay=0.1).is_null()
+        assert not FaultSpec(duplicate=0.1).is_null()
+        assert not FaultSpec(reorder=0.1).is_null()
+        assert not FaultSpec(partition_period=8, partition_width=2).is_null()
+
+    @pytest.mark.parametrize("name", ["drop", "delay", "duplicate", "reorder"])
+    def test_probabilities_bounded(self, name):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(**{name: 1.5})
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(**{name: -0.1})
+
+    def test_max_delay_positive(self):
+        with pytest.raises(ValueError, match="max_delay"):
+            FaultSpec(max_delay=0)
+
+    def test_partition_width_needs_period(self):
+        with pytest.raises(ValueError, match="partition_width"):
+            FaultSpec(partition_width=2)
+
+    def test_partition_width_below_period(self):
+        with pytest.raises(ValueError, match="permanently partitioned"):
+            FaultSpec(partition_period=4, partition_width=4)
+
+    def test_stop_after_start(self):
+        with pytest.raises(ValueError, match="stop_round"):
+            FaultSpec(start_round=10, stop_round=10)
+
+    def test_active_window(self):
+        spec = FaultSpec(drop=0.1, start_round=5, stop_round=10)
+        assert not spec.active_in(4)
+        assert spec.active_in(5)
+        assert spec.active_in(9)
+        assert not spec.active_in(10)
+
+    def test_open_ended_window(self):
+        spec = FaultSpec(drop=0.1, start_round=3)
+        assert spec.active_in(10_000)
+
+    def test_intensity_sums_knobs(self):
+        spec = FaultSpec(
+            drop=0.1, delay=0.2, duplicate=0.05,
+            partition_period=8, partition_width=2,
+        )
+        assert spec.intensity() == pytest.approx(0.1 + 0.2 + 0.05 + 0.25)
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(drop=0.1, delay=0.2, max_delay=3, stop_round=50)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultSpec fields"):
+            FaultSpec.from_dict({"drop": 0.1, "jitter": 0.5})
+
+
+class TestScheduleDeterminism:
+    SPEC = FaultSpec(drop=0.2, delay=0.2, max_delay=3, duplicate=0.1)
+
+    def test_same_seed_identical_decisions(self):
+        a = FaultSchedule(42, self.SPEC, 16)
+        b = FaultSchedule(42, self.SPEC, 16)
+        for round_no in range(20):
+            assert a.decisions(round_no, 50) == b.decisions(round_no, 50)
+
+    def test_decisions_are_pure(self):
+        schedule = FaultSchedule(42, self.SPEC, 16)
+        first = schedule.decisions(7, 50)
+        assert schedule.decisions(7, 50) == first
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule(42, self.SPEC, 16)
+        b = FaultSchedule(43, self.SPEC, 16)
+        rounds = [a.decisions(r, 50) for r in range(10)]
+        assert rounds != [b.decisions(r, 50) for r in range(10)]
+
+    def test_rounds_are_independent_streams(self):
+        # Round r's decisions do not depend on whether earlier rounds
+        # were ever drawn.
+        fresh = FaultSchedule(42, self.SPEC, 16)
+        warmed = FaultSchedule(42, self.SPEC, 16)
+        for round_no in range(9):
+            warmed.decisions(round_no, 50)
+        assert fresh.decisions(9, 50) == warmed.decisions(9, 50)
+
+    def test_inactive_round_delivers_everything(self):
+        spec = FaultSpec(drop=0.9, start_round=100)
+        schedule = FaultSchedule(42, spec, 16)
+        assert schedule.decisions(5, 10) == [(DELIVER, 0)] * 10
+
+    def test_delay_holds_bounded(self):
+        spec = FaultSpec(delay=1.0, max_delay=3)
+        schedule = FaultSchedule(42, spec, 16)
+        for fate, hold in schedule.decisions(0, 200):
+            assert fate == DELAY
+            assert 1 <= hold <= 3
+
+    def test_fates_roughly_match_probabilities(self):
+        schedule = FaultSchedule(42, self.SPEC, 16)
+        fates = [
+            fate
+            for round_no in range(40)
+            for fate, _ in schedule.decisions(round_no, 100)
+        ]
+        total = len(fates)
+        assert 0.15 < fates.count(DROP) / total < 0.25
+        assert 0.15 < fates.count(DELAY) / total < 0.25
+        assert 0.05 < fates.count(DUPLICATE) / total < 0.15
+        assert 0.4 < fates.count(DELIVER) / total < 0.6
+
+
+class TestPartitionStorms:
+    SPEC = FaultSpec(partition_period=8, partition_width=3)
+
+    def test_storm_phase_geometry(self):
+        schedule = FaultSchedule(42, self.SPEC, 16)
+        for round_no in range(32):
+            severed = schedule.severed(round_no)
+            if round_no % 8 < 3:
+                assert severed is not None
+            else:
+                assert severed is None
+
+    def test_cut_is_a_bisection(self):
+        schedule = FaultSchedule(42, self.SPEC, 16)
+        cut = schedule.severed(0)
+        assert len(cut) == 8
+        assert cut < set(range(16))
+
+    def test_cut_stable_within_a_window(self):
+        schedule = FaultSchedule(42, self.SPEC, 16)
+        assert schedule.severed(0) == schedule.severed(1) == schedule.severed(2)
+
+    def test_same_seed_same_cuts(self):
+        a = FaultSchedule(42, self.SPEC, 16)
+        b = FaultSchedule(42, self.SPEC, 16)
+        for round_no in range(32):
+            assert a.severed(round_no) == b.severed(round_no)
+
+    def test_windows_independent_of_query_order(self):
+        fresh = FaultSchedule(42, self.SPEC, 16)
+        warmed = FaultSchedule(42, self.SPEC, 16)
+        for round_no in range(16):
+            warmed.severed(round_no)
+        assert fresh.severed(17) == warmed.severed(17)
+
+    def test_no_partitions_when_disabled(self):
+        schedule = FaultSchedule(42, FaultSpec(drop=0.5), 16)
+        assert all(schedule.severed(r) is None for r in range(16))

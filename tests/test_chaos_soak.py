@@ -1,0 +1,111 @@
+"""Tests for the chaos soak harness: jobs-invariant determinism, the E15
+bench sidecar, the fail-fast QoD planted violation, and RunRecord faults."""
+
+import json
+import os
+
+import pytest
+
+from repro.audit.failfast import InvariantViolation
+from repro.chaos.soak import (
+    BENCH_NAME,
+    cell_spec,
+    chaos_cells,
+    run_soak,
+    soak_payload,
+)
+from repro.exec.bench_io import write_bench_json
+from repro.exec.tasks import RunSpec, execute_spec
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import chaos_scenario
+
+FIXED = {"n": 8, "rounds": 60, "deadline": 16}
+
+
+class TestCells:
+    def test_matrix_is_the_cartesian_product(self):
+        cells = chaos_cells([0.0, 0.1], [0.0, 0.2])
+        assert len(cells) == 4
+        assert {"delay": 0.2, "drop": 0.1} in cells
+
+    def test_cell_spec_merges_cell_over_fixed(self):
+        spec = cell_spec(
+            {"drop": 0.2}, {"drop": 0.1, "max_delay": 3, "rounds": 60}
+        )
+        assert spec.drop == 0.2
+        assert spec.max_delay == 3  # fixed knob carried through
+
+    def test_cell_spec_ignores_non_spec_kwargs(self):
+        spec = cell_spec({"drop": 0.1}, {"n": 8, "hardened": True})
+        assert spec.drop == 0.1
+
+
+class TestSoakDeterminism:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return chaos_cells([0.0, 0.1], [0.1])
+
+    def test_payload_identical_at_any_jobs(self, cells):
+        serial = run_soak(cells, seeds=(0, 1), jobs=1, **FIXED)
+        pooled = run_soak(cells, seeds=(0, 1), jobs=2, **FIXED)
+        assert soak_payload(serial, FIXED) == soak_payload(pooled, FIXED)
+
+    def test_confidentiality_clean_across_matrix(self, cells):
+        payload = soak_payload(run_soak(cells, seeds=(0, 1), jobs=1, **FIXED), FIXED)
+        assert payload["all_clean"] is True
+        # faults were actually injected in the non-null cells
+        assert sum(payload["total_faults"].values()) > 0
+
+    def test_bench_sidecar_deterministic(self, cells, tmp_path):
+        paths = []
+        for tag in ("a", "b"):
+            sweep = run_soak(cells, seeds=(0,), jobs=1, **FIXED)
+            out = str(tmp_path / tag)
+            paths.append(
+                write_bench_json(
+                    BENCH_NAME,
+                    soak_payload(sweep, FIXED),
+                    results_dir=out,
+                    created="2026-01-01T00:00:00+00:00",
+                )
+            )
+        contents = [open(path, encoding="utf-8").read() for path in paths]
+        assert contents[0] == contents[1]
+        assert os.path.basename(paths[0]) == "BENCH_e15_chaos_matrix.json"
+        document = json.loads(contents[0])
+        assert document["cells"][0]["intensity"] == 0.1
+
+
+class TestFailFastQoD:
+    def test_planted_violation_is_caught(self):
+        # Dropping 90% of all traffic must make some admissible pair miss
+        # its deadline; with failfast="qod" the monitor raises mid-run
+        # instead of letting the report surface it at the end.
+        scenario = chaos_scenario(
+            8, 60, seed=0, deadline=16, drop=0.9, failfast="qod"
+        )
+        with pytest.raises(InvariantViolation) as caught:
+            run_congos_scenario(scenario)
+        assert any(v.kind == "qod" for v in caught.value.violations)
+        assert caught.value.round_no <= 60
+
+    def test_reliable_run_passes_qod_failfast(self):
+        scenario = chaos_scenario(8, 120, seed=0, deadline=16, failfast="qod")
+        result = run_congos_scenario(scenario)
+        assert result.qod.satisfied
+
+
+class TestRunRecordFaults:
+    def test_chaos_record_carries_fault_counts(self):
+        spec = RunSpec.make(
+            "chaos", seed=0, drop=0.3, **FIXED
+        )
+        record = execute_spec(spec)
+        assert record.faults["drop"] > 0
+        round_tripped = type(record).from_dict(record.to_dict())
+        assert round_tripped.faults == record.faults
+
+    def test_reliable_record_has_empty_faults(self):
+        spec = RunSpec.make("steady", seed=0, **FIXED)
+        record = execute_spec(spec)
+        assert record.faults == {}

@@ -52,6 +52,29 @@ def _always_crash(_):
     os._exit(13)
 
 
+def _sleep_until_marker(path):
+    """Hang well past any test timeout on the first call, return fast once
+    the marker exists — a deterministic 'time out once, then recover'."""
+    if not os.path.exists(path):
+        with open(path, "w", encoding="utf-8"):
+            pass
+        time.sleep(60)
+    return "recovered"
+
+
+class _KeyedCrasher:
+    """Picklable stand-in for a RunSpec: carries a spec-style key."""
+
+    key = "deadbeefcafe0123456789"
+
+    def __call__(self):
+        pass
+
+
+def _crash_keyed(_item):
+    os._exit(13)
+
+
 class TestResolveJobs:
     def test_explicit(self):
         assert resolve_jobs(3) == 3
@@ -119,6 +142,55 @@ class TestRunTasks:
     def test_timeout_raises(self):
         with pytest.raises(TaskTimeoutError, match="per-task timeout"):
             run_tasks([1.5], _sleep, jobs=2, timeout=0.2)
+
+
+class TestRetryAccounting:
+    def test_crash_error_names_the_offending_task(self):
+        # Only tasks that can have been in flight are charged; the
+        # always-crasher at index 0 exhausts its budget and is named.
+        with pytest.raises(WorkerCrashError, match=r"task 0 "):
+            run_tasks([None], _always_crash, jobs=2, retries=1)
+
+    def test_spec_key_in_crash_message(self):
+        with pytest.raises(WorkerCrashError, match=r"spec deadbeefcafe"):
+            run_tasks([_KeyedCrasher()], _crash_keyed, jobs=2, retries=0)
+
+    def test_queued_tail_survives_a_pool_break(self, tmp_path):
+        # With 2 workers, most of these tasks are still queued when the
+        # crasher (index 0) breaks the pool; the tail keeps its budget
+        # and the whole batch completes on the rebuilt pool.
+        marker = str(tmp_path / "crashed-once")
+        innocents = []
+        for i in range(6):
+            path = str(tmp_path / "pre-{}".format(i))
+            with open(path, "w", encoding="utf-8"):
+                pass  # marker exists => _crash_until_marker never crashes
+            innocents.append(path)
+        results = run_tasks(
+            [marker, *innocents], _crash_until_marker, jobs=2, retries=1
+        )
+        assert results == ["survived"] * 7
+
+    def test_timeout_error_names_task_and_budget(self):
+        with pytest.raises(
+            TaskTimeoutError, match=r"task 0 exceeded .* 2 time\(s\)"
+        ):
+            run_tasks([5.0], _sleep, jobs=2, timeout=0.2, retries=1)
+
+    def test_timeout_is_retried_on_a_fresh_pool(self, tmp_path):
+        marker = str(tmp_path / "timed-out-once")
+        results = run_tasks(
+            [marker], _sleep_until_marker, jobs=2, timeout=2.0, retries=1
+        )
+        assert results == ["recovered"]
+
+    def test_neighbors_survive_a_timeout(self, tmp_path):
+        marker = str(tmp_path / "timed-out-once")
+        items = [marker, str(tmp_path / "absent-a")]
+        results = run_tasks(
+            items, _sleep_until_marker, jobs=2, timeout=2.0, retries=1
+        )
+        assert results == ["recovered", "recovered"]
 
 
 class TestRunSpecsParity:
