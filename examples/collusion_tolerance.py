@@ -15,10 +15,8 @@ Run:  python examples/collusion_tolerance.py
 """
 
 from repro.adversary.collusion import GreedyCoalition
+from repro.api import CongosParams, run_scenario
 from repro.harness.report import banner, format_table
-from repro.harness.runner import run_congos_scenario
-from repro.harness.scenarios import collusion_scenario
-from repro.core.config import CongosParams
 
 N = 16
 ROUNDS = 340
@@ -30,16 +28,17 @@ def main() -> None:
     rows = []
     base_peak = None
     for tau in (1, 2, 3):
-        params = CongosParams.lean(tau=tau, collusion_direct_factor=16.0)
-        result = run_congos_scenario(
-            collusion_scenario(
-                n=N,
-                rounds=ROUNDS,
-                seed=5,
-                tau=tau,
-                deadline=DEADLINE,
-                params=params,
-            )
+        params = CongosParams.preset(
+            "lean", tau=tau, collusion_direct_factor=16.0
+        )
+        result = run_scenario(
+            "collusion",
+            n=N,
+            rounds=ROUNDS,
+            seed=5,
+            tau=tau,
+            deadline=DEADLINE,
+            params=params,
         )
         assert result.qod.satisfied
         assert result.confidentiality.is_clean()

@@ -10,18 +10,16 @@ outcomes).
 Run:  python examples/parameter_study.py
 """
 
-from repro.analysis.sweeps import grid, sweep_congos
-from repro.core.config import CongosParams
+from repro.api import CongosParams, grid, sweep
 from repro.harness.report import banner, format_table
-from repro.harness.scenarios import churn_scenario, steady_scenario
 
 
 def main() -> None:
-    params = CongosParams.lean()
+    params = CongosParams.preset("lean")
 
     print(banner("Sweep 1: system size (fault-free steady traffic)"))
-    size_sweep = sweep_congos(
-        steady_scenario,
+    size_sweep = sweep(
+        "steady",
         grid(n=[8, 12, 16]),
         seeds=(0, 1),
         rounds=300,
@@ -32,8 +30,8 @@ def main() -> None:
     assert size_sweep.all_satisfied() and size_sweep.all_clean()
 
     print(banner("Sweep 2: churn intensity (n=12)"))
-    churn_sweep = sweep_congos(
-        churn_scenario,
+    churn_sweep = sweep(
+        "churn",
         grid(p_crash=[0.005, 0.02, 0.05]),
         seeds=(0, 1),
         n=12,

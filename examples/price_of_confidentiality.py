@@ -19,15 +19,14 @@ rumor stream.
 Run:  python examples/price_of_confidentiality.py
 """
 
+from repro.api import CongosParams, get_builder, run_scenario
 from repro.audit.delivery import DeliveryAuditor
 from repro.baselines.direct import direct_factory
 from repro.baselines.key_tree import KeyTreeCostModel
 from repro.baselines.plain_gossip import plain_gossip_factory
 from repro.baselines.strongly_confidential import strongly_confidential_factory
-from repro.core.config import CongosParams
 from repro.harness.report import banner, format_table
-from repro.harness.runner import run_congos_scenario, run_with_factory
-from repro.harness.scenarios import steady_scenario
+from repro.harness.runner import run_with_factory
 
 N = 16
 ROUNDS = 360
@@ -35,7 +34,7 @@ DEADLINE = 64
 
 
 def scenario(name):
-    return steady_scenario(
+    return get_builder("steady")(
         n=N,
         rounds=ROUNDS,
         seed=9,
@@ -43,7 +42,7 @@ def scenario(name):
         rate=1,
         period=4,
         dest_size=4,
-        params=CongosParams.lean(),
+        params=CongosParams.preset("lean"),
         name=name,
     )
 
@@ -80,7 +79,7 @@ def describe(label, result, rumor_count):
 
 def main() -> None:
     print(banner("The price of confidentiality: one workload, four protocols"))
-    congos = run_congos_scenario(scenario("congos"))
+    congos = run_scenario(scenario("congos"))
     rumor_count = congos.rumors_injected
     rows = [describe("CONGOS", congos, rumor_count)]
     for kind in ("plain", "direct", "sc-gossip"):

@@ -14,6 +14,9 @@ Quick start::
     result = quick_run(n=16, rounds=400, seed=7)
     print(result.qod.summary())
     print(result.confidentiality.summary())
+
+For anything richer — named scenario runs, grid sweeps, lifecycle
+traces — import from :mod:`repro.api`, the stable facade.
 """
 
 from repro.core.config import CongosParams

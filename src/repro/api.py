@@ -1,0 +1,137 @@
+"""repro.api — the stable facade over the reproduction.
+
+Examples, tests and downstream notebooks used to import run/sweep/trace
+machinery from five submodules (``harness.runner``, ``harness.scenarios``,
+``analysis.sweeps``, ``obs.*``, ``core.config``); this module is the one
+import that stays put while the internals keep moving:
+
+    from repro.api import CongosParams, run_scenario, sweep, trace
+
+    result = run_scenario("steady", n=16, rounds=400, seed=7)
+    print(result.summary())
+
+    hardened = sweep("direct", [{"drop": 0.3}], seeds=(0, 1),
+                     n=16, rounds=200, deadline=32,
+                     params=CongosParams.preset("hardened"))
+
+Everything re-exported here is covered by the acceptance tests; anything
+not listed in ``__all__`` is an internal that may change between PRs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Union
+
+from repro.analysis.sweeps import CellResult, SweepResult, grid, sweep_congos
+from repro.core.config import CongosParams
+from repro.gossip.rumor import Rumor, RumorId, make_rumor
+from repro.harness.runner import RunResult, Scenario, run_congos_scenario
+from repro.harness.scenarios import (
+    BUILDERS,
+    builder_name,
+    get_builder,
+    register_builder,
+)
+from repro.obs.instrument import Telemetry
+from repro.obs.sink import JsonlSink
+from repro.obs.timeline import RumorTimeline
+
+__all__ = [
+    "BUILDERS",
+    "CellResult",
+    "CongosParams",
+    "Rumor",
+    "RumorId",
+    "RunResult",
+    "Scenario",
+    "SweepResult",
+    "builder_name",
+    "get_builder",
+    "grid",
+    "make_rumor",
+    "register_builder",
+    "run_scenario",
+    "sweep",
+    "trace",
+]
+
+
+def run_scenario(
+    scenario: Union[Scenario, str],
+    seed: int = 0,
+    observers: Iterable = (),
+    telemetry: Optional[Telemetry] = None,
+    **kwargs: object,
+) -> RunResult:
+    """Run one fully audited CONGOS scenario.
+
+    ``scenario`` is either a built :class:`Scenario` or a registry name
+    (``"steady"``, ``"chaos"``, ``"direct"``, ...; see :data:`BUILDERS`),
+    in which case ``seed`` and the remaining keyword arguments go to the
+    builder.  Returns the :class:`RunResult` with both auditors attached.
+    """
+    if isinstance(scenario, str):
+        scenario = get_builder(scenario)(seed=seed, **kwargs)
+    elif kwargs:
+        raise TypeError(
+            "builder kwargs {} only apply when scenario is a registry "
+            "name, not an already-built Scenario".format(sorted(kwargs))
+        )
+    return run_congos_scenario(
+        scenario, observers=observers, telemetry=telemetry
+    )
+
+
+def sweep(
+    scenario: Union[str, object],
+    cells: Iterable,
+    seeds=(0,),
+    jobs: int = 1,
+    **fixed: object,
+) -> SweepResult:
+    """Sweep a scenario builder over a cell grid on the exec pool.
+
+    Thin alias for :func:`repro.analysis.sweeps.sweep_congos`; build the
+    ``cells`` with :func:`grid`.  Results are bit-identical at any
+    ``jobs`` setting.
+    """
+    return sweep_congos(scenario, cells, seeds=seeds, jobs=jobs, **fixed)
+
+
+def trace(
+    scenario: Union[Scenario, str],
+    seed: int = 0,
+    jsonl: Optional[str] = None,
+    **kwargs: object,
+) -> Tuple[RunResult, RumorTimeline]:
+    """Run a scenario with full rumor-lifecycle telemetry.
+
+    Returns ``(result, timeline)``; the :class:`RumorTimeline` answers
+    per-rumor questions (``timeline.replay(rid)``,
+    ``timeline.lifecycles()``).  Pass ``jsonl`` to also export every
+    event (and the final lifecycles) to a JSONL file for offline tools.
+    """
+    timeline = RumorTimeline()
+    if jsonl is None:
+        telemetry = Telemetry()
+        telemetry.subscribe(timeline)
+        result = run_scenario(
+            scenario,
+            seed=seed,
+            observers=[timeline],
+            telemetry=telemetry,
+            **kwargs,
+        )
+    else:
+        with JsonlSink(path=jsonl) as sink:
+            telemetry = Telemetry(sinks=[sink])
+            telemetry.subscribe(timeline)
+            result = run_scenario(
+                scenario,
+                seed=seed,
+                observers=[timeline],
+                telemetry=telemetry,
+                **kwargs,
+            )
+            timeline.export(sink)
+    return result, timeline

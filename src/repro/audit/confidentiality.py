@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.adversary.collusion import CoalitionStrategy, min_cover_size
+from repro.core.confidential_gossip import DirectAck
 from repro.gossip.rumor import Rumor, RumorId
 from repro.sim.engine import SimObserver
 from repro.sim.messages import Message, reveals_of
@@ -45,7 +46,7 @@ __all__ = [
 class Violation:
     """One confidentiality breach."""
 
-    kind: str  # "plaintext" | "reconstruction" | "multiplicity"
+    kind: str  # "plaintext" | "reconstruction" | "multiplicity" | "ack_leak"
     rid: RumorId
     pid: int
     round_no: int
@@ -104,6 +105,10 @@ class ConfidentialityAuditor(SimObserver):
         dst = message.dst
         crossed_border: Set[RumorId] = set()
         payload = message.payload
+        if isinstance(payload, DirectAck):
+            # Fall through to normal absorption afterwards: a leaky ack's
+            # atoms must still feed the plaintext/fragment checks.
+            self._check_ack(round_no, message)
         if isinstance(payload, tuple):
             # A gossip batch: avoid re-walking items this process has seen.
             seen = self._seen_items[dst]
@@ -197,6 +202,34 @@ class ConfidentialityAuditor(SimObserver):
     def _is_border(self, rid: RumorId, src: int, dst: int) -> bool:
         allowed = self.allowed_set(rid)
         return src in allowed and dst not in allowed
+
+    def _check_ack(self, round_no: int, message: Message) -> None:
+        """Direct-send acks must be pure control traffic.
+
+        A well-formed :class:`DirectAck` carries a rumor id and the
+        acker's pid only.  If one ever reveals knowledge atoms or carries
+        raw bytes (a regression in the reliability layer), that is an
+        ``ack_leak`` violation — the hardened direct-send path may add
+        redundancy, never knowledge.
+        """
+        payload = message.payload
+        atoms = list(reveals_of(payload))
+        carries_bytes = any(
+            isinstance(value, (bytes, bytearray))
+            for value in vars(payload).values()
+        )
+        if atoms or carries_bytes:
+            self.violations.append(
+                Violation(
+                    kind="ack_leak",
+                    rid=payload.rid,
+                    pid=message.dst,
+                    round_no=round_no,
+                    detail="direct ack carries {}".format(
+                        "knowledge atoms" if atoms else "payload bytes"
+                    ),
+                )
+            )
 
     def _check_plaintext(self, round_no: int, rid: RumorId, pid: int) -> None:
         if rid not in self.rumors:
@@ -337,9 +370,14 @@ class ConfidentialityAuditor(SimObserver):
         return counts
 
     def is_clean(self) -> bool:
-        """No plaintext or reconstruction violations (Definition 2)."""
+        """No plaintext, reconstruction or ack-leak violations
+        (Definition 2, plus the direct-ack control-traffic invariant)."""
         counts = self.violation_counts()
-        return counts["plaintext"] == 0 and counts["reconstruction"] == 0
+        return (
+            counts["plaintext"] == 0
+            and counts["reconstruction"] == 0
+            and counts.get("ack_leak", 0) == 0
+        )
 
     def summary(self) -> Dict[str, object]:
         return {

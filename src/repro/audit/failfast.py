@@ -74,7 +74,9 @@ class FailFastMonitor(SimObserver):
         self._judged: set = set()
 
     def _fatal(self, violation: Violation) -> bool:
-        if violation.kind in ("plaintext", "reconstruction"):
+        # ack_leak: the hardened direct-send layer's control messages
+        # must never carry knowledge — always fatal, like a plaintext leak.
+        if violation.kind in ("plaintext", "reconstruction", "ack_leak"):
             return True
         return self.strict and violation.kind == "multiplicity"
 

@@ -9,9 +9,10 @@ production-like loss, delay, duplication, reordering and partitions.
 * :mod:`repro.chaos.schedule` — :class:`FaultSchedule`, seed → decisions.
 * :mod:`repro.chaos.plane` — :class:`ChaosFaultPlane`, the network hook.
 * :mod:`repro.chaos.soak` — fault-matrix sweeps and the E15 payload.
+* :mod:`repro.chaos.direct` — direct-send reliability matrix (E16).
 """
 
-from repro.chaos.plane import ChaosFaultPlane, FaultEvent, FaultPlane
+from repro.chaos.plane import ChaosFaultPlane, FaultEvent, FaultPlane, pipeline_stage
 from repro.chaos.schedule import FaultSchedule
 from repro.chaos.spec import FaultSpec
 
@@ -21,4 +22,5 @@ __all__ = [
     "FaultPlane",
     "FaultSchedule",
     "FaultSpec",
+    "pipeline_stage",
 ]

@@ -1,0 +1,123 @@
+"""Direct-send soak harness: the E16 reliability matrix.
+
+E15 soaks the full pipeline; this module isolates the one stage E15
+showed degrading fastest — rumors with deadline at or below
+``direct_send_threshold``, which bypass proxy/GD/gossip and, at paper
+parameters, get exactly one unacknowledged send (69.9% delivery at
+drop=0.3).  The E16 matrix sweeps the ``direct`` scenario builder over a
+drop × hardened grid: the ``hardened`` axis turns on the
+ack/retransmit/k-copy layer (``CongosParams.preset("hardened")``), and
+the payload reports delivery per cell so the before/after story is one
+artifact — ``BENCH_e16_direct_matrix.json``.
+
+Confidentiality is monitored fail-fast in every cell (the reliability
+layer may add redundancy, never knowledge; its acks carry rumor ids and
+acker pids only), and like E15 everything is deterministic: fault
+schedules are seed-keyed, the sweep runs on the exec pool bit-identically
+at any ``jobs``, and :func:`direct_payload` excludes wall-clock fields.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.analysis.sweeps import SweepResult, grid, sweep_congos
+from repro.chaos.soak import _sum_faults, _sum_faults_by_stage
+from repro.exec.cache import ResultCache
+from repro.exec.progress import Progress
+
+__all__ = ["BENCH_NAME", "direct_cells", "run_direct_soak", "direct_payload"]
+
+BENCH_NAME = "e16_direct_matrix"
+
+
+def direct_cells(
+    drop: Sequence[float], hardened: Sequence[bool] = (False, True)
+) -> List[Dict[str, object]]:
+    """The reliability matrix: drop intensities × default/hardened."""
+    return grid(drop=list(drop), hardened=[bool(flag) for flag in hardened])
+
+
+def run_direct_soak(
+    cells: Iterable[Mapping[str, object]],
+    seeds: Sequence[int] = (0, 1),
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    resume: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[Progress] = None,
+    **fixed: object,
+) -> SweepResult:
+    """Sweep the ``direct`` builder over the matrix on the exec pool."""
+    return sweep_congos(
+        "direct",
+        cells,
+        seeds=seeds,
+        jobs=jobs,
+        cache=cache,
+        resume=resume,
+        timeout=timeout,
+        retries=retries,
+        progress=progress,
+        **fixed,
+    )
+
+
+def direct_payload(
+    sweep: SweepResult, fixed: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """The deterministic portion of the E16 artifact.
+
+    Per cell: injected faults (total and by pipeline stage — all of them
+    should land in the ``direct`` stage, that is the point of the
+    scenario), delivery against admissible pairs, and the clean verdict.
+    ``delivery_by_mode`` summarizes the tentpole claim: overall delivery
+    of the default single-send rule vs the hardened reliability layer.
+    """
+    cells: List[Dict[str, object]] = []
+    by_mode: Dict[str, List[int]] = {}
+    for cell in sweep.cells:
+        admissible = sum(run.admissible_pairs for run in cell.runs)
+        missed = sum(run.missed for run in cell.runs)
+        direct_pairs = sum(
+            run.paths.get("direct", 0) for run in cell.runs
+        )
+        mode = "hardened" if cell.cell.get("hardened") else "default"
+        totals = by_mode.setdefault(mode, [0, 0])
+        totals[0] += admissible
+        totals[1] += missed
+        cells.append(
+            {
+                "cell": dict(cell.cell),
+                "seeds": cell.seeds,
+                "faults": _sum_faults(cell.runs),
+                "faults_by_stage": _sum_faults_by_stage(cell.runs),
+                "admissible_pairs": admissible,
+                "missed": missed,
+                "direct_pairs": direct_pairs,
+                "delivery_rate": (
+                    round((admissible - missed) / admissible, 6)
+                    if admissible
+                    else None
+                ),
+                "qod_satisfied": cell.all_satisfied(),
+                "clean": cell.all_clean(),
+                "peak": cell.peak_summary().as_dict(),
+            }
+        )
+    all_runs = [run for cell in sweep.cells for run in cell.runs]
+    return {
+        "cells": cells,
+        "all_clean": sweep.all_clean(),
+        "delivery_by_mode": {
+            mode: (
+                round((admissible - missed) / admissible, 6)
+                if admissible
+                else None
+            )
+            for mode, (admissible, missed) in sorted(by_mode.items())
+        },
+        "total_faults": _sum_faults(all_runs),
+        "total_faults_by_stage": _sum_faults_by_stage(all_runs),
+    }

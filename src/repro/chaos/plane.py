@@ -35,14 +35,39 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.chaos.schedule import DELAY, DELIVER, DROP, DUPLICATE, FaultSchedule
 from repro.chaos.spec import FaultSpec
 from repro.obs.instrument import NULL_TELEMETRY
-from repro.sim.messages import Message, reveals_of
+from repro.sim.messages import Message, ServiceTags, reveals_of
 
-__all__ = ["FaultPlane", "ChaosFaultPlane", "FaultEvent", "SEVER", "message_rids"]
+__all__ = [
+    "FaultPlane",
+    "ChaosFaultPlane",
+    "FaultEvent",
+    "SEVER",
+    "message_rids",
+    "pipeline_stage",
+]
 
 #: Extra fate (beyond the schedule's) for messages crossing a partition cut.
 SEVER = "sever"
 
 _FAULT_KINDS = (DROP, DELAY, DUPLICATE, SEVER, "reorder", "late_loss")
+
+# Service tag -> CONGOS pipeline stage, for per-stage fault accounting
+# (dashboards split faults by where in the pipeline they landed, not just
+# by kind).  Both kinds of coordinator traffic — rumor-carrying shoots
+# and the hardened layer's acks — belong to the direct stage.
+_SERVICE_STAGES = {
+    ServiceTags.PROXY: "proxy",
+    ServiceTags.GROUP_DISTRIBUTION: "gd",
+    ServiceTags.GROUP_GOSSIP: "gossip",
+    ServiceTags.ALL_GOSSIP: "gossip",
+    ServiceTags.CONFIDENTIAL: "direct",
+    ServiceTags.DIRECT_ACK: "direct",
+}
+
+
+def pipeline_stage(service: str) -> str:
+    """The pipeline stage a service tag accounts under."""
+    return _SERVICE_STAGES.get(service, "other")
 
 
 def message_rids(message: Message, limit: int = 8) -> List[str]:
@@ -136,6 +161,9 @@ class ChaosFaultPlane(FaultPlane):
         self.keep_events = keep_events
         self.max_events = max_events
         self.counts: Dict[str, int] = {kind: 0 for kind in _FAULT_KINDS}
+        # stage -> kind -> count (reorder is per-inbox, not per-message,
+        # so it has no stage and is tracked in ``counts`` only).
+        self.stage_counts: Dict[str, Dict[str, int]] = {}
         self.events: List[FaultEvent] = []
         # deliver_round -> messages matured that round, in queue order
         self._pending: Dict[int, List[Message]] = {}
@@ -153,6 +181,17 @@ class ChaosFaultPlane(FaultPlane):
     def counts_summary(self) -> Dict[str, int]:
         """Stable-keyed fault counts (zero entries included)."""
         return {kind: self.counts[kind] for kind in _FAULT_KINDS}
+
+    def counts_by_service(self) -> Dict[str, Dict[str, int]]:
+        """Fault counts split by pipeline stage (proxy/gd/gossip/direct).
+
+        Only stages actually hit appear, with their kinds sorted — a
+        deterministic nested dict ready for soak payloads and metrics.
+        """
+        return {
+            stage: {kind: kinds[kind] for kind in sorted(kinds)}
+            for stage, kinds in sorted(self.stage_counts.items())
+        }
 
     # -- network hooks ---------------------------------------------------
 
@@ -221,6 +260,9 @@ class ChaosFaultPlane(FaultPlane):
         self, round_no: int, kind: str, message: Message, detail: int = 0
     ) -> None:
         self.counts[kind] += 1
+        stage = pipeline_stage(message.service)
+        kinds = self.stage_counts.setdefault(stage, {})
+        kinds[kind] = kinds.get(kind, 0) + 1
         if self.keep_events and len(self.events) < self.max_events:
             self.events.append(
                 FaultEvent(
@@ -228,6 +270,9 @@ class ChaosFaultPlane(FaultPlane):
                 )
             )
         if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "chaos.faults", kind=kind, stage=stage
+            ).inc()
             self.telemetry.emit(
                 "fault_" + kind,
                 round_no,

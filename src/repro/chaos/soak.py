@@ -89,6 +89,19 @@ def _sum_faults(runs) -> Dict[str, int]:
     return {kind: totals[kind] for kind in sorted(totals)}
 
 
+def _sum_faults_by_stage(runs) -> Dict[str, Dict[str, int]]:
+    totals: Dict[str, Dict[str, int]] = {}
+    for run in runs:
+        for stage, kinds in run.faults_by_stage.items():
+            bucket = totals.setdefault(stage, {})
+            for kind, count in kinds.items():
+                bucket[kind] = bucket.get(kind, 0) + count
+    return {
+        stage: {kind: kinds[kind] for kind in sorted(kinds)}
+        for stage, kinds in sorted(totals.items())
+    }
+
+
 def soak_payload(
     sweep: SweepResult, fixed: Optional[Mapping[str, object]] = None
 ) -> Dict[str, object]:
@@ -109,6 +122,7 @@ def soak_payload(
                 "intensity": spec.intensity(),
                 "seeds": cell.seeds,
                 "faults": _sum_faults(cell.runs),
+                "faults_by_stage": _sum_faults_by_stage(cell.runs),
                 "admissible_pairs": admissible,
                 "missed": missed,
                 "delivery_rate": (
@@ -122,12 +136,11 @@ def soak_payload(
                 "peak": peak.as_dict(),
             }
         )
-    total_faults = _sum_faults(
-        run for cell in sweep.cells for run in cell.runs
-    )
+    all_runs = [run for cell in sweep.cells for run in cell.runs]
     return {
         "cells": cells,
         "all_clean": sweep.all_clean(),
         "all_satisfied": sweep.all_satisfied(),
-        "total_faults": total_faults,
+        "total_faults": _sum_faults(all_runs),
+        "total_faults_by_stage": _sum_faults_by_stage(all_runs),
     }

@@ -12,7 +12,16 @@ This is the top of the CONGOS stack at each process.  It
 * fires the **fallback**: when a rumor it initiated reaches its deadline
   unconfirmed, the source sends the full rumor directly to every
   destination ("shoot", Figure 8 lines 47-53) — this is what makes
-  Quality of Delivery hold with probability 1 (Lemma 4).
+  Quality of Delivery hold with probability 1 (Lemma 4);
+* optionally runs the **reliable direct-send layer** (beyond the paper;
+  see DESIGN.md): for rumors taking the direct route (deadline at or
+  below ``direct_send_threshold``, or Theorem 16 case 1), a per-rumor
+  :class:`DirectSendState` machine retransmits unacknowledged copies
+  with exponential backoff and/or spreads ``k`` copies over the rounds
+  before the deadline.  Destinations acknowledge received copies with
+  :class:`DirectAck` control messages that carry the rumor id and the
+  acker's pid only — never payload bytes — so the layer cannot widen
+  the knowledge set.  All of it is inert at default parameters.
 """
 
 from __future__ import annotations
@@ -34,7 +43,9 @@ __all__ = [
     "CachedRumor",
     "ConfidentialGossipCoordinator",
     "DeliveryRecord",
+    "DirectAck",
     "DirectRumor",
+    "DirectSendState",
 ]
 
 DeliverCallback = Callable[[int, int, RumorId, bytes, str], None]
@@ -79,6 +90,47 @@ class DirectRumor:
 
 
 @dataclass(frozen=True)
+class DirectAck:
+    """Acknowledgement of one received direct copy (pure control traffic).
+
+    Deliberately carries the rumor id and the acker's pid *only* — no
+    data bytes, no destination set, no ``reveals()`` — so routing an ack
+    anywhere (even misdelivering it) can never leak rumor contents.  The
+    confidentiality auditor enforces this shape at runtime
+    (:meth:`repro.audit.confidentiality.ConfidentialityAuditor`'s
+    ``ack_leak`` check).
+    """
+
+    rid: RumorId
+    acker: int
+
+
+@dataclass
+class DirectSendState:
+    """Source-side reliability state for one direct-sent rumor.
+
+    Tracks which destinations have not acknowledged yet, the rounds at
+    which the extra k-copy sends fire, and the exponential-backoff
+    retransmit schedule.  Created only when
+    ``params.direct_send_reliable`` — default runs never build one.
+    """
+
+    rumor: Rumor
+    deadline_round: int
+    unacked: Set[int]
+    # Rounds at which the remaining k-copy sends fire, ascending.
+    copy_rounds: List[int]
+    retries_left: int
+    backoff: int
+    next_retry: Optional[int]
+    attempts: int = 1  # the initial send counts as the first attempt
+
+    def exhausted(self) -> bool:
+        """No further sends will ever fire for this rumor."""
+        return not self.copy_rounds and self.next_retry is None
+
+
+@dataclass(frozen=True)
 class DeliveryRecord:
     """How and when a rumor was delivered locally."""
 
@@ -101,12 +153,17 @@ class ConfidentialGossipCoordinator(SubService):
         partition_set: PartitionSet,
         deliver_callback: Optional[DeliverCallback] = None,
         telemetry=None,
+        rng=None,
     ):
         super().__init__(pid, n, ServiceTags.CONFIDENTIAL, self.CHANNEL)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.params = params
         self.partition_set = partition_set
         self.deliver_callback = deliver_callback
+        # Dedicated stream for retransmit jitter (a fresh derive-by-label
+        # stream, so consuming it never perturbs the other services' draws
+        # and default runs stay bit-identical).  None = no jitter.
+        self.rng = rng
 
         self.rumor_cache: Dict[RumorId, CachedRumor] = {}
         self.hit_matrix: Dict[Tuple[int, int, int], Set[HitEntry]] = {}
@@ -114,12 +171,17 @@ class ConfidentialGossipCoordinator(SubService):
         self.deliveries: Dict[RumorId, DeliveryRecord] = {}
         self._pending_direct: List[Rumor] = []
         self._dirty_confirmations = False
+        # Reliable direct-send layer (params.direct_send_reliable only).
+        self._direct_states: Dict[RumorId, DirectSendState] = {}
+        self._pending_acks: List[Tuple[int, RumorId]] = []
 
         # Run statistics.
         self.fallbacks = 0
         self.confirmations = 0
         self.reassemblies = 0
         self.direct_sends = 0
+        self.direct_retries = 0
+        self.direct_acks = 0
 
     # ------------------------------------------------------------------
     # Upstream API (called by CongosNode)
@@ -147,6 +209,50 @@ class ConfidentialGossipCoordinator(SubService):
                 rid=rumor.rid,
                 targets=sorted(rumor.dest - {self.pid}),
             )
+        if self.params.direct_send_reliable:
+            self._track_direct(round_no, rumor)
+
+    def _track_direct(self, round_no: int, rumor: Rumor) -> None:
+        """Open the reliability state machine for one direct-sent rumor.
+
+        The initial copy goes out through the untouched ``_pending_direct``
+        path this same round; everything scheduled here fires strictly
+        later, so turning the knobs on never changes round-0 traffic.
+        """
+        targets = set(rumor.dest) - {self.pid}
+        if not targets:
+            return
+        deadline_round = round_no + rumor.deadline
+        copies = self.params.direct_send_copies
+        copy_rounds = sorted(
+            {
+                round_no + max(1, (index * rumor.deadline) // copies)
+                for index in range(1, copies)
+            }
+        )
+        copy_rounds = [r for r in copy_rounds if r <= deadline_round]
+        retries = self.params.direct_send_retries
+        next_retry: Optional[int] = None
+        backoff = 2  # an ack to the initial copy can arrive one round later
+        if retries > 0:
+            candidate = round_no + backoff + self._retry_jitter()
+            if candidate <= deadline_round:
+                next_retry = candidate
+        self._direct_states[rumor.rid] = DirectSendState(
+            rumor=rumor,
+            deadline_round=deadline_round,
+            unacked=targets,
+            copy_rounds=copy_rounds,
+            retries_left=retries,
+            backoff=backoff,
+            next_retry=next_retry,
+        )
+
+    def _retry_jitter(self) -> int:
+        """0 or 1 rounds, from the dedicated deterministic stream."""
+        if self.rng is None:
+            return 0
+        return self.rng.randrange(2)
 
     def deliver_local(
         self, round_no: int, rid: RumorId, data: bytes, path: str
@@ -193,6 +299,12 @@ class ConfidentialGossipCoordinator(SubService):
         for rumor in self._pending_direct:
             messages.extend(self._shoot(rumor, "direct"))
         self._pending_direct = []
+        # Reliable direct-send layer: both lists are empty unless the
+        # direct_send_* knobs are on, so default runs skip this entirely.
+        if self._pending_acks:
+            messages.extend(self._flush_acks())
+        if self._direct_states:
+            messages.extend(self._direct_phase(round_no))
         expired: List[RumorId] = []
         for rid, cached in self.rumor_cache.items():
             if cached.confirmed_at is not None:
@@ -221,6 +333,9 @@ class ConfidentialGossipCoordinator(SubService):
 
     def on_message(self, round_no: int, message: Message) -> None:
         payload = message.payload
+        if isinstance(payload, DirectAck):
+            self._on_direct_ack(round_no, payload)
+            return
         if isinstance(payload, Rumor):
             payload = DirectRumor(payload, "shoot")
         if not isinstance(payload, DirectRumor):
@@ -229,6 +344,15 @@ class ConfidentialGossipCoordinator(SubService):
             )
         rumor = payload.rumor
         self.deliver_local(round_no, rumor.rid, rumor.data, payload.path)
+        # Acknowledge every received direct copy (not just the first):
+        # acks traverse the same lossy network, so re-acking duplicates
+        # is what lets the source converge under drop.
+        if (
+            payload.path == "direct"
+            and self.params.direct_send_ack
+            and message.src != self.pid
+        ):
+            self._pending_acks.append((message.src, rumor.rid))
 
     def end_round(self, round_no: int) -> None:
         if self._dirty_confirmations:
@@ -255,6 +379,87 @@ class ConfidentialGossipCoordinator(SubService):
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    # -- reliable direct-send layer ------------------------------------
+
+    def _flush_acks(self) -> List[Message]:
+        """One :class:`DirectAck` control message per queued (src, rid).
+
+        Tagged :data:`ServiceTags.DIRECT_ACK` so message-complexity
+        accounting separates ack traffic from rumor-carrying shoots; the
+        channel stays ``"shoot"`` so routing reaches this coordinator.
+        """
+        messages = [
+            Message(
+                src=self.pid,
+                dst=dst,
+                service=ServiceTags.DIRECT_ACK,
+                payload=DirectAck(rid=rid, acker=self.pid),
+                size=1,
+                channel=self.channel,
+            )
+            for dst, rid in self._pending_acks
+        ]
+        self._pending_acks = []
+        return messages
+
+    def _direct_phase(self, round_no: int) -> List[Message]:
+        """Fire due k-copy sends and ack-timeout retransmits."""
+        messages: List[Message] = []
+        done: Set[RumorId] = set()
+        for rid, state in self._direct_states.items():
+            if round_no > state.deadline_round or not state.unacked:
+                done.add(rid)
+                continue
+            fire = False
+            while state.copy_rounds and state.copy_rounds[0] <= round_no:
+                state.copy_rounds.pop(0)
+                fire = True
+            if state.next_retry is not None and round_no >= state.next_retry:
+                fire = True
+                state.retries_left -= 1
+                state.backoff *= 2
+                state.next_retry = None
+                if state.retries_left > 0:
+                    candidate = round_no + state.backoff + self._retry_jitter()
+                    if candidate <= state.deadline_round:
+                        state.next_retry = candidate
+            if fire:
+                state.attempts += 1
+                self.direct_retries += 1
+                messages.extend(
+                    self._shoot(state.rumor, "direct", targets=set(state.unacked))
+                )
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter("rumor.direct_retries").inc()
+                    self.telemetry.emit(
+                        "rumor_direct_retry",
+                        round_no,
+                        pid=self.pid,
+                        rid=rid,
+                        targets=sorted(state.unacked),
+                        attempt=state.attempts,
+                    )
+            if state.exhausted():
+                done.add(rid)
+        for rid in done:
+            del self._direct_states[rid]
+        return messages
+
+    def _on_direct_ack(self, round_no: int, ack: DirectAck) -> None:
+        self.direct_acks += 1
+        state = self._direct_states.get(ack.rid)
+        if state is not None:
+            state.unacked.discard(ack.acker)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("rumor.direct_acks").inc()
+            self.telemetry.emit(
+                "rumor_direct_ack",
+                round_no,
+                pid=self.pid,
+                rid=ack.rid,
+                acker=ack.acker,
+            )
 
     def _shoot(
         self,

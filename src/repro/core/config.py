@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Dict, Optional
 
 __all__ = ["CongosParams", "default_deadline_cap"]
 
@@ -89,6 +89,22 @@ class CongosParams:
         the substrate's resend horizon are rebroadcast at exponentially
         spaced ages until expiry, instead of going silent.  Off by default
         (the paper's substrate stops re-sending after the horizon).
+    direct_send_retries:
+        Graceful-degradation knob for the direct-send path (deadline <=
+        ``direct_send_threshold`` or Theorem 16 case 1): how many times an
+        unacknowledged direct copy may be retransmitted, at exponentially
+        backed-off positions before the deadline.  ``0`` (default) is the
+        paper's single unacknowledged send.
+    direct_send_ack:
+        Direct-send knob: destinations acknowledge received direct copies
+        (rumor id + acker pid only — never payload bytes), letting the
+        source stop retransmitting to destinations that already hold the
+        rumor.  Off by default; without acks, retransmits and extra
+        copies go to the full destination set.
+    direct_send_copies:
+        Direct-send knob: send each short-deadline rumor ``k`` times,
+        spread evenly over the rounds remaining before its deadline.
+        ``1`` (default) is the paper's single send.
     """
 
     tau: int = 1
@@ -109,6 +125,9 @@ class CongosParams:
     gd_redundancy: int = 1
     fallback_early_fraction: float = 1.0
     gossip_resend_backoff: bool = False
+    direct_send_retries: int = 0
+    direct_send_ack: bool = False
+    direct_send_copies: int = 1
 
     def __post_init__(self) -> None:
         if self.tau < 1:
@@ -135,6 +154,10 @@ class CongosParams:
             raise ValueError("gd_redundancy must be >= 1")
         if not 0.0 < self.fallback_early_fraction <= 1.0:
             raise ValueError("fallback_early_fraction must be in (0, 1]")
+        if self.direct_send_retries < 0:
+            raise ValueError("direct_send_retries must be non-negative")
+        if self.direct_send_copies < 1:
+            raise ValueError("direct_send_copies must be >= 1")
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -144,6 +167,19 @@ class CongosParams:
     def num_groups(self) -> int:
         """Groups per partition: ``tau + 1`` (Section 6.2)."""
         return self.tau + 1
+
+    @property
+    def direct_send_reliable(self) -> bool:
+        """Whether any direct-send reliability machinery is enabled.
+
+        False for default parameters — the coordinator then never builds
+        per-rumor send state, so paper-exact runs stay bit-identical.
+        """
+        return (
+            self.direct_send_ack
+            or self.direct_send_retries > 0
+            or self.direct_send_copies > 1
+        )
 
     def effective_deadline_cap(self, n: int) -> int:
         if self.deadline_cap is not None:
@@ -207,49 +243,90 @@ class CongosParams:
     # ------------------------------------------------------------------
 
     @classmethod
-    def paper_defaults(cls, **overrides: object) -> "CongosParams":
-        """The literal constants from the paper.
+    def preset_names(cls) -> list:
+        """Registered preset names, sorted."""
+        return sorted(_PRESET_FIELDS)
 
-        Only useful analytically — at simulation scale the fanout formula
-        with ``C = 48`` saturates every group immediately.
+    @classmethod
+    def preset(cls, name: str, **overrides: object) -> "CongosParams":
+        """Build a parameter set from the preset registry.
+
+        ``preset("default")`` is the plain constructor; ``"paper"`` the
+        literal constants from the paper (only useful analytically — at
+        simulation scale the fanout formula with ``C = 48`` saturates
+        every group immediately); ``"lean"`` frugal settings for large-n
+        shape sweeps; ``"hardened"`` every graceful-degradation knob on,
+        including the direct-send ack/retransmit/k-copy scheme.  Keyword
+        overrides are applied on top of the preset's fields.
         """
-        params = cls(
-            fanout_exponent_constant=48.0,
-            fanout_scale=1.0,
-            direct_send_threshold=48,
-            deadline_cap=None,
-            deadline_cap_constant=1.0,
-            collusion_direct_factor=1.0,
-        )
-        return replace(params, **overrides) if overrides else params
+        try:
+            fields = dict(_PRESET_FIELDS[name])
+        except KeyError:
+            raise KeyError(
+                "unknown preset {!r}; registered: {}".format(
+                    name, ", ".join(sorted(_PRESET_FIELDS))
+                )
+            ) from None
+        fields.update(overrides)
+        return cls(**fields)  # type: ignore[arg-type]
+
+    @classmethod
+    def paper_defaults(cls, **overrides: object) -> "CongosParams":
+        """Deprecated alias for ``preset("paper", **overrides)``."""
+        return cls.preset("paper", **overrides)
 
     @classmethod
     def lean(cls, **overrides: object) -> "CongosParams":
-        """Frugal settings for large-n sweeps (shape experiments)."""
-        params = cls(
-            fanout_exponent_constant=1.0,
-            fanout_scale=0.25,
-            min_fanout=1,
-            gossip_fanout_scale=1.5,
-        )
-        return replace(params, **overrides) if overrides else params
+        """Deprecated alias for ``preset("lean", **overrides)``."""
+        return cls.preset("lean", **overrides)
 
     def hardened(self, **overrides: object) -> "CongosParams":
         """This parameter set with the graceful-degradation knobs on.
 
-        Meant for chaos runs (lossy/delaying networks): bounded proxy
-        retransmits, doubled GD send redundancy, earlier fallback and
-        gossip resend backoff.  Under the paper's reliable network these
+        Deprecated alias: folds the ``"hardened"`` preset's fields into
+        the current instance (``preset("hardened")`` builds the same set
+        from defaults).  Meant for chaos runs (lossy/delaying networks):
+        bounded proxy retransmits, doubled GD send redundancy, earlier
+        fallback, gossip resend backoff, and direct-send
+        ack/retransmit/k-copy.  Under the paper's reliable network these
         only add redundant traffic — correctness is unchanged.
         """
-        params = replace(
-            self,
-            proxy_retransmit=2,
-            gd_redundancy=2,
-            fallback_early_fraction=0.75,
-            gossip_resend_backoff=True,
-        )
+        params = replace(self, **_PRESET_FIELDS["hardened"])
         return replace(params, **overrides) if overrides else params
 
     def with_tau(self, tau: int) -> "CongosParams":
         return replace(self, tau=tau)
+
+
+# The preset registry: every named parameter set in one place, so a new
+# knob (like the direct-send reliability fields) lands in exactly one
+# spot per preset.  ``CongosParams.preset`` reads this table.
+_PRESET_FIELDS: Dict[str, Dict[str, object]] = {
+    "default": {},
+    # The literal constants from the paper.
+    "paper": {
+        "fanout_exponent_constant": 48.0,
+        "fanout_scale": 1.0,
+        "direct_send_threshold": 48,
+        "deadline_cap": None,
+        "deadline_cap_constant": 1.0,
+        "collusion_direct_factor": 1.0,
+    },
+    # Frugal settings for large-n sweeps (shape experiments).
+    "lean": {
+        "fanout_exponent_constant": 1.0,
+        "fanout_scale": 0.25,
+        "min_fanout": 1,
+        "gossip_fanout_scale": 1.5,
+    },
+    # Every graceful-degradation knob on (chaos runs).
+    "hardened": {
+        "proxy_retransmit": 2,
+        "gd_redundancy": 2,
+        "fallback_early_fraction": 0.75,
+        "gossip_resend_backoff": True,
+        "direct_send_retries": 3,
+        "direct_send_ack": True,
+        "direct_send_copies": 2,
+    },
+}

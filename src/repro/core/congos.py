@@ -144,6 +144,10 @@ class CongosNode(NodeBehavior):
             partition_set=self.partition_set,
             deliver_callback=self.deliver_callback,
             telemetry=self.telemetry,
+            # A dedicated label-derived stream: retransmit jitter draws
+            # never perturb the gossip/proxy/split streams, so default
+            # (knobs-off) runs remain bit-identical.
+            rng=self._seed_scope.rng("direct"),
         )
         self.host.register(self.coordinator)
         self._split_rng = self._seed_scope.rng("split")

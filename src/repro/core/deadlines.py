@@ -23,6 +23,7 @@ __all__ = [
     "round_down_power_of_two",
     "trim_deadline",
     "pipeline_deadline",
+    "goes_direct",
     "deadline_classes",
     "min_pipeline_deadline",
 ]
@@ -75,6 +76,17 @@ def pipeline_deadline(deadline: int, params: CongosParams, n: int) -> Optional[i
     if trimmed <= params.direct_send_threshold or trimmed < PIPELINE_FLOOR:
         return None
     return trimmed
+
+
+def goes_direct(deadline: int, params: CongosParams, n: int) -> bool:
+    """Whether a rumor with this deadline takes the direct-send route.
+
+    Direct-route rumors are the ones the reliable-delivery knobs
+    (``direct_send_retries`` / ``direct_send_ack`` / ``direct_send_copies``)
+    protect; pipeline rumors have the proxy/GD/gossip redundancy story
+    instead.
+    """
+    return pipeline_deadline(deadline, params, n) is None
 
 
 def deadline_classes(params: CongosParams, n: int) -> List[int]:

@@ -43,8 +43,10 @@ class RunRecord:
     clean: bool = True
     violations: Dict[str, int] = field(default_factory=dict)
     border_messages: int = 0
-    # chaos fault plane (empty for reliable-network runs)
+    # chaos fault plane (empty for reliable-network runs); faults_by_stage
+    # splits the same counts by pipeline stage (proxy/gd/gossip/direct)
     faults: Dict[str, int] = field(default_factory=dict)
+    faults_by_stage: Dict[str, Dict[str, int]] = field(default_factory=dict)
     # bookkeeping
     rumors_injected: int = 0
     spec_key: Optional[str] = None
@@ -82,6 +84,10 @@ class RunRecord:
             violations=dict(confidentiality.violation_counts()),
             border_messages=confidentiality.total_border_messages,
             faults=dict(result.chaos_summary() or {}),
+            faults_by_stage={
+                stage: dict(kinds)
+                for stage, kinds in (result.chaos_stage_summary() or {}).items()
+            },
             rumors_injected=result.rumors_injected,
             spec_key=spec_key,
         )
@@ -135,4 +141,8 @@ class RunRecord:
         payload["paths"] = dict(payload.get("paths", {}))
         payload["violations"] = dict(payload.get("violations", {}))
         payload["faults"] = dict(payload.get("faults", {}))
+        payload["faults_by_stage"] = {
+            stage: dict(kinds)
+            for stage, kinds in dict(payload.get("faults_by_stage", {})).items()
+        }
         return cls(**payload)

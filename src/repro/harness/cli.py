@@ -23,6 +23,11 @@ Commands
     write ``BENCH_e15_chaos_matrix.json`` under ``--out``, and with
     ``--trace FILE`` re-run the worst cell with full telemetry so the
     rumor timelines show which injected fault broke a delivery.
+``direct-soak``
+    Sweep the short-deadline ``direct`` scenario over a drop ×
+    default/hardened matrix (E16): the direct-send path in isolation,
+    with and without the ack/retransmit/k-copy reliability layer.
+    Writes ``BENCH_e16_direct_matrix.json`` under ``--out``.
 ``scenarios``
     List the registered scenario builders and their keyword arguments.
 ``partitions``
@@ -48,6 +53,12 @@ from repro.analysis.bounds import (
 )
 from repro.analysis.sweeps import grid, sweep_congos
 from repro.audit.failfast import InvariantViolation
+from repro.chaos.direct import (
+    BENCH_NAME as DIRECT_BENCH_NAME,
+    direct_cells,
+    direct_payload,
+    run_direct_soak,
+)
 from repro.chaos.soak import (
     BENCH_NAME as CHAOS_BENCH_NAME,
     cell_spec,
@@ -232,8 +243,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline",
         type=int,
         default=64,
-        help="rumor deadline (keep above direct_send_threshold=48 to "
-        "exercise the full CONGOS pipeline)",
+        help="rumor deadline: above direct_send_threshold=48 exercises "
+        "the full CONGOS pipeline; at or below it rumors take the "
+        "direct-send path, which the hardened ack/retransmit/k-copy "
+        "knobs protect (see the direct-soak command)",
     )
     soak.add_argument(
         "--drop",
@@ -298,6 +311,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="re-run the highest-intensity cell with telemetry to this JSONL",
     )
+
+    direct = sub.add_parser(
+        "direct-soak",
+        help="sweep the direct-send path over a drop x hardened matrix (E16)",
+    )
+    direct.add_argument("-n", type=int, default=16, help="process count")
+    direct.add_argument("--rounds", type=int, default=200)
+    direct.add_argument(
+        "--deadline",
+        type=int,
+        default=32,
+        help="rumor deadline; must stay at or below "
+        "direct_send_threshold=48 so only the direct-send path runs",
+    )
+    direct.add_argument(
+        "--drop",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.1, 0.3],
+        metavar="P",
+        help="drop-probability axis of the matrix",
+    )
+    direct.add_argument(
+        "--delay", type=float, default=0.0, help="delay probability (fixed)"
+    )
+    direct.add_argument("--max-delay", type=int, default=4, dest="max_delay")
+    direct.add_argument("--duplicate", type=float, default=0.0)
+    direct.add_argument("--reorder", type=float, default=0.0)
+    direct.add_argument(
+        "--seeds", type=int, default=2, help="seed replicates per cell"
+    )
+    direct.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes (0 = cpu count, 1 = serial)",
+    )
+    direct.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory: result cache, TXT table, BENCH E16 JSON",
+    )
+    direct.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse cached cells under --out instead of re-running them",
+    )
+    direct.add_argument("--json", action="store_true", help="emit JSON payload")
 
     sub.add_parser("scenarios", help="list registered scenario builders")
 
@@ -823,6 +885,95 @@ def _trace_worst_cell(
             print("  " + line)
 
 
+def cmd_direct_soak(args: argparse.Namespace) -> int:
+    if args.resume and not args.out:
+        print("--resume needs --out (the cache lives there)", file=sys.stderr)
+        return 2
+    cells = direct_cells(args.drop)
+    fixed: Dict[str, object] = {
+        "n": args.n,
+        "rounds": args.rounds,
+        "deadline": args.deadline,
+        "delay": args.delay,
+        "max_delay": args.max_delay,
+        "duplicate": args.duplicate,
+        "reorder": args.reorder,
+    }
+    cache = None
+    if args.out:
+        cache = ResultCache(os.path.join(args.out, "cache"))
+    total = len(cells) * args.seeds
+    progress = Progress.for_tty(total, label="direct soak")
+    try:
+        result = run_direct_soak(
+            cells,
+            seeds=range(args.seeds),
+            jobs=args.jobs,
+            cache=cache,
+            resume=args.resume,
+            progress=progress,
+            **fixed,
+        )
+    except InvariantViolation as violation:
+        # Red alert: the reliability layer added redundancy AND knowledge.
+        print("\nINVARIANT VIOLATION: {}".format(violation), file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted after {} of {} tasks{}".format(
+                progress.done,
+                total,
+                " — rerun with --resume to continue" if args.out else "",
+            ),
+            file=sys.stderr,
+        )
+        return 130
+    progress.finish()
+    payload = direct_payload(result, fixed)
+    payload["scenario"] = "direct"
+    payload["seeds"] = args.seeds
+    payload["fixed"] = dict(fixed)
+    flat_records = [record for cell in result.cells for record in cell.runs]
+    payload["profile"] = profile_payload(flat_records)
+    payload["profile"]["elapsed_seconds"] = round(progress.elapsed(), 3)
+    rows: List[List[object]] = []
+    for entry in payload["cells"]:
+        faults = entry["faults"]
+        rows.append(
+            [
+                entry["cell"]["drop"],
+                "hardened" if entry["cell"]["hardened"] else "default",
+                sum(faults.values()),
+                entry["delivery_rate"]
+                if entry["delivery_rate"] is not None
+                else "-",
+                entry["qod_satisfied"],
+                entry["clean"],
+            ]
+        )
+    table = format_table(
+        ["drop", "mode", "faults", "delivery", "qod", "clean"],
+        rows,
+        title="direct soak ({} cells x {} seeds)".format(
+            len(cells), args.seeds
+        ),
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(table)
+    if args.out:
+        with open(
+            os.path.join(args.out, "direct_soak.txt"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(table + "\n")
+        artifact = write_bench_json(
+            DIRECT_BENCH_NAME, payload, results_dir=args.out
+        )
+        print("artifacts: {}".format(artifact), file=sys.stderr)
+    return 0 if result.all_clean() else 1
+
+
 def _builder_kwargs(builder) -> str:
     """Render a builder's keyword arguments for the listing."""
     parts: List[str] = []
@@ -903,6 +1054,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "profile-sweep": cmd_profile_sweep,
         "chaos-soak": cmd_chaos_soak,
+        "direct-soak": cmd_direct_soak,
         "scenarios": cmd_scenarios,
         "partitions": cmd_partitions,
         "bounds": cmd_bounds,

@@ -98,6 +98,14 @@ class RunResult:
             return None
         return self.fault_plane.counts_summary()
 
+    def chaos_stage_summary(self) -> Optional[Dict[str, Dict[str, int]]]:
+        """Fault counts by pipeline stage (proxy/gd/gossip/direct), or
+        ``None`` for reliable-network runs."""
+        if self.fault_plane is None:
+            return None
+        by_service = getattr(self.fault_plane, "counts_by_service", None)
+        return by_service() if by_service is not None else None
+
     def summary(self) -> Dict[str, object]:
         out: Dict[str, object] = {
             "scenario": self.scenario.name,
@@ -114,6 +122,7 @@ class RunResult:
             # Only present on chaos runs — default-run summaries (and the
             # bench payloads built from them) are unchanged.
             out["chaos"] = chaos
+            out["chaos_by_stage"] = self.chaos_stage_summary()
         return out
 
 

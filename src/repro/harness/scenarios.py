@@ -28,12 +28,14 @@ from repro.adversary.patterns import AlternatingPartitionFaults
 from repro.adversary.random_crash import ChurnAdversary
 from repro.chaos.spec import FaultSpec
 from repro.core.config import CongosParams
+from repro.core.deadlines import goes_direct
 from repro.harness.runner import Scenario
 
 __all__ = [
     "injection_window",
     "steady_scenario",
     "chaos_scenario",
+    "direct_scenario",
     "churn_scenario",
     "proxy_killer_scenario",
     "group_killer_scenario",
@@ -167,6 +169,78 @@ def chaos_scenario(
             partition_width,
             partition_period,
             churn,
+            " [hardened]" if hardened else "",
+        )
+    )
+    return base
+
+
+def direct_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    # At or below direct_send_threshold (48), so every rumor takes the
+    # direct-send route and nothing rides the proxy/GD/gossip pipeline.
+    deadline: int = 32,
+    rate: int = 1,
+    period: int = 2,
+    dest_size: int = 4,
+    drop: float = 0.0,
+    delay: float = 0.0,
+    max_delay: int = 4,
+    duplicate: float = 0.0,
+    reorder: float = 0.0,
+    hardened: bool = False,
+    failfast: Optional[str] = "confidentiality",
+    params: Optional[CongosParams] = None,
+    name: str = "direct",
+) -> Scenario:
+    """Short-deadline traffic over a faulty network: the direct-send path
+    in isolation (E16).
+
+    Every injected rumor's deadline is at or below
+    ``direct_send_threshold``, so the run exercises *only* the source's
+    direct sends — one unacknowledged copy per destination at default
+    parameters, or the ack/retransmit/k-copy reliability layer under
+    ``hardened`` (:meth:`CongosParams.preset` ``"hardened"``).  Builders
+    reject deadlines that would route through the pipeline, so matrix
+    cells measure exactly the path they claim to.
+    """
+    resolved = params if params is not None else CongosParams()
+    if hardened:
+        resolved = resolved.hardened()
+    if not goes_direct(deadline, resolved, n):
+        raise ValueError(
+            "deadline {} routes through the pipeline (threshold {}); the "
+            "direct scenario must stay on the direct-send path".format(
+                deadline, resolved.direct_send_threshold
+            )
+        )
+    base = chaos_scenario(
+        n,
+        rounds,
+        seed,
+        deadline=deadline,
+        rate=rate,
+        period=period,
+        dest_size=dest_size,
+        drop=drop,
+        delay=delay,
+        max_delay=max_delay,
+        duplicate=duplicate,
+        reorder=reorder,
+        failfast=failfast,
+        params=resolved,
+        name=name,
+    )
+    base.description = (
+        "direct-send path only: deadline={} drop={} delay={} dup={} "
+        "reorder={}{}".format(
+            deadline,
+            drop,
+            delay,
+            duplicate,
+            reorder,
             " [hardened]" if hardened else "",
         )
     )
@@ -505,6 +579,7 @@ ScenarioBuilder = Callable[..., Scenario]
 BUILDERS: Dict[str, ScenarioBuilder] = {
     "steady": steady_scenario,
     "chaos": chaos_scenario,
+    "direct": direct_scenario,
     "churn": churn_scenario,
     "proxy-killer": proxy_killer_scenario,
     "group-killer": group_killer_scenario,

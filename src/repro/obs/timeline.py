@@ -37,6 +37,9 @@ class RumorLifecycle:
     dline: Optional[int] = None
     dest: List[int] = field(default_factory=list)
     direct: bool = False
+    direct_send_round: Optional[int] = None
+    direct_retries: List[Dict[str, Any]] = field(default_factory=list)
+    direct_acks: Dict[int, int] = field(default_factory=dict)
     partitions: Optional[int] = None
     fragments: int = 0
     gossip_injects: int = 0
@@ -79,6 +82,12 @@ class RumorLifecycle:
             "dline": self.dline,
             "dest": list(self.dest),
             "direct": self.direct,
+            "direct_send_round": self.direct_send_round,
+            "direct_retries": [dict(entry) for entry in self.direct_retries],
+            "direct_acks": {
+                str(acker): round_no
+                for acker, round_no in sorted(self.direct_acks.items())
+            },
             "partitions": self.partitions,
             "fragments": self.fragments,
             "gossip_injects": self.gossip_injects,
@@ -238,6 +247,28 @@ class RumorTimeline(SimObserver):
         if record.fallback_round is None:
             record.fallback_round = round_no
 
+    def _on_rumor_direct(self, round_no: int, f: Dict[str, Any]) -> None:
+        record = self._get(f["rid"])
+        record.direct = True
+        if record.direct_send_round is None:
+            record.direct_send_round = round_no
+
+    def _on_rumor_direct_retry(self, round_no: int, f: Dict[str, Any]) -> None:
+        record = self._get(f["rid"])
+        record.direct_retries.append(
+            {
+                "round": round_no,
+                "targets": list(f.get("targets", ())),
+                "attempt": f.get("attempt"),
+            }
+        )
+
+    def _on_rumor_direct_ack(self, round_no: int, f: Dict[str, Any]) -> None:
+        record = self._get(f["rid"])
+        acker = f.get("acker")
+        if acker is not None and acker not in record.direct_acks:
+            record.direct_acks[acker] = round_no
+
     def _on_fault(self, kind: str, round_no: int, f: Dict[str, Any]) -> None:
         # Chaos fault-plane events carry the rids their payload reveals, so
         # an injected fault is pinned to every rumor whose message it hit.
@@ -262,6 +293,9 @@ class RumorTimeline(SimObserver):
         "rumor_deliver": _on_rumor_deliver,
         "rumor_confirm": _on_rumor_confirm,
         "rumor_fallback": _on_rumor_fallback,
+        "rumor_direct": _on_rumor_direct,
+        "rumor_direct_retry": _on_rumor_direct_retry,
+        "rumor_direct_ack": _on_rumor_direct_ack,
     }
 
     # -- output --------------------------------------------------------
@@ -338,6 +372,16 @@ class RumorTimeline(SimObserver):
         )
         moment(record.confirmed_round, "hitSet confirmed at the source")
         moment(record.fallback_round, "fallback (shoot) triggered")
+        moment(record.direct_send_round, "direct send to the destination set")
+        for retry in record.direct_retries:
+            moment(
+                retry.get("round"),
+                "direct retransmit #{} to {} unacked destination(s)".format(
+                    retry.get("attempt"), len(retry.get("targets", ()))
+                ),
+            )
+        for acker, ack_round in sorted(record.direct_acks.items()):
+            moment(ack_round, "direct ack from p{}".format(acker))
         for fault in record.faults:
             moment(
                 fault.get("round"),

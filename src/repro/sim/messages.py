@@ -32,6 +32,7 @@ class ServiceTags:
     """Canonical service tags used across the code base."""
 
     CONFIDENTIAL = "confidential"  # ConfidentialGossip fallback ("shoot") traffic
+    DIRECT_ACK = "direct_ack"  # hardened direct-send acknowledgements
     PROXY = "proxy"  # Proxy requests and acks
     GROUP_DISTRIBUTION = "group_distribution"  # GD fragment deliveries
     GROUP_GOSSIP = "group_gossip"  # filtered continuous gossip
@@ -42,6 +43,7 @@ class ServiceTags:
 
     ALL: Tuple[str, ...] = (
         CONFIDENTIAL,
+        DIRECT_ACK,
         PROXY,
         GROUP_DISTRIBUTION,
         GROUP_GOSSIP,

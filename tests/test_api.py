@@ -1,0 +1,88 @@
+"""Tests for the repro.api facade: everything in ``__all__`` resolves,
+and the three entry points behave like their underlying machinery."""
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.harness.scenarios import steady_scenario
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_registry_reexported(self):
+        assert "steady" in api.BUILDERS
+        assert api.get_builder("direct") is api.BUILDERS["direct"]
+        assert api.builder_name(api.BUILDERS["chaos"]) == "chaos"
+
+    def test_params_is_the_real_class(self):
+        from repro.core.config import CongosParams
+
+        assert api.CongosParams is CongosParams
+
+
+class TestRunScenario:
+    def test_by_name(self):
+        result = api.run_scenario("steady", n=10, rounds=160, seed=2)
+        assert result.qod.satisfied
+        assert result.confidentiality.is_clean()
+
+    def test_prebuilt_scenario(self):
+        scenario = steady_scenario(n=10, rounds=160, seed=2)
+        by_name = api.run_scenario("steady", n=10, rounds=160, seed=2)
+        prebuilt = api.run_scenario(scenario)
+        assert prebuilt.stats.total == by_name.stats.total
+
+    def test_kwargs_with_prebuilt_scenario_rejected(self):
+        scenario = steady_scenario(n=10, rounds=160, seed=2)
+        with pytest.raises(TypeError, match="registry name"):
+            api.run_scenario(scenario, n=16)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="steady"):
+            api.run_scenario("nope", n=8, rounds=40)
+
+
+class TestSweep:
+    def test_matches_sweep_congos(self):
+        from repro.analysis.sweeps import sweep_congos
+
+        cells = api.grid(n=[8, 10])
+        via_api = api.sweep("steady", cells, seeds=(0,), rounds=120)
+        direct = sweep_congos("steady", cells, seeds=(0,), rounds=120)
+        assert via_api.all_satisfied() and via_api.all_clean()
+        assert [
+            [run.without_profile() for run in cell.runs]
+            for cell in via_api.cells
+        ] == [
+            [run.without_profile() for run in cell.runs]
+            for cell in direct.cells
+        ]
+
+
+class TestTrace:
+    def test_returns_result_and_timeline(self):
+        result, timeline = api.trace("steady", seed=1, n=10, rounds=160)
+        assert result.qod.satisfied
+        records = timeline.lifecycles()
+        assert records
+        assert timeline.replay(records[0].rid)
+
+    def test_jsonl_export(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        _, timeline = api.trace("steady", seed=1, n=10, rounds=160, jsonl=path)
+        lines = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8")
+            if line.strip()
+        ]
+        kinds = {entry.get("kind") for entry in lines}
+        assert "rumor_inject" in kinds
+        assert "rumor_lifecycle" in kinds  # exported at the end
+        assert len(timeline.lifecycles()) == sum(
+            1 for entry in lines if entry.get("kind") == "rumor_lifecycle"
+        )

@@ -3,7 +3,12 @@ fault semantics, leak-safe attribution, and the untouched default path."""
 
 import pytest
 
-from repro.chaos.plane import ChaosFaultPlane, FaultPlane, message_rids
+from repro.chaos.plane import (
+    ChaosFaultPlane,
+    FaultPlane,
+    message_rids,
+    pipeline_stage,
+)
 from repro.chaos.spec import FaultSpec
 from repro.harness.runner import run_congos_scenario
 from repro.harness.scenarios import chaos_scenario
@@ -192,3 +197,78 @@ class TestTelemetryAndTimeline:
     def test_chaos_runs_stay_confidential(self):
         result, _ = self.run_traced(drop=0.3, delay=0.2, duplicate=0.1)
         assert result.confidentiality.is_clean()
+
+
+class TestStageAttribution:
+    def test_pipeline_stage_mapping(self):
+        from repro.sim.messages import ServiceTags
+
+        assert pipeline_stage(ServiceTags.PROXY) == "proxy"
+        assert pipeline_stage(ServiceTags.GROUP_DISTRIBUTION) == "gd"
+        assert pipeline_stage(ServiceTags.GROUP_GOSSIP) == "gossip"
+        assert pipeline_stage(ServiceTags.ALL_GOSSIP) == "gossip"
+        assert pipeline_stage(ServiceTags.CONFIDENTIAL) == "direct"
+        assert pipeline_stage(ServiceTags.DIRECT_ACK) == "direct"
+        assert pipeline_stage("mystery") == "other"
+
+    def test_stage_counts_accumulate_per_service(self):
+        from repro.sim.messages import ServiceTags
+
+        network, plane = plane_network(FaultSpec(drop=1.0))
+        route(
+            network,
+            0,
+            [
+                mk_message(src=0, dst=1, service=ServiceTags.PROXY),
+                mk_message(src=0, dst=2, service=ServiceTags.PROXY),
+                mk_message(src=0, dst=3, service=ServiceTags.CONFIDENTIAL),
+            ],
+        )
+        assert plane.stage_counts["proxy"]["drop"] == 2
+        assert plane.stage_counts["direct"]["drop"] == 1
+
+    def test_counts_by_service_is_sorted_and_plain(self):
+        from repro.sim.messages import ServiceTags
+
+        network, plane = plane_network(FaultSpec(drop=1.0))
+        route(
+            network,
+            0,
+            [
+                mk_message(src=0, dst=1, service=ServiceTags.GROUP_GOSSIP),
+                mk_message(src=0, dst=2, service=ServiceTags.PROXY),
+            ],
+        )
+        summary = plane.counts_by_service()
+        assert list(summary) == sorted(summary)
+        assert summary == {"gossip": {"drop": 1}, "proxy": {"drop": 1}}
+
+    def test_soak_run_surfaces_stage_summary(self):
+        scenario = chaos_scenario(8, 60, seed=3, deadline=16, drop=0.4)
+        result = run_congos_scenario(scenario)
+        by_stage = result.chaos_stage_summary()
+        assert by_stage  # some stage got hit at this intensity
+        assert result.summary()["chaos_by_stage"] == by_stage
+        total_by_stage = sum(
+            count for kinds in by_stage.values() for count in kinds.values()
+        )
+        # reorder is per-inbox (no single service), so it is the only
+        # kind allowed to differ between the two views
+        total_flat = sum(
+            count
+            for kind, count in result.fault_plane.counts.items()
+            if kind != "reorder"
+        )
+        assert total_by_stage == total_flat
+
+    def test_stage_metrics_emitted_when_telemetry_on(self):
+        from repro.sim.messages import ServiceTags
+
+        telemetry = Telemetry()
+        plane = ChaosFaultPlane(7, FaultSpec(drop=1.0), 8, telemetry=telemetry)
+        network = Network(8, fault_plane=plane)
+        route(network, 0, [mk_message(src=0, dst=1, service=ServiceTags.PROXY)])
+        sample = telemetry.metrics.counter(
+            "chaos.faults", kind="drop", stage="proxy"
+        )
+        assert sample.value == 1

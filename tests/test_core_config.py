@@ -122,3 +122,53 @@ class TestPresets:
     def test_frozen(self):
         with pytest.raises(AttributeError):
             CongosParams().tau = 3  # type: ignore[misc]
+
+
+class TestPresetRegistry:
+    def test_registered_names(self):
+        assert set(CongosParams.preset_names()) == {
+            "default",
+            "paper",
+            "lean",
+            "hardened",
+        }
+
+    def test_default_preset_is_the_constructor(self):
+        assert CongosParams.preset("default") == CongosParams()
+
+    def test_unknown_name_lists_the_registry(self):
+        with pytest.raises(KeyError, match="hardened"):
+            CongosParams.preset("turbo")
+
+    def test_aliases_match_registry(self):
+        assert CongosParams.paper_defaults() == CongosParams.preset("paper")
+        assert CongosParams.lean() == CongosParams.preset("lean")
+        assert CongosParams().hardened() == CongosParams.preset("hardened")
+
+    def test_overrides_win(self):
+        params = CongosParams.preset("hardened", direct_send_retries=5, tau=2)
+        assert params.direct_send_retries == 5
+        assert params.tau == 2
+        assert params.direct_send_ack  # untouched preset field
+
+    def test_hardened_includes_direct_send_knobs(self):
+        params = CongosParams.preset("hardened")
+        assert params.direct_send_retries == 3
+        assert params.direct_send_ack
+        assert params.direct_send_copies == 2
+        assert params.proxy_retransmit == 2  # the pre-existing knobs too
+        assert params.direct_send_reliable
+
+    def test_default_is_not_reliable(self):
+        assert not CongosParams().direct_send_reliable
+
+    def test_each_knob_alone_turns_reliable_on(self):
+        assert CongosParams(direct_send_retries=1).direct_send_reliable
+        assert CongosParams(direct_send_ack=True).direct_send_reliable
+        assert CongosParams(direct_send_copies=2).direct_send_reliable
+
+    def test_new_knob_validation(self):
+        with pytest.raises(ValueError):
+            CongosParams(direct_send_retries=-1)
+        with pytest.raises(ValueError):
+            CongosParams(direct_send_copies=0)

@@ -7,6 +7,7 @@ from repro.core.config import CongosParams
 from repro.core.deadlines import (
     PIPELINE_FLOOR,
     deadline_classes,
+    goes_direct,
     min_pipeline_deadline,
     pipeline_deadline,
     round_down_power_of_two,
@@ -90,6 +91,54 @@ class TestPipelineDeadline:
             trimmed = pipeline_deadline(deadline, params, 64)
             if trimmed is not None:
                 assert trimmed <= deadline
+
+
+class TestTrimEdgeCases:
+    """Boundary cases of the trim → direct/pipeline decision."""
+
+    def test_trimmed_exactly_at_threshold_goes_direct(self):
+        # Threshold 64 is itself a power of two, so deadlines 64..127 all
+        # trim to exactly the threshold — "does not exceed" must include
+        # equality (Section 5 analyses dline > threshold).
+        params = CongosParams(direct_send_threshold=64)
+        for deadline in (64, 100, 127):
+            assert trim_deadline(deadline, params.effective_deadline_cap(64)) == 64
+            assert pipeline_deadline(deadline, params, 64) is None
+            assert goes_direct(deadline, params, 64)
+        # One past the trim boundary lands in the next class.
+        assert pipeline_deadline(128, params, 64) == 128
+        assert not goes_direct(128, params, 64)
+
+    def test_trimmed_just_below_pipeline_floor_goes_direct(self):
+        # With a tiny threshold, a deadline trimming to 32 clears the
+        # threshold but not the floor: the block pipeline needs dline >=
+        # PIPELINE_FLOOR, so the rumor still goes direct.
+        params = CongosParams(direct_send_threshold=2)
+        for deadline in (32, 63):
+            trimmed = trim_deadline(deadline, params.effective_deadline_cap(64))
+            assert params.direct_send_threshold < trimmed < PIPELINE_FLOOR
+            assert pipeline_deadline(deadline, params, 64) is None
+            assert goes_direct(deadline, params, 64)
+        assert pipeline_deadline(PIPELINE_FLOOR, params, 64) == PIPELINE_FLOOR
+
+    def test_threshold_one_boundary(self):
+        # threshold=1 is the smallest value config.py accepts; deadline 1
+        # trims to 1 <= threshold and must go direct, while the floor
+        # still rules everything below 64.
+        params = CongosParams(direct_send_threshold=1)
+        assert goes_direct(1, params, 64)
+        assert pipeline_deadline(1, params, 64) is None
+        assert min_pipeline_deadline(params) == PIPELINE_FLOOR
+        assert pipeline_deadline(PIPELINE_FLOOR, params, 64) == PIPELINE_FLOOR
+        with pytest.raises(ValueError):
+            CongosParams(direct_send_threshold=0)
+
+    def test_goes_direct_matches_pipeline_deadline(self):
+        params = CongosParams()
+        for deadline in range(1, 300, 7):
+            assert goes_direct(deadline, params, 64) == (
+                pipeline_deadline(deadline, params, 64) is None
+            )
 
 
 class TestMinPipelineDeadline:
