@@ -83,11 +83,24 @@ class ConfidentialityAuditor(SimObserver):
         self.border_messages: Dict[RumorId, int] = defaultdict(int)
         self.total_border_messages = 0
         self._allowed_cache: Dict[RumorId, FrozenSet[int]] = {}
-        # Gossip items are immutable and re-broadcast many times; cache the
-        # atoms of each item once (keyed by its uid) and remember which
-        # items each process has already absorbed.
-        self._item_atoms: Dict[Tuple, Tuple[Tuple, ...]] = {}
+        # Gossip items are immutable and re-broadcast many times; cache, per
+        # uid, the item's atoms plus the deduped rids of its fragment atoms
+        # (what border accounting needs per delivery), and remember which
+        # items each process has already absorbed.  Items that reveal no
+        # atoms at all (hitSet shares, confirmations — the bulk of gossip
+        # volume) can never affect the audit: their uids go in an inert set
+        # checked with a single lookup per delivery.
+        self._item_atoms: Dict[Tuple, Tuple[Tuple[Tuple, ...], Tuple]] = {}
+        self._inert_uids: Set[Tuple] = set()
         self._seen_items: Dict[int, Set[Tuple]] = defaultdict(set)
+        # A sender reuses one payload tuple for its whole fanout, so each
+        # batch is delivered many times per round.  Digest the batch once
+        # per payload object into (border frag rids, absorbable items) and
+        # reuse it for every delivery that round.  Keyed by id(): safe
+        # because the engine keeps all of a round's messages alive for the
+        # whole delivery loop, and the cache is cleared on round change.
+        self._batch_cache: Dict[int, Optional[Tuple[Tuple, Tuple]]] = {}
+        self._batch_cache_round: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Observer hooks
@@ -110,32 +123,37 @@ class ConfidentialityAuditor(SimObserver):
             # atoms must still feed the plaintext/fragment checks.
             self._check_ack(round_no, message)
         if isinstance(payload, tuple):
-            # A gossip batch: avoid re-walking items this process has seen.
-            seen = self._seen_items[dst]
-            for item in payload:
-                uid = getattr(item, "uid", None)
-                if uid is None:
-                    self._absorb_atoms(
-                        round_no, message.src, dst, reveals_of(item), crossed_border
-                    )
-                    continue
-                atoms = self._item_atoms.get(uid)
-                if atoms is None:
-                    atoms = tuple(reveals_of(item))
-                    self._item_atoms[uid] = atoms
+            # A gossip batch.  Digest it once per payload object per round
+            # (see _digest_batch), then do only per-destination work here.
+            src = message.src
+            if round_no != self._batch_cache_round:
+                self._batch_cache.clear()
+                self._batch_cache_round = round_no
+            cache = self._batch_cache
+            key = id(payload)
+            if key in cache:
+                entry = cache[key]
+            else:
+                entry = self._digest_batch(payload)
+                cache[key] = entry
+            if entry is None:
+                # Batch contains non-item entries; take the generic path.
+                self._absorb_atoms(
+                    round_no, src, dst, reveals_of(payload), crossed_border
+                )
+            else:
+                frag_rids, atom_items = entry
                 # Border copies are counted per message even for repeats
                 # (Theorem 12 counts message copies, not novel fragments).
-                for atom in atoms:
-                    if atom[0] == "fragment":
-                        rid = atom[1]
-                        if rid not in crossed_border and self._is_border(
-                            rid, message.src, dst
-                        ):
-                            crossed_border.add(rid)
-                if uid in seen:
-                    continue
-                seen.add(uid)
-                self._absorb_atoms(round_no, message.src, dst, atoms, None)
+                is_border = self._is_border
+                for rid in frag_rids:
+                    if is_border(rid, src, dst):
+                        crossed_border.add(rid)
+                seen = self._seen_items[dst]
+                for uid, atoms in atom_items:
+                    if uid not in seen:
+                        seen.add(uid)
+                        self._absorb_atoms(round_no, src, dst, atoms, None)
         else:
             self._absorb_atoms(
                 round_no, message.src, dst, message.reveals(), crossed_border
@@ -143,6 +161,45 @@ class ConfidentialityAuditor(SimObserver):
         for rid in crossed_border:
             self.border_messages[rid] += 1
             self.total_border_messages += 1
+
+    def _digest_batch(
+        self, payload: Tuple
+    ) -> Optional[Tuple[Tuple, Tuple]]:
+        """Destination-independent digest of one gossip batch.
+
+        Returns ``(frag_rids, atom_items)``: the deduped rids of all
+        fragment atoms in the batch (for per-message border accounting) and
+        the ``(uid, atoms)`` pairs of items that reveal anything (for
+        per-destination absorption).  Returns ``None`` when the batch holds
+        entries without a uid — callers then walk the payload generically.
+        """
+        item_info = self._item_atoms
+        inert = self._inert_uids
+        frag_rids: Dict = {}
+        atom_items: List[Tuple[Tuple, Tuple[Tuple, ...]]] = []
+        for item in payload:
+            uid = getattr(item, "uid", None)
+            if uid is None:
+                return None
+            if uid in inert:
+                continue
+            info = item_info.get(uid)
+            if info is None:
+                atoms = tuple(reveals_of(item))
+                if not atoms:
+                    inert.add(uid)
+                    continue
+                info = (
+                    atoms,
+                    tuple(
+                        dict.fromkeys(a[1] for a in atoms if a[0] == "fragment")
+                    ),
+                )
+                item_info[uid] = info
+            atom_items.append((uid, info[0]))
+            for rid in info[1]:
+                frag_rids[rid] = None
+        return tuple(frag_rids), tuple(atom_items)
 
     def _absorb_atoms(
         self,

@@ -40,6 +40,10 @@ __all__ = ["ContinuousGossip"]
 DeliverCallback = Callable[[int, GossipItem], None]
 
 
+# Sentinel "no active item" expiry: larger than any real round number.
+_NO_EXPIRY = 2 ** 63
+
+
 def _backoff_due(age: int, horizon: int) -> bool:
     """True at exponentially spaced ages past the resend horizon."""
     offset = age - horizon
@@ -104,9 +108,19 @@ class ContinuousGossip(SubService):
             self._expander = ShiftExpander(self.filter.scope, degree)
 
         self._active: Dict[Tuple, GossipItem] = {}
+        # The subset of _active still within the resend horizon, in the
+        # same insertion order.  Items leave exactly once (on aging out or
+        # expiry), so the per-round send scan touches only items actually
+        # being re-broadcast instead of every silent-but-unexpired item.
+        # With resend_backoff the silent tail wakes up again, so that path
+        # filters _active directly.
+        self._broadcast: Dict[Tuple, GossipItem] = {}
         self._seen: set = set()
         self._pending_delivery: List[GossipItem] = []
         self._inject_seq = 0
+        # Earliest expiry among active items; lets _expire() skip the sweep
+        # in rounds where nothing can have expired (the common case).
+        self._min_expiry: int = _NO_EXPIRY
         # Target-selection caches (the scope is immutable).
         self._peers: List[int] = sorted(self.filter.scope - {pid})
         self._fanout: int = default_fanout(len(self.filter.scope), fanout_scale)
@@ -160,6 +174,9 @@ class ContinuousGossip(SubService):
         )
         self._seen.add(uid)
         self._active[uid] = item
+        self._broadcast[uid] = item
+        if item.expiry < self._min_expiry:
+            self._min_expiry = item.expiry
         if self.telemetry.enabled:
             self.telemetry.metrics.counter(
                 "gossip.injected", service=self.service
@@ -190,12 +207,22 @@ class ContinuousGossip(SubService):
         if not self._active:
             return []
         horizon = self.resend_horizon
-        items = tuple(
-            item
-            for item in self._active.values()
-            if round_no - item.born <= horizon
-            or (self.resend_backoff and _backoff_due(round_no - item.born, horizon))
-        )
+        if self.resend_backoff:
+            items = tuple(
+                item
+                for item in self._active.values()
+                if round_no - item.born <= horizon
+                or _backoff_due(round_no - item.born, horizon)
+            )
+        else:
+            broadcast = self._broadcast
+            cutoff = round_no - horizon
+            stale = [
+                uid for uid, item in broadcast.items() if item.born < cutoff
+            ]
+            for uid in stale:
+                del broadcast[uid]
+            items = tuple(broadcast.values())
         messages: List[Message] = []
         targets: List[int] = []
         if items:
@@ -212,8 +239,13 @@ class ContinuousGossip(SubService):
             raise TypeError(
                 "gossip channel {!r} received non-batch payload".format(self.channel)
             )
+        # Inlined seen-check: batches are dominated by already-seen items
+        # once the epidemic saturates, so skip the _absorb call for them.
+        seen = self._seen
+        absorb = self._absorb
         for item in payload:
-            self._absorb(round_no, item)
+            if item.uid not in seen:
+                absorb(round_no, item)
 
     def end_round(self, round_no: int) -> None:
         pending, self._pending_delivery = self._pending_delivery, []
@@ -264,13 +296,25 @@ class ContinuousGossip(SubService):
         if item.uid in self._seen:
             return
         self._seen.add(item.uid)
-        if item.expired(round_no):
+        expiry = item.expiry
+        if round_no > expiry:
             return
         self._active[item.uid] = item
+        self._broadcast[item.uid] = item
+        if expiry < self._min_expiry:
+            self._min_expiry = expiry
         if self.pid in item.dest:
             self._pending_delivery.append(item)
 
     def _expire(self, round_no: int) -> None:
-        dead = [uid for uid, item in self._active.items() if item.expired(round_no)]
+        if round_no <= self._min_expiry:
+            return  # nothing can have expired yet
+        active = self._active
+        broadcast = self._broadcast
+        dead = [uid for uid, item in active.items() if item.expiry < round_no]
         for uid in dead:
-            del self._active[uid]
+            del active[uid]
+            broadcast.pop(uid, None)
+        self._min_expiry = (
+            min(item.expiry for item in active.values()) if active else _NO_EXPIRY
+        )

@@ -29,6 +29,17 @@ def default_fanout(scope_size: int, scale: float = 2.0, minimum: int = 1) -> int
     return max(minimum, min(fanout, scope_size - 1))
 
 
+# Candidate pools keyed by (scope, self_pid, exclude).  Scopes are small in
+# number (groups are fixed per run) but queried every round by every member,
+# so the filtered pool is rebuilt millions of times with identical inputs.
+# The cached pool preserves the original scope order exactly, so the
+# ``rng.sample`` call sequence — and hence every default run — is unchanged.
+# Bounded: cleared wholesale if an adversarial workload floods it with
+# distinct keys (each entry is O(|scope|), so the cap keeps memory trivial).
+_POOL_CACHE: dict = {}
+_POOL_CACHE_MAX = 4096
+
+
 def choose_push_targets(
     rng: random.Random,
     scope: Sequence[int],
@@ -44,12 +55,18 @@ def choose_push_targets(
     """
     if fanout <= 0:
         return []
-    candidates = [p for p in scope if p != self_pid and p not in exclude]
-    if not candidates:
+    key = (tuple(scope), self_pid, exclude)
+    pool = _POOL_CACHE.get(key)
+    if pool is None:
+        if len(_POOL_CACHE) >= _POOL_CACHE_MAX:
+            _POOL_CACHE.clear()
+        pool = [p for p in key[0] if p != self_pid and p not in exclude]
+        _POOL_CACHE[key] = pool
+    if not pool:
         return []
-    if len(candidates) <= fanout:
-        return sorted(candidates)
-    return rng.sample(candidates, fanout)
+    if len(pool) <= fanout:
+        return sorted(pool)
+    return rng.sample(pool, fanout)
 
 
 def rounds_to_saturate(scope_size: int, fanout: int) -> int:

@@ -28,6 +28,15 @@ Commands
     default/hardened matrix (E16): the direct-send path in isolation,
     with and without the ack/retransmit/k-copy reliability layer.
     Writes ``BENCH_e16_direct_matrix.json`` under ``--out``.
+``perf``
+    The performance benches (see DESIGN.md Section 8): ``perf micro``
+    runs the stable-keyed microbenchmark suite (optionally with
+    cProfile hotspot attribution), ``perf scaling`` times the canonical
+    steady run across system sizes and writes
+    ``BENCH_e17_engine_scaling.json`` with speedups against the pinned
+    pre-optimization baseline, and ``perf chaos-scaling`` re-runs the
+    chaos drop axis at larger ``n`` (ROADMAP item 2) and writes
+    ``BENCH_e17b_chaos_scaling.json`` with the QoD-cliff placement.
 ``scenarios``
     List the registered scenario builders and their keyword arguments.
 ``partitions``
@@ -77,6 +86,18 @@ from repro.harness.report import format_kv, format_table
 from repro.harness.runner import run_congos_scenario
 from repro.harness.scenarios import BUILDERS
 from repro.obs import JsonlSink, MetricsRegistry, RumorTimeline, Telemetry
+from repro.perf import (
+    E17B_BENCH_NAME,
+    E17_BENCH_NAME,
+    case_keys,
+    chaos_scaling_payload,
+    engine_scaling_payload,
+    get_case,
+    run_chaos_scaling,
+    run_engine_scaling,
+    run_suite,
+    suite_payload,
+)
 
 SCENARIOS = BUILDERS
 
@@ -360,6 +381,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse cached cells under --out instead of re-running them",
     )
     direct.add_argument("--json", action="store_true", help="emit JSON payload")
+
+    perf = sub.add_parser(
+        "perf",
+        help="microbenchmarks and n-scaling benches (E17/E17b)",
+    )
+    perf.add_argument(
+        "suite",
+        choices=("micro", "scaling", "chaos-scaling"),
+        help="micro = PerfCase registry; scaling = E17 engine scaling; "
+        "chaos-scaling = E17b chaos matrix at larger n",
+    )
+    perf.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="micro: run only this case (repeatable; default all)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=5, help="timed samples per case"
+    )
+    perf.add_argument(
+        "--warmup", type=int, default=1, help="discarded warmup runs per case"
+    )
+    perf.add_argument(
+        "--profile",
+        action="store_true",
+        help="micro: attach cProfile hotspot attribution per case",
+    )
+    perf.add_argument(
+        "--ns",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="system sizes (default: 16 64 256 for scaling, 64 256 for "
+        "chaos-scaling)",
+    )
+    perf.add_argument("--rounds", type=int, default=120)
+    perf.add_argument("--deadline", type=int, default=64)
+    perf.add_argument(
+        "--drop",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.15, 0.3, 0.5],
+        metavar="P",
+        help="chaos-scaling: drop-probability axis",
+    )
+    perf.add_argument(
+        "--delay",
+        type=float,
+        nargs="+",
+        default=[0.1],
+        metavar="P",
+        help="chaos-scaling: delay-probability axis",
+    )
+    perf.add_argument(
+        "--seeds", type=int, default=2, help="chaos-scaling: seed replicates"
+    )
+    perf.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="chaos-scaling: worker processes (0 = cpu count, 1 = serial)",
+    )
+    perf.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory for the BENCH JSON (scaling suites)",
+    )
+    perf.add_argument(
+        "--resume",
+        action="store_true",
+        help="chaos-scaling: reuse cached cells under --out",
+    )
+    perf.add_argument("--json", action="store_true", help="emit JSON payload")
 
     sub.add_parser("scenarios", help="list registered scenario builders")
 
@@ -985,6 +1083,181 @@ def _builder_kwargs(builder) -> str:
     return ", ".join(parts)
 
 
+def _perf_micro(args: argparse.Namespace) -> int:
+    if args.case:
+        cases = [get_case(key) for key in args.case]
+    else:
+        cases = None
+    results = run_suite(
+        cases, repeats=args.repeats, warmup=args.warmup, profile=args.profile
+    )
+    payload = suite_payload(results)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows: List[List[object]] = []
+    for result in results:
+        rows.append(
+            [
+                result.key,
+                "{:.4f}".format(result.best),
+                "{:.4f}".format(result.mean),
+                "{:.2f}".format(result.best_per_op * 1e6),
+                result.repeats,
+            ]
+        )
+    print(
+        format_table(
+            ["case", "best s", "mean s", "us/op", "repeats"],
+            rows,
+            title="Microbenchmarks ({} warmup, keys: {})".format(
+                args.warmup, len(results)
+            ),
+        )
+    )
+    if args.profile:
+        for result in results:
+            if not result.hotspots:
+                continue
+            print("\n{} hotspots:".format(result.key))
+            for spot in result.hotspots[:5]:
+                print(
+                    "  {cumtime_s:>8.4f}s cum  {calls:>8} calls  {function}".format(
+                        **spot
+                    )
+                )
+    return 0
+
+
+def _perf_scaling(args: argparse.Namespace) -> int:
+    ns = tuple(args.ns) if args.ns else (16, 64, 256)
+    rows = run_engine_scaling(
+        ns=ns,
+        rounds=args.rounds,
+        deadline=args.deadline,
+        repeats=max(1, args.repeats),
+    )
+    payload = engine_scaling_payload(rows)
+    if args.out:
+        path = write_bench_json(E17_BENCH_NAME, payload, args.out)
+        print("wrote {}".format(path), file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    table: List[List[object]] = []
+    for row in rows:
+        table.append(
+            [
+                row["n"],
+                "{:.3f}".format(row["wall_s"]),
+                (
+                    "{:.3f}".format(row["baseline_s"])
+                    if row["baseline_s"]
+                    else "-"
+                ),
+                "{:.2f}x".format(row["speedup"]) if row["speedup"] else "-",
+                row["total"],
+                "yes" if row["clean"] else "NO",
+                row["digest"][:12],
+            ]
+        )
+    print(
+        format_table(
+            ["n", "wall s", "base s", "speedup", "msgs", "clean", "digest"],
+            table,
+            title="E17 engine scaling ({} rounds, steady/lean)".format(
+                args.rounds
+            ),
+        )
+    )
+    return 0
+
+
+def _perf_chaos_scaling(args: argparse.Namespace) -> int:
+    if args.resume and not args.out:
+        print("--resume needs --out (the cache lives there)", file=sys.stderr)
+        return 2
+    ns = tuple(args.ns) if args.ns else (64, 256)
+    cache = None
+    if args.out:
+        cache = ResultCache(os.path.join(args.out, "cache"))
+    total = len(ns) * len(args.drop) * len(args.delay) * args.seeds
+    progress = Progress.for_tty(total, label="chaos scaling")
+    try:
+        results = run_chaos_scaling(
+            ns=ns,
+            drop=args.drop,
+            delay=args.delay,
+            seeds=range(args.seeds),
+            rounds=args.rounds,
+            deadline=args.deadline,
+            jobs=args.jobs,
+            cache=cache,
+            resume=args.resume,
+            progress=progress,
+        )
+    except InvariantViolation as violation:
+        print("\nINVARIANT VIOLATION: {}".format(violation), file=sys.stderr)
+        return 1
+    progress.finish()
+    payload = chaos_scaling_payload(results)
+    flat_records = [
+        record
+        for _, sweep, _ in results
+        for cell in sweep.cells
+        for record in cell.runs
+    ]
+    payload["profile"] = profile_payload(flat_records)
+    payload["profile"]["elapsed_seconds"] = round(progress.elapsed(), 3)
+    if args.out:
+        path = write_bench_json(E17B_BENCH_NAME, payload, args.out)
+        print("wrote {}".format(path), file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows: List[List[object]] = []
+    for body in payload["per_n"]:
+        for entry in body["cells"]:
+            rows.append(
+                [
+                    body["n"],
+                    entry["cell"]["drop"],
+                    entry["cell"]["delay"],
+                    (
+                        "{:.4f}".format(entry["delivery_rate"])
+                        if entry["delivery_rate"] is not None
+                        else "-"
+                    ),
+                    "yes" if entry["qod_satisfied"] else "NO",
+                    "yes" if entry["clean"] else "NO",
+                ]
+            )
+    print(
+        format_table(
+            ["n", "drop", "delay", "delivery", "qod", "clean"],
+            rows,
+            title="E17b chaos scaling ({} rounds)".format(args.rounds),
+        )
+    )
+    cliff = payload["cliff"]["first_failing_drop"]
+    for n in sorted(cliff, key=int):
+        placement = cliff[n]
+        print(
+            "n={}: QoD cliff at drop={}".format(n, placement)
+            if placement is not None
+            else "n={}: no cliff on this drop axis".format(n)
+        )
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    if args.suite == "micro":
+        return _perf_micro(args)
+    if args.suite == "scaling":
+        return _perf_scaling(args)
+    return _perf_chaos_scaling(args)
+
+
 def cmd_scenarios(_: argparse.Namespace) -> int:
     rows = []
     for name, builder in sorted(SCENARIOS.items()):
@@ -1055,6 +1328,7 @@ def main(argv=None) -> int:
         "profile-sweep": cmd_profile_sweep,
         "chaos-soak": cmd_chaos_soak,
         "direct-soak": cmd_direct_soak,
+        "perf": cmd_perf,
         "scenarios": cmd_scenarios,
         "partitions": cmd_partitions,
         "bounds": cmd_bounds,

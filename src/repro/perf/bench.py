@@ -1,0 +1,168 @@
+"""Warmup/repeat timing and cProfile hotspot attribution for perf cases.
+
+``run_case`` is the measurement kernel: a fresh workload per repeat (so
+caches filled by one repeat never flatter the next), ``time.perf_counter``
+around the operation only, and best/mean/all-samples reported.  *Best* is
+the headline number — it is the least noise-contaminated estimate of the
+true cost on a busy CI box.
+
+``profile_case`` runs one extra (untimed) invocation under ``cProfile``
+and extracts the top cumulative-time functions, so a regression found in
+the numbers can immediately be attributed to a code path without
+re-running anything locally.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.perf.cases import PerfCase, all_cases
+
+__all__ = [
+    "BenchResult",
+    "run_case",
+    "profile_case",
+    "run_suite",
+    "suite_payload",
+]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Timing (and optional hotspot) summary for one perf case."""
+
+    key: str
+    title: str
+    ops: int
+    repeats: int
+    warmup: int
+    samples: Tuple[float, ...]
+    hotspots: Tuple[Dict[str, object], ...] = ()
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def best_per_op(self) -> float:
+        return self.best / max(1, self.ops)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "key": self.key,
+            "title": self.title,
+            "ops": self.ops,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "best_s": self.best,
+            "mean_s": self.mean,
+            "best_per_op_us": self.best_per_op * 1e6,
+            "samples_s": list(self.samples),
+        }
+        if self.hotspots:
+            payload["hotspots"] = [dict(h) for h in self.hotspots]
+        return payload
+
+
+def run_case(
+    case: PerfCase,
+    repeats: int = 5,
+    warmup: int = 1,
+    profile: bool = False,
+    profile_top: int = 8,
+) -> BenchResult:
+    """Time one case: ``warmup`` discarded runs, then ``repeats`` samples.
+
+    Every run (warmup and timed alike) gets a fresh ``case.setup()`` so
+    per-instance caches start cold each time; only the operation itself is
+    inside the timing window.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        case.setup()()
+    samples: List[float] = []
+    for _ in range(repeats):
+        op = case.setup()
+        start = time.perf_counter()
+        op()
+        samples.append(time.perf_counter() - start)
+    hotspots: Tuple[Dict[str, object], ...] = ()
+    if profile:
+        hotspots = profile_case(case, top=profile_top)
+    return BenchResult(
+        key=case.key,
+        title=case.title,
+        ops=case.ops,
+        repeats=repeats,
+        warmup=warmup,
+        samples=tuple(samples),
+        hotspots=hotspots,
+    )
+
+
+def profile_case(case: PerfCase, top: int = 8) -> Tuple[Dict[str, object], ...]:
+    """Run the case once under cProfile; return the top-cumtime functions.
+
+    Each entry: ``{"function": "module:line(name)", "calls": int,
+    "tottime_s": float, "cumtime_s": float}``, ordered by cumulative time.
+    """
+    op = case.setup()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        op()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, object]] = []
+    for func, (calls, _primitive, tottime, cumtime, _callers) in sorted(
+        stats.stats.items(), key=lambda kv: kv[1][3], reverse=True
+    ):
+        filename, line, name = func
+        if filename.startswith("<") and name in ("<module>",):
+            continue
+        rows.append(
+            {
+                "function": "{}:{}({})".format(filename, line, name),
+                "calls": calls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+        if len(rows) >= top:
+            break
+    return tuple(rows)
+
+
+def run_suite(
+    cases: Optional[Iterable[PerfCase]] = None,
+    repeats: int = 5,
+    warmup: int = 1,
+    profile: bool = False,
+) -> List[BenchResult]:
+    """Run a set of cases (default: the full registry) in key order."""
+    if cases is None:
+        cases = all_cases()
+    return [
+        run_case(case, repeats=repeats, warmup=warmup, profile=profile)
+        for case in cases
+    ]
+
+
+def suite_payload(results: Iterable[BenchResult]) -> Dict[str, object]:
+    """Machine-readable suite summary for ``write_bench_json``."""
+    rows = [result.to_dict() for result in results]
+    return {
+        "cases": rows,
+        "total_best_s": sum(row["best_s"] for row in rows),
+    }

@@ -1,0 +1,259 @@
+"""E17 engine-scaling and E17b chaos-scaling benches.
+
+E17 answers "how fast is one default run, and how does that scale with
+``n``?": it times the canonical steady-workload cell (seed 0, lean
+params, 120 rounds) at several system sizes, records the payload digest
+of every run (so the artifact itself proves the optimized engine still
+produces bit-identical results), and reports speedups against
+:data:`PRE_PR_BASELINE` — wall-clock numbers measured on the same
+machine immediately before the hot-path overhaul landed.
+
+E17b closes ROADMAP item 2: the E15 chaos matrix was only ever run at
+n=16, leaving open whether the drop=0.5 QoD cliff is a small-n artifact.
+``run_chaos_scaling`` re-runs the drop axis at larger ``n`` and
+``chaos_scaling_payload`` locates the cliff — the lowest drop intensity
+at which quality-of-delivery fails — per system size.
+
+Artifacts: ``BENCH_e17_engine_scaling.json`` / ``BENCH_e17b_chaos_scaling.json``
+(written by the ``perf scaling`` / ``perf chaos-scaling`` CLI commands).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.sweeps import SweepResult
+from repro.chaos.soak import chaos_cells, run_soak
+from repro.core.config import CongosParams
+from repro.exec.cache import ResultCache
+from repro.exec.progress import Progress
+from repro.exec.tasks import RunSpec, canonical_json, execute_spec
+
+__all__ = [
+    "E17_BENCH_NAME",
+    "E17B_BENCH_NAME",
+    "PRE_PR_BASELINE",
+    "scaling_spec",
+    "run_engine_scaling",
+    "engine_scaling_payload",
+    "run_chaos_scaling",
+    "chaos_scaling_payload",
+]
+
+E17_BENCH_NAME = "e17_engine_scaling"
+E17B_BENCH_NAME = "e17b_chaos_scaling"
+
+# Wall-clock seconds for scaling_spec(n) measured at commit 29cc6bd (the
+# last commit before the hot-path overhaul), single process, warm
+# interpreter.  These are the "before" numbers every E17 artifact compares
+# against; they are fixed history, not re-measured.
+PRE_PR_BASELINE: Dict[int, float] = {16: 0.226, 64: 11.277, 256: 147.361}
+
+DEFAULT_NS: Tuple[int, ...] = (16, 64, 256)
+CHAOS_NS: Tuple[int, ...] = (64, 256)
+CHAOS_DROPS: Tuple[float, ...] = (0.0, 0.15, 0.3, 0.5)
+
+
+def scaling_spec(n: int, rounds: int = 120, deadline: int = 64) -> RunSpec:
+    """The canonical E17 cell: steady workload, lean params, seed 0."""
+    return RunSpec.make(
+        "steady",
+        seed=0,
+        n=n,
+        rounds=rounds,
+        deadline=deadline,
+        rate=1,
+        period=4,
+        params=CongosParams.lean(),
+    )
+
+
+def _payload_digest(record) -> str:
+    clean = record.without_profile().to_dict()
+    return hashlib.sha256(canonical_json(clean).encode("utf-8")).hexdigest()
+
+
+def run_engine_scaling(
+    ns: Sequence[int] = DEFAULT_NS,
+    rounds: int = 120,
+    deadline: int = 64,
+    repeats: int = 1,
+    progress: Optional[Progress] = None,
+) -> List[Dict[str, object]]:
+    """Time the canonical steady cell at each ``n``, in-process.
+
+    Runs single-process on purpose: E17 measures per-run engine cost, not
+    pool throughput.  ``repeats`` > 1 keeps the best wall time (same
+    spec => identical record, so only timing varies).
+    """
+    rows: List[Dict[str, object]] = []
+    for n in ns:
+        spec = scaling_spec(n, rounds=rounds, deadline=deadline)
+        record = None
+        wall = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            record = execute_spec(spec)
+            elapsed = time.perf_counter() - start
+            if wall is None or elapsed < wall:
+                wall = elapsed
+        baseline = PRE_PR_BASELINE.get(n)
+        wall = round(wall, 3)
+        rows.append(
+            {
+                "n": n,
+                "rounds": rounds,
+                "deadline": deadline,
+                "spec_key": spec.key,
+                "digest": _payload_digest(record),
+                "peak": record.peak,
+                "total": record.total,
+                "qod_satisfied": record.qod_satisfied,
+                "clean": record.clean,
+                "wall_s": wall,
+                "baseline_s": baseline,
+                "speedup": (
+                    round(baseline / wall, 2) if baseline and wall else None
+                ),
+            }
+        )
+        if progress is not None:
+            progress.task_done(wall_time=wall)
+    return rows
+
+
+def engine_scaling_payload(rows: Iterable[Mapping[str, object]]) -> Dict[str, object]:
+    """The E17 artifact body.
+
+    ``runs`` (spec keys, digests, delivery/confidentiality outcomes) is
+    deterministic; ``timing`` holds the nondeterministic wall-clock and
+    speedup numbers, mirroring the payload/"profile" split used by the
+    other BENCH artifacts.
+    """
+    rows = list(rows)
+    runs = [
+        {
+            key: row[key]
+            for key in (
+                "n",
+                "rounds",
+                "deadline",
+                "spec_key",
+                "digest",
+                "peak",
+                "total",
+                "qod_satisfied",
+                "clean",
+            )
+        }
+        for row in rows
+    ]
+    timing = [
+        {
+            "n": row["n"],
+            "wall_s": row["wall_s"],
+            "baseline_s": row["baseline_s"],
+            "speedup": row["speedup"],
+        }
+        for row in rows
+    ]
+    return {
+        "scenario": "steady",
+        "runs": runs,
+        "baseline": {
+            "commit": "29cc6bd",
+            "wall_s": {str(n): PRE_PR_BASELINE[n] for n in sorted(PRE_PR_BASELINE)},
+        },
+        "timing": timing,
+    }
+
+
+def run_chaos_scaling(
+    ns: Sequence[int] = CHAOS_NS,
+    drop: Sequence[float] = CHAOS_DROPS,
+    delay: Sequence[float] = (0.1,),
+    seeds: Sequence[int] = (0, 1),
+    rounds: int = 120,
+    deadline: int = 64,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    resume: bool = True,
+    progress: Optional[Progress] = None,
+    **overrides: object,
+) -> List[Tuple[int, SweepResult, Dict[str, object]]]:
+    """Run the E15 chaos drop axis at each system size in ``ns``.
+
+    Returns ``(n, sweep, fixed)`` triples; feed them to
+    :func:`chaos_scaling_payload`.  Fixed knobs mirror the ``chaos-soak``
+    CLI defaults so the n=16 E15 matrix stays directly comparable.
+    """
+    fixed_base: Dict[str, object] = {
+        "rounds": rounds,
+        "deadline": deadline,
+        "max_delay": 4,
+        "duplicate": 0.02,
+        "reorder": 0.0,
+        "partition_period": 0,
+        "partition_width": 0,
+        "churn": 0.0,
+        "hardened": False,
+    }
+    fixed_base.update(overrides)
+    results: List[Tuple[int, SweepResult, Dict[str, object]]] = []
+    for n in ns:
+        fixed = dict(fixed_base, n=n)
+        sweep = run_soak(
+            chaos_cells(drop, delay),
+            seeds=seeds,
+            jobs=jobs,
+            cache=cache,
+            resume=resume,
+            progress=progress,
+            **fixed,
+        )
+        results.append((n, sweep, fixed))
+    return results
+
+
+def _cliff_drop(
+    cells: Sequence[Mapping[str, object]], threshold: float
+) -> Optional[float]:
+    """Lowest drop intensity where QoD fails or delivery dips below
+    ``threshold`` (None if the whole axis holds)."""
+    failing = [
+        float(entry["cell"]["drop"])
+        for entry in cells
+        if not entry["qod_satisfied"]
+        or (
+            entry["delivery_rate"] is not None
+            and entry["delivery_rate"] < threshold
+        )
+    ]
+    return min(failing) if failing else None
+
+
+def chaos_scaling_payload(
+    results: Sequence[Tuple[int, SweepResult, Mapping[str, object]]],
+    threshold: float = 0.999,
+) -> Dict[str, object]:
+    """The E17b artifact body: per-n soak payloads plus cliff placement."""
+    from repro.chaos.soak import soak_payload
+
+    per_n: List[Dict[str, object]] = []
+    cliff: Dict[str, object] = {}
+    for n, sweep, fixed in results:
+        body = soak_payload(sweep, fixed)
+        body["n"] = n
+        body["fixed"] = dict(fixed)
+        per_n.append(body)
+        cliff[str(n)] = _cliff_drop(body["cells"], threshold)
+    return {
+        "scenario": "chaos",
+        "per_n": per_n,
+        "cliff": {
+            "threshold": threshold,
+            "first_failing_drop": cliff,
+        },
+    }

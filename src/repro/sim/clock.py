@@ -33,6 +33,12 @@ class BlockSchedule:
         ``isqrt(dline) + 2`` — the length of one iteration, in rounds.
     iterations_per_block:
         How many whole iterations fit in a block.
+    gossip_deadline:
+        ``max(1, isqrt(dline))`` — deadline for GroupGossip shares inside
+        an iteration.
+    allgossip_deadline:
+        ``max(1, block_len - 1)`` — deadline for the end-of-block AllGossip
+        confirmation rumor.
     """
 
     dline: int
@@ -40,28 +46,22 @@ class BlockSchedule:
     def __post_init__(self) -> None:
         if self.dline < 4:
             raise ValueError("dline must be >= 4, got {}".format(self.dline))
-
-    @property
-    def block_len(self) -> int:
-        return self.dline // 4
-
-    @property
-    def iteration_len(self) -> int:
-        return math.isqrt(self.dline) + 2
-
-    @property
-    def iterations_per_block(self) -> int:
-        return self.block_len // self.iteration_len
-
-    @property
-    def gossip_deadline(self) -> int:
-        """Deadline used for GroupGossip shares inside an iteration."""
-        return max(1, math.isqrt(self.dline))
-
-    @property
-    def allgossip_deadline(self) -> int:
-        """Deadline for the end-of-block AllGossip confirmation rumor."""
-        return max(1, self.block_len - 1)
+        # The derived lengths are queried on every round of every service
+        # instance; precompute them once instead of re-deriving per call.
+        # (Plain attributes, not fields: the dataclass identity — eq/repr —
+        # stays keyed on ``dline`` alone, and object.__setattr__ is the
+        # frozen-dataclass idiom for init-time caches.)
+        object.__setattr__(self, "block_len", self.dline // 4)
+        object.__setattr__(self, "iteration_len", math.isqrt(self.dline) + 2)
+        object.__setattr__(
+            self, "iterations_per_block", self.block_len // self.iteration_len
+        )
+        object.__setattr__(
+            self, "gossip_deadline", max(1, math.isqrt(self.dline))
+        )
+        object.__setattr__(
+            self, "allgossip_deadline", max(1, self.block_len - 1)
+        )
 
     def block_of(self, round_no: int) -> int:
         """The (global) block index containing ``round_no``."""
@@ -92,17 +92,17 @@ class BlockSchedule:
         not belong to any iteration; services idle (or let gossip tails
         drain) during the slack tail.
         """
-        offset = self.round_in_block(round_no)
-        iteration = offset // self.iteration_len
+        iteration = (round_no % self.block_len) // self.iteration_len
         if iteration >= self.iterations_per_block:
             return -1
         return iteration
 
     def round_in_iteration(self, round_no: int) -> int:
         """Offset of ``round_no`` within its iteration (0-based), or -1."""
-        if self.iteration_of(round_no) < 0:
+        offset = round_no % self.block_len
+        if offset // self.iteration_len >= self.iterations_per_block:
             return -1
-        return self.round_in_block(round_no) % self.iteration_len
+        return offset % self.iteration_len
 
     def is_iteration_last_round(self, round_no: int) -> bool:
         position = self.round_in_iteration(round_no)

@@ -24,7 +24,7 @@ protocol, with no cooperation from protocol code.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.sim.clock import RoundClock
 from repro.sim.events import (
@@ -76,6 +76,9 @@ class AdversaryView:
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
+        # Adaptive adversaries query crashed_pids() every round; the full
+        # pid universe never changes, so build it once.
+        self._all_pids: FrozenSet[int] = frozenset(range(engine.n))
 
     @property
     def round(self) -> int:
@@ -86,6 +89,11 @@ class AdversaryView:
         return self.engine.n
 
     @property
+    def all_pids(self) -> FrozenSet[int]:
+        """The immutable pid universe ``{0, ..., n-1}``."""
+        return self._all_pids
+
+    @property
     def event_log(self) -> EventLog:
         return self.engine.event_log
 
@@ -93,7 +101,7 @@ class AdversaryView:
         return self.engine.alive_pids()
 
     def crashed_pids(self) -> Set[int]:
-        return set(range(self.engine.n)) - self.engine.alive_pids()
+        return self._all_pids - self.engine._alive
 
     def is_alive(self, pid: int) -> bool:
         return self.engine.shells[pid].alive
@@ -146,12 +154,26 @@ class Engine:
         self.network = Network(n, self.stats, fault_plane=fault_plane)
         self.event_log = EventLog()
         self.adversary = adversary if adversary is not None else _NullAdversary()
-        self.observers: List[SimObserver] = list(observers)
+        self.observers: List[SimObserver] = []
         self.shells: Dict[int, ProcessShell] = {}
         for pid in range(n):
             shell = ProcessShell(pid, node_factory)
             shell.start(self.clock.round)
             self.shells[pid] = shell
+        # Hot-path state maintained incrementally (never rebuilt per round):
+        # the alive set mutates only on crash/restart; pid iteration order
+        # is fixed at construction (shells are keyed 0..n-1).
+        self._alive: Set[int] = set(range(n))
+        self._pid_order: Tuple[int, ...] = tuple(range(n))
+        # Observer dispatch tables: one tuple per hook, holding only the
+        # observers whose class actually overrides that hook, so inherited
+        # no-op SimObserver methods are never called.  Rebuilt on
+        # add_observer; on_deliver fans out per delivered message, which is
+        # why the empty-table fast path matters.
+        self._dispatch: Dict[str, Tuple[SimObserver, ...]] = {}
+        for observer in observers:
+            self.observers.append(observer)
+        self._rebuild_dispatch()
         self.view = AdversaryView(self)
         self.rounds_executed = 0
         self._touched_this_round: Set[int] = set()
@@ -170,13 +192,35 @@ class Engine:
         return self.network.fault_plane
 
     def alive_pids(self) -> Set[int]:
-        return {pid for pid, shell in self.shells.items() if shell.alive}
+        """A fresh copy of the alive-pid set (callers may mutate it)."""
+        return set(self._alive)
 
     def behavior(self, pid: int) -> Optional[NodeBehavior]:
         return self.shells[pid].behavior
 
     def add_observer(self, observer: SimObserver) -> None:
         self.observers.append(observer)
+        self._rebuild_dispatch()
+
+    _HOOKS = (
+        "on_round_begin",
+        "on_crash",
+        "on_restart",
+        "on_inject",
+        "on_deliver",
+        "on_round_end",
+    )
+
+    def _rebuild_dispatch(self) -> None:
+        """Recompute the per-hook observer tables (see ``__init__``)."""
+        for hook in self._HOOKS:
+            base = getattr(SimObserver, hook)
+            self._dispatch[hook] = tuple(
+                observer
+                for observer in self.observers
+                if getattr(type(observer), hook, base) is not base
+                or hook in getattr(observer, "__dict__", ())
+            )
 
     # ------------------------------------------------------------------
     # Round execution
@@ -189,7 +233,8 @@ class Engine:
 
     def run_round(self) -> None:
         round_no = self.clock.round
-        for observer in self.observers:
+        dispatch = self._dispatch
+        for observer in dispatch["on_round_begin"]:
             observer.on_round_begin(round_no)
 
         decision = self._round_start_decision(round_no)
@@ -197,9 +242,11 @@ class Engine:
         self._touched_this_round = touched
         self._apply_injections(round_no, decision)
 
+        shells = self.shells
         outgoing: List[Message] = []
-        for pid in sorted(self.shells):
-            outgoing.extend(self.shells[pid].send_phase(round_no))
+        extend = outgoing.extend
+        for pid in self._pid_order:
+            extend(shells[pid].send_phase(round_no))
 
         mid = self._mid_round_decision(round_no, outgoing, touched)
         boundary = set(touched)
@@ -210,20 +257,24 @@ class Engine:
         outcome = self.network.route(
             round_no,
             outgoing,
-            alive_after_round=self.alive_pids(),
+            alive_after_round=self._alive,  # membership tests only
             boundary_pids=boundary,
             adversary_drops=mid.dropped_messages,
         )
-        for message in outcome.delivered:
-            for observer in self.observers:
-                observer.on_deliver(round_no, message)
+        deliver_observers = dispatch["on_deliver"]
+        if deliver_observers:
+            for message in outcome.delivered:
+                for observer in deliver_observers:
+                    observer.on_deliver(round_no, message)
 
-        for pid in sorted(self.shells):
-            shell = self.shells[pid]
+        inboxes = outcome.inboxes
+        empty: List[Message] = []
+        for pid in self._pid_order:
+            shell = shells[pid]
             if shell.alive:
-                shell.receive_phase(round_no, outcome.inboxes.get(pid, []))
+                shell.receive_phase(round_no, inboxes.get(pid, empty))
 
-        for observer in self.observers:
+        for observer in dispatch["on_round_end"]:
             observer.on_round_end(round_no, self)
         self.rounds_executed += 1
         self.clock.advance()
@@ -266,7 +317,7 @@ class Engine:
                 )
             injected.add(pid)
             self.event_log.record_injection(InjectEvent(pid, round_no, rumor))
-            for observer in self.observers:
+            for observer in self._dispatch["on_inject"]:
                 observer.on_inject(round_no, pid, rumor)
             shell.inject(round_no, rumor)
 
@@ -287,12 +338,14 @@ class Engine:
 
     def _crash(self, round_no: int, pid: int, mid_round: bool) -> None:
         self.shells[pid].crash()
+        self._alive.discard(pid)
         self.event_log.record_crash(CrashEvent(pid, round_no, mid_round))
-        for observer in self.observers:
+        for observer in self._dispatch["on_crash"]:
             observer.on_crash(round_no, pid, mid_round)
 
     def _restart(self, round_no: int, pid: int) -> None:
         self.shells[pid].restart(round_no)
+        self._alive.add(pid)
         self.event_log.record_restart(RestartEvent(pid, round_no))
-        for observer in self.observers:
+        for observer in self._dispatch["on_restart"]:
             observer.on_restart(round_no, pid)

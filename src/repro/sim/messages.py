@@ -14,7 +14,7 @@ information (pure control traffic) simply do not implement it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
 from typing import Any, Iterable, Iterator, List, Tuple
 
 __all__ = [
@@ -25,7 +25,37 @@ __all__ = [
     "fragment_atom",
     "reveals_of",
     "total_size",
+    "debug_validation",
+    "set_debug_validation",
 ]
+
+
+# ----------------------------------------------------------------------
+# Debug-flag validation
+# ----------------------------------------------------------------------
+#
+# Messages are the single most-constructed object in a run (one per send,
+# O(n polylog n) per round).  Range validation therefore lives at ONE site
+# — Network.route, which knows ``n`` and rejects negative or out-of-range
+# endpoints for every message that enters the network.  The per-construction
+# checks below are a debugging aid: off by default, re-enabled with
+# ``set_debug_validation(True)`` (or REPRO_DEBUG_VALIDATE=1) to catch a bad
+# message at its construction site instead of at routing time.
+
+_DEBUG_VALIDATE = os.environ.get("REPRO_DEBUG_VALIDATE", "") not in ("", "0")
+
+
+def debug_validation() -> bool:
+    """Whether eager per-construction Message validation is enabled."""
+    return _DEBUG_VALIDATE
+
+
+def set_debug_validation(enabled: bool) -> bool:
+    """Toggle eager Message validation; returns the previous setting."""
+    global _DEBUG_VALIDATE
+    previous = _DEBUG_VALIDATE
+    _DEBUG_VALIDATE = bool(enabled)
+    return previous
 
 
 class ServiceTags:
@@ -71,7 +101,6 @@ def fragment_atom(rid: object, partition: int, group: int) -> KnowledgeAtom:
     return ("fragment", rid, partition, group)
 
 
-@dataclass
 class Message:
     """A point-to-point message sent over the synchronous network.
 
@@ -84,20 +113,59 @@ class Message:
     receiver (e.g. the GroupGossip instance of partition 3, group 1, of a
     particular deadline class); ``service`` remains the coarse tag used for
     message-complexity accounting.
+
+    Implemented as a ``__slots__`` class (not a dataclass): construction is
+    on the per-send hot path, and slots cut both per-message memory and
+    attribute-access time.  Endpoint/size ranges are validated once, in
+    :meth:`~repro.sim.network.Network.route`; construction-time checks are
+    behind :func:`debug_validation`.
     """
 
-    src: int
-    dst: int
-    service: str
-    payload: Any = None
-    size: int = 1
-    channel: str = ""
+    __slots__ = ("src", "dst", "service", "payload", "size", "channel")
 
-    def __post_init__(self) -> None:
-        if self.src < 0 or self.dst < 0:
-            raise ValueError("process ids must be non-negative")
-        if self.size < 0:
-            raise ValueError("message size must be non-negative")
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        service: str,
+        payload: Any = None,
+        size: int = 1,
+        channel: str = "",
+    ) -> None:
+        if _DEBUG_VALIDATE:
+            if src < 0 or dst < 0:
+                raise ValueError("process ids must be non-negative")
+            if size < 0:
+                raise ValueError("message size must be non-negative")
+        self.src = src
+        self.dst = dst
+        self.service = service
+        self.payload = payload
+        self.size = size
+        self.channel = channel
+
+    def __repr__(self) -> str:
+        return (
+            "Message(src={!r}, dst={!r}, service={!r}, payload={!r}, "
+            "size={!r}, channel={!r})".format(
+                self.src, self.dst, self.service, self.payload,
+                self.size, self.channel,
+            )
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.service == other.service
+            and self.payload == other.payload
+            and self.size == other.size
+            and self.channel == other.channel
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable envelope, like the old dataclass
 
     def reveals(self) -> Iterator[KnowledgeAtom]:
         """Knowledge atoms the recipient learns from this message."""
@@ -116,6 +184,15 @@ def reveals_of(payload: Any) -> Iterator[KnowledgeAtom]:
     if callable(reveal):
         return iter(reveal())
     if isinstance(payload, (list, tuple, set, frozenset)):
+        if isinstance(payload, (set, frozenset)):
+            # Sets iterate in hash order, which varies across interpreters
+            # (and across runs with PYTHONHASHSEED for str-keyed payloads);
+            # audit and telemetry output must not depend on it.  ``repr`` is
+            # a deterministic total order for the atom-bearing payload types
+            # (tuples, dataclasses, numbers) without requiring mutual
+            # comparability.
+            payload = sorted(payload, key=repr)
+
         def _walk(items: Iterable[Any]) -> Iterator[KnowledgeAtom]:
             for item in items:
                 for atom in reveals_of(item):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.sim.messages import Message
 
@@ -63,6 +63,34 @@ class MessageStats:
     def record_sends(self, round_no: int, messages: Iterable[Message]) -> None:
         for message in messages:
             self.record_send(round_no, message)
+
+    def record_round(
+        self,
+        round_no: int,
+        count: int,
+        size: int,
+        by_service: Mapping[str, int],
+    ) -> None:
+        """Fold one round's pre-aggregated send counts in at once.
+
+        Equivalent to ``count`` :meth:`record_send` calls whose sizes sum
+        to ``size`` and whose service tags tally to ``by_service`` — the
+        network batches per round so the per-message hot path pays plain
+        integer adds instead of five dict updates per send.  A zero-send
+        round is a no-op, matching per-message recording (rounds with no
+        sends are never observed).
+        """
+        if count <= 0:
+            return
+        self._round_totals[round_no] += count
+        self._round_sizes[round_no] += size
+        round_service = self._round_service[round_no]
+        service_totals = self._service_totals
+        for service, tally in by_service.items():
+            round_service[service] += tally
+            service_totals[service] += tally
+        self.total += count
+        self.total_size += size
 
     def record_filtered(self, count: int = 1) -> None:
         """Count messages dropped by a group Filter (never sent)."""

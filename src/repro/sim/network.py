@@ -68,6 +68,13 @@ class Network:
         self.fault_plane = fault_plane
 
     def validate(self, message: Message) -> None:
+        """Reject out-of-range endpoints.
+
+        This is the single mandatory validation site for messages (the
+        per-construction checks in :class:`Message` are a debug flag);
+        :meth:`route` inlines the same comparisons on its hot loop and
+        calls here only to raise.
+        """
         if not 0 <= message.src < self.n:
             raise ValueError("invalid src {}".format(message.src))
         if not 0 <= message.dst < self.n:
@@ -104,23 +111,35 @@ class Network:
         chaos = plane is not None and plane.active_in(round_no)
         if chaos:
             plane.begin_round(round_no)
+        # Hot loop: locals for everything touched per message, counts
+        # accumulated here and folded into MessageStats once per round.
+        n = self.n
+        sent_count = 0
+        sent_size = 0
+        sent_by_service: Dict[str, int] = {}
+        inboxes = outcome.inboxes
+        delivered_append = outcome.delivered.append
+        lost_to_crash_append = outcome.lost_to_crash.append
         for index, message in enumerate(outgoing):
-            self.validate(message)
-            self.stats.record_send(round_no, message)
-            if index in drops:
-                if (
-                    message.src not in boundary_pids
-                    and message.dst not in boundary_pids
-                ):
+            src = message.src
+            dst = message.dst
+            if src < 0 or src >= n or dst < 0 or dst >= n:
+                self.validate(message)  # raises with the precise complaint
+            sent_count += 1
+            sent_size += message.size
+            service = message.service
+            sent_by_service[service] = sent_by_service.get(service, 0) + 1
+            if drops and index in drops:
+                if src not in boundary_pids and dst not in boundary_pids:
                     raise ValueError(
                         "adversary tried to drop message {}->{} with no "
                         "crash/restart boundary this round; the network is "
-                        "reliable".format(message.src, message.dst)
+                        "reliable".format(src, dst)
                     )
                 outcome.lost_to_adversary.append(message)
                 continue
-            if message.dst not in alive_after_round:
-                outcome.lost_to_crash.append(message)
+            if dst not in alive_after_round:
+                lost_to_crash_append(message)
                 continue
             if chaos:
                 fate = plane.admit(round_no, message)
@@ -134,8 +153,9 @@ class Network:
                     outcome.duplicated.append(message)
                     # The original is delivered now; the spurious copy
                     # matures through release() next round.
-            outcome.inboxes[message.dst].append(message)
-            outcome.delivered.append(message)
+            inboxes[dst].append(message)
+            delivered_append(message)
+        self.stats.record_round(round_no, sent_count, sent_size, sent_by_service)
         if plane is not None and plane.has_pending():
             # Matured delayed/duplicated copies are already past the link:
             # only crash-aliveness gates them now.

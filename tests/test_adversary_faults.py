@@ -28,7 +28,10 @@ from conftest import mk_rumor
 def make_view(n=8, round_no=0, crashed=frozenset()):
     engine = Engine(n, lambda pid: NodeBehavior(pid, n))
     for pid in crashed:
+        # Bypass Engine._crash (no events/observers wanted); keep the
+        # engine's incremental alive-set bookkeeping consistent by hand.
         engine.shells[pid].crash()
+        engine._alive.discard(pid)
     for _ in range(round_no):
         engine.clock.advance()
     return engine.view

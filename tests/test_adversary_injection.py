@@ -21,6 +21,7 @@ def make_view(n=8, round_no=0, crashed=frozenset()):
     engine = Engine(n, lambda pid: NodeBehavior(pid, n))
     for pid in crashed:
         engine.shells[pid].crash()
+        engine._alive.discard(pid)  # keep incremental alive set consistent
     for _ in range(round_no):
         engine.clock.advance()
     return engine.view

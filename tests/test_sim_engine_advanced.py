@@ -45,7 +45,7 @@ class TestAdversaryView:
 
     def test_view_tracks_crashes(self):
         engine = Engine(4, lambda pid: WakeupNode(pid, 4))
-        engine.shells[2].crash()
+        engine._crash(0, 2, mid_round=False)
         assert engine.view.crashed_pids() == {2}
         assert engine.view.behavior(2) is None
 
