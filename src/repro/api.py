@@ -20,6 +20,7 @@ not listed in ``__all__`` is an internal that may change between PRs.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, Optional, Tuple, Union
 
 from repro.analysis.sweeps import CellResult, SweepResult, grid, sweep_congos
@@ -61,6 +62,8 @@ def run_scenario(
     seed: int = 0,
     observers: Iterable = (),
     telemetry: Optional[Telemetry] = None,
+    backend: Optional[str] = None,
+    net: Optional[dict] = None,
     **kwargs: object,
 ) -> RunResult:
     """Run one fully audited CONGOS scenario.
@@ -69,6 +72,11 @@ def run_scenario(
     (``"steady"``, ``"chaos"``, ``"direct"``, ...; see :data:`BUILDERS`),
     in which case ``seed`` and the remaining keyword arguments go to the
     builder.  Returns the :class:`RunResult` with both auditors attached.
+
+    ``backend`` overrides the scenario's execution backend (``"inproc"``
+    or ``"sharded"``); ``net`` supplies sharded-backend options such as
+    ``{"workers": 2, "transport": "tcp"}``.  Both backends produce the
+    same audited results.
     """
     if isinstance(scenario, str):
         scenario = get_builder(scenario)(seed=seed, **kwargs)
@@ -77,6 +85,13 @@ def run_scenario(
             "builder kwargs {} only apply when scenario is a registry "
             "name, not an already-built Scenario".format(sorted(kwargs))
         )
+    if backend is not None or net is not None:
+        overrides: dict = {}
+        if backend is not None:
+            overrides["backend"] = backend
+        if net is not None:
+            overrides["net"] = net
+        scenario = dataclasses.replace(scenario, **overrides)
     return run_congos_scenario(
         scenario, observers=observers, telemetry=telemetry
     )

@@ -96,10 +96,15 @@ class ConfidentialityAuditor(SimObserver):
         # A sender reuses one payload tuple for its whole fanout, so each
         # batch is delivered many times per round.  Digest the batch once
         # per payload object into (border frag rids, absorbable items) and
-        # reuse it for every delivery that round.  Keyed by id(): safe
-        # because the engine keeps all of a round's messages alive for the
-        # whole delivery loop, and the cache is cleared on round change.
-        self._batch_cache: Dict[int, Optional[Tuple[Tuple, Tuple]]] = {}
+        # reuse it for every delivery that round.  Keyed by id(), with the
+        # payload stored alongside its digest: the reference pins the
+        # object for the round (an id can otherwise be reused the moment
+        # its owner is collected — e.g. wire-decoded batches with no
+        # engine keeping them alive) and the identity check on lookup
+        # rejects any stale entry.  Cleared on round change.
+        self._batch_cache: Dict[
+            int, Tuple[Tuple, Optional[Tuple[Tuple, Tuple]]]
+        ] = {}
         self._batch_cache_round: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -131,11 +136,12 @@ class ConfidentialityAuditor(SimObserver):
                 self._batch_cache_round = round_no
             cache = self._batch_cache
             key = id(payload)
-            if key in cache:
-                entry = cache[key]
+            cached = cache.get(key)
+            if cached is not None and cached[0] is payload:
+                entry = cached[1]
             else:
                 entry = self._digest_batch(payload)
-                cache[key] = entry
+                cache[key] = (payload, entry)
             if entry is None:
                 # Batch contains non-item entries; take the generic path.
                 self._absorb_atoms(

@@ -154,21 +154,31 @@ class ChaosFaultPlane(FaultPlane):
         telemetry: Any = None,
         keep_events: bool = True,
         max_events: int = 200_000,
+        message_keyed: bool = False,
     ):
         self.spec = spec
         self.schedule = FaultSchedule(seed, spec, n)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.keep_events = keep_events
         self.max_events = max_events
+        # Keyed mode (sharded backend, and inproc runs meant to compare
+        # against it): fates come from per-message streams keyed on
+        # (round, src, dst, copy) and inbox shuffles from per-recipient
+        # streams, so the schedule is invariant under pid sharding.  The
+        # default index-order mode is byte-identical to the seed.
+        self.message_keyed = message_keyed
         self.counts: Dict[str, int] = {kind: 0 for kind in _FAULT_KINDS}
         # stage -> kind -> count (reorder is per-inbox, not per-message,
         # so it has no stage and is tracked in ``counts`` only).
         self.stage_counts: Dict[str, Dict[str, int]] = {}
         self.events: List[FaultEvent] = []
-        # deliver_round -> messages matured that round, in queue order
-        self._pending: Dict[int, List[Message]] = {}
+        # deliver_round -> copies matured that round, in queue order.
+        # Index mode stores bare messages; keyed mode stores
+        # (admit_round, message) so release order can be tagged.
+        self._pending: Dict[int, List[Any]] = {}
         self._round_rng = None  # set by begin_round
         self._severed: Optional[frozenset] = None
+        self._pair_counts: Dict[Tuple[int, int], int] = {}
 
     # -- state queries ---------------------------------------------------
 
@@ -196,7 +206,10 @@ class ChaosFaultPlane(FaultPlane):
     # -- network hooks ---------------------------------------------------
 
     def begin_round(self, round_no: int) -> None:
-        self._round_rng = self.schedule.round_rng(round_no)
+        if self.message_keyed:
+            self._pair_counts = {}
+        else:
+            self._round_rng = self.schedule.round_rng(round_no)
         self._severed = self.schedule.severed(round_no)
 
     def admit(self, round_no: int, message: Message) -> str:
@@ -211,22 +224,49 @@ class ChaosFaultPlane(FaultPlane):
         ):
             self._record(round_no, SEVER, message)
             return SEVER
-        fate, hold = self.schedule.decide(self._round_rng)
+        if self.message_keyed:
+            pair = (message.src, message.dst)
+            copy = self._pair_counts.get(pair, 0)
+            self._pair_counts[pair] = copy + 1
+            fate, hold = self.schedule.message_fate(
+                round_no, message.src, message.dst, copy
+            )
+        else:
+            fate, hold = self.schedule.decide(self._round_rng)
         if fate == DROP:
             self._record(round_no, DROP, message)
             return DROP
         if fate == DELAY:
-            self._pending.setdefault(round_no + hold, []).append(message)
+            self._queue(round_no, round_no + hold, message)
             self._record(round_no, DELAY, message, detail=hold)
             return DELAY
         if fate == DUPLICATE:
-            self._pending.setdefault(round_no + hold, []).append(message)
+            self._queue(round_no, round_no + hold, message)
             self._record(round_no, DUPLICATE, message, detail=hold)
             return DUPLICATE
         return DELIVER
 
+    def _queue(
+        self, admit_round: int, deliver_round: int, message: Message
+    ) -> None:
+        copy = (admit_round, message) if self.message_keyed else message
+        self._pending.setdefault(deliver_round, []).append(copy)
+
     def release(self, round_no: int) -> List[Message]:
         """Messages queued in earlier rounds that mature now."""
+        matured = self._pending.pop(round_no, [])
+        if self.message_keyed:
+            return [message for _, message in matured]
+        return matured
+
+    def release_tagged(self, round_no: int) -> List[Tuple[int, Message]]:
+        """Keyed mode only: matured copies as (admit_round, message).
+
+        The sharded worker uses the admit round to reconstruct the
+        global delivered order the coordinator feeds its auditors.
+        """
+        if not self.message_keyed:
+            raise RuntimeError("release_tagged requires message_keyed mode")
         return self._pending.pop(round_no, [])
 
     def record_late_loss(self, round_no: int, message: Message) -> None:
@@ -239,9 +279,15 @@ class ChaosFaultPlane(FaultPlane):
     ) -> None:
         if self.spec.reorder <= 0.0 or not inboxes:
             return
-        rng = self.schedule.reorder_rng(round_no)
+        rng = None
+        if not self.message_keyed:
+            rng = self.schedule.reorder_rng(round_no)
         for dst in sorted(inboxes):
             inbox = inboxes[dst]
+            if self.message_keyed:
+                # One stream per recipient: a worker hosting any subset
+                # of pids draws exactly the same shuffles for each.
+                rng = self.schedule.dst_reorder_rng(round_no, dst)
             if len(inbox) > 1 and rng.random() < self.spec.reorder:
                 rng.shuffle(inbox)
                 self.counts["reorder"] += 1

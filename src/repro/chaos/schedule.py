@@ -62,6 +62,35 @@ class FaultSchedule:
         not perturb the per-message fate draws (and vice versa)."""
         return derive_rng(self.master_seed, "chaos", "reorder", round_no)
 
+    # -- message-keyed streams (sharded backend) ------------------------
+    #
+    # Index-order draws above assume one process walks the round's
+    # traffic in engine order; a sharded run has no such single walker.
+    # These streams key each decision on the message's own coordinates
+    # instead — ``(round, src, dst, copy)`` for fates (``copy`` counts
+    # same-(src, dst) messages within the round) and ``(round, dst)``
+    # for inbox shuffles — so every worker reaches the same verdicts no
+    # matter how pids are sharded.
+
+    def message_rng(
+        self, round_no: int, src: int, dst: int, copy: int
+    ) -> random.Random:
+        return derive_rng(
+            self.master_seed, "chaos", "msg", round_no, src, dst, copy
+        )
+
+    def message_fate(
+        self, round_no: int, src: int, dst: int, copy: int
+    ) -> FaultDecision:
+        """Shard-invariant fate of the ``copy``-th (src, dst) message."""
+        if not self.spec.active_in(round_no):
+            return _DELIVER
+        return self.decide(self.message_rng(round_no, src, dst, copy))
+
+    def dst_reorder_rng(self, round_no: int, dst: int) -> random.Random:
+        """Per-recipient shuffle stream (shard-invariant reordering)."""
+        return derive_rng(self.master_seed, "chaos", "reorder", round_no, dst)
+
     def decide(self, rng: random.Random) -> FaultDecision:
         """Draw the fate of the next message from ``rng``.
 

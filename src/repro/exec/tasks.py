@@ -56,6 +56,13 @@ class RunSpec:
     seed: int
     kwargs: Dict[str, object] = field(default_factory=dict)
     params: Optional[Dict[str, object]] = None
+    # Execution backend ("inproc" | "sharded") and sharded-net options.
+    # Both backends produce identical audited results, so the default
+    # backend is deliberately EXCLUDED from the content key: a spec keeps
+    # its pre-sharding key (and its cache entries) unless a non-default
+    # backend is requested explicitly.
+    backend: str = "inproc"
+    net: Optional[Dict[str, object]] = None
 
     @classmethod
     def make(
@@ -63,6 +70,8 @@ class RunSpec:
         builder: Union[str, Callable],
         seed: int,
         params: Union[CongosParams, Mapping, None] = None,
+        backend: str = "inproc",
+        net: Optional[Mapping[str, object]] = None,
         **kwargs: object,
     ) -> "RunSpec":
         """Build a spec, resolving builder callables and params objects.
@@ -80,7 +89,14 @@ class RunSpec:
             resolved = asdict(CongosParams(**dict(params)))
         else:
             resolved = None
-        return cls(builder=name, seed=seed, kwargs=dict(kwargs), params=resolved)
+        return cls(
+            builder=name,
+            seed=seed,
+            kwargs=dict(kwargs),
+            params=resolved,
+            backend=backend,
+            net=dict(net) if net is not None else None,
+        )
 
     @property
     def key(self) -> str:
@@ -91,6 +107,9 @@ class RunSpec:
             "kwargs": self.kwargs,
             "params": self.params,
         }
+        if self.backend != "inproc":
+            payload["backend"] = self.backend
+            payload["net"] = self.net
         digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
         return digest.hexdigest()
 
@@ -101,6 +120,8 @@ class RunSpec:
 
     def to_scenario(self):
         """Instantiate the scenario this spec describes (any process)."""
+        import dataclasses
+
         from repro.harness.scenarios import get_builder
 
         builder = get_builder(self.builder)
@@ -108,15 +129,24 @@ class RunSpec:
         params = self.resolve_params()
         if params is not None:
             kwargs["params"] = params
-        return builder(seed=self.seed, **kwargs)
+        scenario = builder(seed=self.seed, **kwargs)
+        if self.backend != "inproc":
+            scenario = dataclasses.replace(
+                scenario, backend=self.backend, net=self.net
+            )
+        return scenario
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "builder": self.builder,
             "seed": self.seed,
             "kwargs": dict(self.kwargs),
             "params": dict(self.params) if self.params is not None else None,
         }
+        if self.backend != "inproc":
+            data["backend"] = self.backend
+            data["net"] = dict(self.net) if self.net is not None else None
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
@@ -125,6 +155,8 @@ class RunSpec:
             seed=int(data["seed"]),  # type: ignore[arg-type]
             kwargs=dict(data.get("kwargs") or {}),
             params=dict(data["params"]) if data.get("params") else None,
+            backend=str(data.get("backend", "inproc")),
+            net=dict(data["net"]) if data.get("net") else None,
         )
 
 

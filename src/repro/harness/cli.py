@@ -37,6 +37,12 @@ Commands
     pre-optimization baseline, and ``perf chaos-scaling`` re-runs the
     chaos drop axis at larger ``n`` (ROADMAP item 2) and writes
     ``BENCH_e17b_chaos_scaling.json`` with the QoD-cliff placement.
+``net``
+    The sharded multi-process backend (see DESIGN.md Section 9):
+    ``net verify`` runs one scenario on both backends and asserts the
+    payload digests are bit-identical, and ``net bench`` times the
+    in-process engine against the sharded one across system sizes and
+    writes ``BENCH_e18_sharded_scaling.json``.
 ``scenarios``
     List the registered scenario builders and their keyword arguments.
 ``partitions``
@@ -48,6 +54,8 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import hashlib
 import inspect
 import json
 import os
@@ -81,10 +89,16 @@ from repro.exec.bench_io import profile_payload, sweep_payload, write_bench_json
 from repro.exec.cache import ResultCache
 from repro.exec.pool import run_specs
 from repro.exec.progress import Progress
-from repro.exec.tasks import RunSpec
+from repro.exec.results import RunRecord
+from repro.exec.tasks import RunSpec, canonical_json
 from repro.harness.report import format_kv, format_table
 from repro.harness.runner import run_congos_scenario
 from repro.harness.scenarios import BUILDERS
+from repro.net.bench import (
+    E18_BENCH_NAME,
+    run_sharded_scaling,
+    sharded_scaling_payload,
+)
 from repro.obs import JsonlSink, MetricsRegistry, RumorTimeline, Telemetry
 from repro.perf import (
     E17B_BENCH_NAME,
@@ -135,6 +149,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print a telemetry-registry dump after the summary",
+    )
+    run.add_argument(
+        "--backend",
+        choices=("inproc", "sharded"),
+        default="inproc",
+        help="execution backend: one in-process engine, or pids sharded "
+        "over worker processes on a real transport (identical results)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="sharded backend: worker process count",
+    )
+    run.add_argument(
+        "--transport",
+        default="tcp",
+        help="sharded backend: transport name (tcp, or zmq with the "
+        "repro[net] extra installed)",
     )
 
     sweep = sub.add_parser(
@@ -459,6 +492,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument("--json", action="store_true", help="emit JSON payload")
 
+    net = sub.add_parser(
+        "net",
+        help="sharded multi-process backend: digest verification and the "
+        "E18 scaling bench",
+    )
+    net.add_argument(
+        "suite",
+        choices=("verify", "bench"),
+        help="verify = run one scenario on both backends and compare "
+        "payload digests; bench = E18 inproc-vs-sharded scaling",
+    )
+    net.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="steady",
+        help="verify: scenario builder to compare",
+    )
+    net.add_argument("-n", type=int, default=16, help="verify: process count")
+    net.add_argument("--rounds", type=int, default=96)
+    net.add_argument("--seed", type=int, default=0)
+    net.add_argument("--deadline", type=int, default=64)
+    net.add_argument("--tau", type=int, default=1)
+    net.add_argument(
+        "--lean", action="store_true", help="use CongosParams.lean()"
+    )
+    net.add_argument(
+        "--workers", type=int, default=2, help="worker process count"
+    )
+    net.add_argument(
+        "--transport",
+        default="tcp",
+        help="transport name (tcp, or zmq with the repro[net] extra)",
+    )
+    net.add_argument(
+        "--ns",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="bench: system sizes (default: 64 256)",
+    )
+    net.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="bench: artifact directory for BENCH_e18_sharded_scaling.json",
+    )
+    net.add_argument("--json", action="store_true", help="emit JSON payload")
+
     sub.add_parser("scenarios", help="list registered scenario builders")
 
     partitions = sub.add_parser("partitions", help="inspect a partition family")
@@ -518,10 +600,22 @@ def cmd_run(args: argparse.Namespace) -> int:
         return _run_multi_seed(args, params, kwargs)
     seed = args.seeds[0] if args.seeds else args.seed
     builder = SCENARIOS[args.scenario]
+    if args.backend == "sharded" and args.metrics:
+        print(
+            "--metrics needs the inproc backend (telemetry is not threaded "
+            "through shard workers)",
+            file=sys.stderr,
+        )
+        return 2
     telemetry = Telemetry() if args.metrics else None
-    result = run_congos_scenario(
-        builder(seed=seed, params=params, **kwargs), telemetry=telemetry
-    )
+    scenario = builder(seed=seed, params=params, **kwargs)
+    if args.backend != "inproc":
+        scenario = dataclasses.replace(
+            scenario,
+            backend=args.backend,
+            net={"workers": args.workers, "transport": args.transport},
+        )
+    result = run_congos_scenario(scenario, telemetry=telemetry)
     summary = result.summary()
     if args.json:
         if telemetry is not None:
@@ -551,8 +645,20 @@ def _run_multi_seed(
     args: argparse.Namespace, params: CongosParams, kwargs: Dict[str, object]
 ) -> int:
     """Replicate one scenario across seeds on the exec pool."""
+    net = (
+        {"workers": args.workers, "transport": args.transport}
+        if args.backend != "inproc"
+        else None
+    )
     specs = [
-        RunSpec.make(args.scenario, seed=seed, params=params, **kwargs)
+        RunSpec.make(
+            args.scenario,
+            seed=seed,
+            params=params,
+            backend=args.backend,
+            net=net,
+            **kwargs,
+        )
         for seed in args.seeds
     ]
     records = run_specs(specs, jobs=args.jobs)
@@ -1258,6 +1364,136 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return _perf_chaos_scaling(args)
 
 
+def _record_digest(result) -> str:
+    """sha256 of the run's profile-free RunRecord payload."""
+    clean = RunRecord.from_result(result).without_profile().to_dict()
+    return hashlib.sha256(canonical_json(clean).encode("utf-8")).hexdigest()
+
+
+def _net_verify(args: argparse.Namespace) -> int:
+    params = _trace_params(args)
+    kwargs = _scenario_kwargs(args)
+    builder = SCENARIOS[args.scenario]
+    base = builder(seed=args.seed, params=params, **kwargs)
+    if base.chaos is not None:
+        # The default index-order fate stream has no shard-invariant
+        # meaning; both backends must draw message-keyed fates to be
+        # digest-comparable.
+        base = dataclasses.replace(base, chaos_keyed=True)
+    inproc = run_congos_scenario(base)
+    sharded = run_congos_scenario(
+        dataclasses.replace(
+            base,
+            backend="sharded",
+            net={"workers": args.workers, "transport": args.transport},
+        )
+    )
+    inproc_digest = _record_digest(inproc)
+    sharded_digest = _record_digest(sharded)
+    match = inproc_digest == sharded_digest
+    clean = sharded.confidentiality.is_clean()
+    payload: Dict[str, object] = {
+        "scenario": args.scenario,
+        "n": args.n,
+        "rounds": args.rounds,
+        "seed": args.seed,
+        "workers": args.workers,
+        "transport": args.transport,
+        "inproc_digest": inproc_digest,
+        "sharded_digest": sharded_digest,
+        "digest_match": match,
+        "clean": clean,
+        "qod_satisfied": sharded.qod.satisfied,
+        "net": sharded.engine.net_summary(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        net = payload["net"]
+        print(
+            format_kv(
+                [
+                    ("scenario", args.scenario),
+                    ("n / rounds / seed", "{} / {} / {}".format(
+                        args.n, args.rounds, args.seed
+                    )),
+                    ("workers x transport", "{} x {}".format(
+                        args.workers, args.transport
+                    )),
+                    ("inproc digest", inproc_digest[:16]),
+                    ("sharded digest", sharded_digest[:16]),
+                    ("digests match", "yes" if match else "NO"),
+                    ("confidentiality clean", "yes" if clean else "NO"),
+                    ("local / cross messages", "{} / {}".format(
+                        net["local_messages"], net["cross_messages"]
+                    )),
+                    ("cross fraction", net["cross_fraction"]),
+                ],
+                title="net verify",
+            )
+        )
+    return 0 if match and clean else 1
+
+
+def _net_bench(args: argparse.Namespace) -> int:
+    ns = tuple(args.ns) if args.ns else (64, 256)
+    progress = Progress.for_tty(len(ns), label="net bench")
+    rows = run_sharded_scaling(
+        ns=ns,
+        rounds=args.rounds,
+        deadline=args.deadline,
+        workers=args.workers,
+        transport=args.transport,
+        progress=progress,
+    )
+    progress.finish()
+    payload = sharded_scaling_payload(rows)
+    if args.out:
+        path = write_bench_json(E18_BENCH_NAME, payload, args.out)
+        print("wrote {}".format(path), file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload["all_digests_match"] and payload["all_clean"] else 1
+    table: List[List[object]] = []
+    for row in rows:
+        table.append(
+            [
+                row["n"],
+                "{:.3f}".format(row["wall_inproc_s"]),
+                "{:.3f}".format(row["wall_sharded_s"]),
+                "{:.2f}x".format(row["slowdown"]) if row["slowdown"] else "-",
+                row["total"],
+                row["cross_fraction"],
+                "yes" if row["digest_match"] else "NO",
+                "yes" if row["clean"] else "NO",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "n",
+                "inproc s",
+                "sharded s",
+                "slowdown",
+                "msgs",
+                "cross",
+                "match",
+                "clean",
+            ],
+            table,
+            title="E18 sharded scaling ({} rounds, {} workers, {}, "
+            "single host)".format(args.rounds, args.workers, args.transport),
+        )
+    )
+    return 0 if payload["all_digests_match"] and payload["all_clean"] else 1
+
+
+def cmd_net(args: argparse.Namespace) -> int:
+    if args.suite == "verify":
+        return _net_verify(args)
+    return _net_bench(args)
+
+
 def cmd_scenarios(_: argparse.Namespace) -> int:
     rows = []
     for name, builder in sorted(SCENARIOS.items()):
@@ -1329,6 +1565,7 @@ def main(argv=None) -> int:
         "chaos-soak": cmd_chaos_soak,
         "direct-soak": cmd_direct_soak,
         "perf": cmd_perf,
+        "net": cmd_net,
         "scenarios": cmd_scenarios,
         "partitions": cmd_partitions,
         "bounds": cmd_bounds,

@@ -54,6 +54,19 @@ class Scenario:
     # Fail-fast invariant monitoring: None, "confidentiality" or "qod"
     # ("qod" implies the confidentiality check too).
     failfast: Optional[str] = None
+    # Execution backend: "inproc" (default, one engine in this process)
+    # or "sharded" (pids split over worker processes on a real transport,
+    # see repro.net).  Both produce identical audited results.
+    backend: str = "inproc"
+    # Sharded-backend options (workers/transport/timeout), validated by
+    # repro.net.coordinator.NetOptions.  Ignored by the inproc backend.
+    net: Optional[Dict[str, object]] = None
+    # Chaos fate streams: False (default) draws fates in message-index
+    # order — byte-identical to the pre-sharding seed; True keys every
+    # fate on (round, src, dst, copy), the shard-invariant mode the
+    # sharded backend always uses.  Set it on inproc runs that must be
+    # digest-comparable with sharded ones.
+    chaos_keyed: bool = False
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -64,6 +77,8 @@ class Scenario:
             raise ValueError(
                 "failfast must be None, 'confidentiality' or 'qod'"
             )
+        if self.backend not in ("inproc", "sharded"):
+            raise ValueError("backend must be 'inproc' or 'sharded'")
         if self.chaos is not None:
             FaultSpec.from_dict(self.chaos)  # validate eagerly
 
@@ -137,6 +152,19 @@ def run_congos_scenario(
     ``telemetry`` (a :class:`repro.obs.Telemetry`) is threaded through the
     whole protocol stack; ``None`` keeps the zero-overhead null telemetry.
     """
+    if scenario.backend == "sharded":
+        # Imported lazily: repro.net pulls in multiprocessing machinery
+        # that default in-process runs never need.
+        from repro.net.coordinator import run_sharded_scenario
+
+        if telemetry is not None:
+            raise NotImplementedError(
+                "telemetry is not threaded through shard workers yet; "
+                "run with backend='inproc' to trace"
+            )
+        return run_sharded_scenario(
+            scenario, observers=observers, partition_set=partition_set
+        )
     resolved_partitions = (
         partition_set
         if partition_set is not None
@@ -208,7 +236,11 @@ def run_with_factory(
         # "same seed => same fault schedule" holds across builders and at
         # any --jobs setting.
         fault_plane = ChaosFaultPlane(
-            scenario.seed, spec, scenario.n, telemetry=telemetry
+            scenario.seed,
+            spec,
+            scenario.n,
+            telemetry=telemetry,
+            message_keyed=scenario.chaos_keyed,
         )
     all_observers: List[SimObserver] = [
         resolved_delivery, confidentiality, *observers

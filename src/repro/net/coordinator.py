@@ -1,0 +1,537 @@
+"""The shard coordinator: a sharded drop-in for ``run_congos_scenario``.
+
+:func:`run_sharded_scenario` runs a scenario's pids across worker
+*processes* connected by a real transport, while keeping every piece of
+global logic — the adversary, the event log, message statistics, both
+auditors, observer dispatch — in the coordinator, in exactly the order
+:class:`~repro.sim.engine.Engine` runs it.  The result is bit-identical
+to the in-process backend (same ``RunRecord.without_profile()``), with
+one caveat: chaos runs compare against the in-process engine in
+*message-keyed* mode (``Scenario.chaos_keyed``), because the default
+index-order fate stream has no shard-invariant meaning.
+
+Round barrier
+    Lockstep, the only sync policy implemented: every worker finishes
+    its send phase before any cross batch is forwarded, and every worker
+    finishes delivery before the next round starts.  The barrier lives
+    in two frame exchanges per round (``round``/``sent``, then
+    ``deliver``/``events``), so a different policy — e.g. bounded-lag
+    pipelining — would slot in by changing only this module's loop.
+
+What crosses the wire, and what the coordinator sees
+    Cross-shard batches travel as opaque codec bytes; the coordinator
+    relays them between workers without decoding, so rumor payload bytes
+    never materialize in the coordinator except where the audit needs
+    them: each worker's *delivered* stream, which is decoded and fed to
+    the :class:`~repro.audit.confidentiality.ConfidentialityAuditor` in
+    reconstructed global order.  Delivery records carry payload digests
+    only; plaintext is re-attached from the coordinator's own injection
+    log, never from the wire.
+
+Adversary support
+    Everything driven by ``round_start`` (workloads, crash/restart fault
+    models, adaptive killers reading the event log) works unchanged.
+    Mid-round adversaries are rejected at setup: they inspect the round's
+    outgoing messages, which never exist in one place here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from dataclasses import asdict
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.adversary.base import Adversary, ComposedAdversary
+from repro.audit.confidentiality import ConfidentialityAuditor
+from repro.audit.delivery import DeliveryAuditor
+from repro.audit.failfast import FailFastMonitor
+from repro.chaos.plane import ChaosFaultPlane
+from repro.core.congos import build_partition_set
+from repro.core.partitions import PartitionSet
+from repro.gossip.rumor import RumorId
+from repro.net.codec import decode_frame, decode_tagged_messages, encode_frame
+from repro.net.shard import ShardPlan
+from repro.net.transport import DEFAULT_TIMEOUT, get_transport
+from repro.net.worker import worker_main
+from repro.sim.clock import RoundClock
+from repro.sim.events import (
+    CrashEvent,
+    EventLog,
+    InjectEvent,
+    RestartEvent,
+)
+from repro.sim.metrics import MessageStats
+from repro.sim.rng import derive_rng
+
+__all__ = ["NetOptions", "ShardEngine", "run_sharded_scenario"]
+
+
+class NetOptions:
+    """Resolved ``Scenario.net`` options (all optional, with defaults)."""
+
+    KEYS = ("workers", "transport", "timeout")
+
+    def __init__(self, net: Optional[Dict[str, object]]):
+        net = dict(net or {})
+        unknown = set(net) - set(self.KEYS)
+        if unknown:
+            raise ValueError(
+                "unknown net options: {}".format(sorted(unknown))
+            )
+        self.workers = int(net.get("workers", 2))  # type: ignore[arg-type]
+        self.transport = str(net.get("transport", "tcp"))
+        timeout = net.get("timeout")
+        self.timeout = DEFAULT_TIMEOUT if timeout is None else float(timeout)  # type: ignore[arg-type]
+        if self.workers < 1:
+            raise ValueError("net.workers must be >= 1")
+
+
+class ShardEngine:
+    """The coordinator's engine facade.
+
+    Duck-types the :class:`~repro.sim.engine.Engine` surface that
+    observers, auditors and ``RunResult`` consumers actually touch —
+    ``round``, ``event_log``, ``stats``, ``rounds_executed``,
+    ``alive_pids()`` — plus sharding-specific accounting for the E18
+    bench (:meth:`net_summary`).
+    """
+
+    def __init__(self, n: int, plan: ShardPlan, transport: str):
+        self.n = n
+        self.plan = plan
+        self.transport = transport
+        self.sync = "lockstep"
+        self.clock = RoundClock(0)
+        self.stats = MessageStats()
+        self.event_log = EventLog()
+        self.rounds_executed = 0
+        self.local_messages = 0
+        self.cross_messages = 0
+        self._alive: Set[int] = set(range(n))
+        self._touched_this_round: Set[int] = set()
+
+    @property
+    def round(self) -> int:
+        return self.clock.round
+
+    def alive_pids(self) -> Set[int]:
+        return set(self._alive)
+
+    def net_summary(self) -> Dict[str, object]:
+        total = self.local_messages + self.cross_messages
+        return {
+            "workers": self.plan.workers,
+            "transport": self.transport,
+            "sync": self.sync,
+            "local_messages": self.local_messages,
+            "cross_messages": self.cross_messages,
+            "cross_fraction": (
+                round(self.cross_messages / total, 4) if total else 0.0
+            ),
+        }
+
+
+class ShardAdversaryView:
+    """Duck-types :class:`~repro.sim.engine.AdversaryView` for shard runs.
+
+    Omniscient *membership* state (aliveness, event log) is global at
+    the coordinator; per-node internals are not, so :meth:`behavior`
+    raises instead of silently returning stale state.
+    """
+
+    def __init__(self, engine: ShardEngine):
+        self.engine = engine
+        self._all_pids: FrozenSet[int] = frozenset(range(engine.n))
+
+    @property
+    def round(self) -> int:
+        return self.engine.round
+
+    @property
+    def n(self) -> int:
+        return self.engine.n
+
+    @property
+    def all_pids(self) -> FrozenSet[int]:
+        return self._all_pids
+
+    @property
+    def event_log(self) -> EventLog:
+        return self.engine.event_log
+
+    def alive_pids(self) -> Set[int]:
+        return self.engine.alive_pids()
+
+    def crashed_pids(self) -> Set[int]:
+        return self._all_pids - self.engine._alive
+
+    def is_alive(self, pid: int) -> bool:
+        return pid in self.engine._alive
+
+    def touched_this_round(self) -> Set[int]:
+        return set(self.engine._touched_this_round)
+
+    def behavior(self, pid: int):
+        raise NotImplementedError(
+            "node {} lives in a shard worker process; the sharded backend "
+            "does not expose remote node internals to adversaries".format(pid)
+        )
+
+
+def _reject_mid_round_adversaries(adversary: Adversary) -> None:
+    """Fail fast on adversaries the sharded backend cannot honor."""
+    parts = (
+        adversary.parts
+        if isinstance(adversary, ComposedAdversary)
+        else [adversary]
+    )
+    for part in parts:
+        if type(part).mid_round is not Adversary.mid_round:
+            raise NotImplementedError(
+                "{} overrides mid_round (it inspects the round's outgoing "
+                "messages); the sharded backend never materializes them in "
+                "one place — run this scenario with backend='inproc'".format(
+                    type(part).__name__
+                )
+            )
+
+
+class _WorkerPool:
+    """Spawned worker processes plus their coordinator-side connections."""
+
+    def __init__(self, scenario, plan: ShardPlan, options: NetOptions):
+        self.plan = plan
+        transport = get_transport(options.transport, timeout=options.timeout)
+        self.listener = transport.listen()
+        context = multiprocessing.get_context("spawn")
+        self.processes = []
+        self.connections: Dict[int, object] = {}
+        try:
+            for worker in range(plan.workers):
+                config = {
+                    "worker": worker,
+                    "n": scenario.n,
+                    "seed": scenario.seed,
+                    "params": asdict(scenario.params),
+                    "chaos": scenario.chaos,
+                    "owner": plan.owner,
+                    "address": self.listener.address,
+                    "transport": options.transport,
+                    "timeout": options.timeout,
+                }
+                process = context.Process(
+                    target=worker_main, args=(config,), daemon=True
+                )
+                process.start()
+                self.processes.append(process)
+            for _ in range(plan.workers):
+                connection = self.listener.accept()
+                kind, body = decode_frame(connection.recv())
+                if kind == "error":
+                    raise RuntimeError(
+                        "shard worker failed during startup:\n{}".format(
+                            body.get("traceback")
+                        )
+                    )
+                if kind != "hello":
+                    raise RuntimeError(
+                        "expected hello frame, got {!r}".format(kind)
+                    )
+                self.connections[int(body["worker"])] = connection
+        except BaseException:
+            self.close()
+            raise
+
+    def send(self, worker: int, frame: bytes) -> None:
+        self.connections[worker].send(frame)
+
+    def recv(self, worker: int, expected: str):
+        kind, body = decode_frame(self.connections[worker].recv())
+        if kind == "error":
+            raise RuntimeError(
+                "shard worker {} failed:\n{}".format(
+                    body.get("worker", worker), body.get("traceback")
+                )
+            )
+        if kind != expected:
+            raise RuntimeError(
+                "expected {!r} frame from worker {}, got {!r}".format(
+                    expected, worker, kind
+                )
+            )
+        return body
+
+    def close(self) -> None:
+        for connection in self.connections.values():
+            try:
+                connection.close()
+            except Exception:
+                pass
+        try:
+            self.listener.close()
+        except Exception:
+            pass
+        for process in self.processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+
+def run_sharded_scenario(
+    scenario,
+    observers=(),
+    partition_set: Optional[PartitionSet] = None,
+):
+    """Run a scenario on the sharded multi-process backend.
+
+    Mirrors :func:`repro.harness.runner.run_with_factory` decision for
+    decision; see the module docstring for the exact division of labor
+    between coordinator and workers.  Returns the same ``RunResult``
+    shape as the in-process path (``result.engine`` is a
+    :class:`ShardEngine` facade).
+    """
+    # Imported here: harness.runner dispatches to this module, so a
+    # top-level import would be circular.
+    from repro.harness.runner import RunResult
+
+    options = NetOptions(scenario.net)
+    if options.workers > scenario.n:
+        raise ValueError(
+            "net.workers={} exceeds n={}".format(options.workers, scenario.n)
+        )
+    resolved_partitions = (
+        partition_set
+        if partition_set is not None
+        else build_partition_set(scenario.n, scenario.params, scenario.seed)
+    )
+    plan = ShardPlan.build(
+        scenario.n, options.workers, partition_set=resolved_partitions
+    )
+
+    delivery = DeliveryAuditor()
+    confidentiality = ConfidentialityAuditor(
+        num_partitions=resolved_partitions.count,
+        num_groups=resolved_partitions.num_groups,
+    )
+    parts: List[Adversary] = []
+    workload: Optional[Adversary] = None
+    if scenario.workload_factory is not None:
+        workload = scenario.workload_factory(
+            derive_rng(scenario.seed, "workload", scenario.name)
+        )
+        parts.append(workload)
+    if scenario.fault_factory is not None:
+        parts.append(
+            scenario.fault_factory(
+                derive_rng(scenario.seed, "faults", scenario.name),
+                resolved_partitions,
+                scenario.n,
+            )
+        )
+    adversary: Adversary = ComposedAdversary(parts)
+    _reject_mid_round_adversaries(adversary)
+
+    all_observers = [delivery, confidentiality, *observers]
+    if scenario.failfast == "confidentiality":
+        all_observers.append(FailFastMonitor(confidentiality))
+    elif scenario.failfast == "qod":
+        all_observers.append(FailFastMonitor(confidentiality, delivery=delivery))
+    # The engine's per-hook dispatch tables, verbatim (inherited no-op
+    # SimObserver methods are never called).
+    from repro.sim.engine import Engine, SimObserver
+
+    dispatch: Dict[str, Tuple] = {}
+    for hook in Engine._HOOKS:
+        base = getattr(SimObserver, hook)
+        dispatch[hook] = tuple(
+            observer
+            for observer in all_observers
+            if getattr(type(observer), hook, base) is not base
+            or hook in getattr(observer, "__dict__", ())
+        )
+
+    engine = ShardEngine(scenario.n, plan, options.transport)
+    view = ShardAdversaryView(engine)
+    spec = scenario.fault_spec()
+    fault_plane: Optional[ChaosFaultPlane] = None
+    if spec is not None:
+        # Counts-only mirror of the workers' planes: the schedule object
+        # is identical (same seed/spec), the counts are merged from the
+        # final frames below.
+        fault_plane = ChaosFaultPlane(
+            scenario.seed, spec, scenario.n, keep_events=False,
+            message_keyed=True,
+        )
+
+    pool = _WorkerPool(scenario, plan, options)
+    try:
+        worker_ids = sorted(pool.connections)
+        for _ in range(scenario.rounds):
+            _run_round(
+                engine, view, adversary, dispatch, delivery, pool,
+                worker_ids, plan,
+            )
+        for worker in worker_ids:
+            pool.send(worker, encode_frame("stop", None))
+        for worker in worker_ids:
+            final = pool.recv(worker, "final")
+            if fault_plane is not None and final["counts"] is not None:
+                for kind, count in final["counts"].items():
+                    fault_plane.counts[kind] = (
+                        fault_plane.counts.get(kind, 0) + count
+                    )
+                for stage, kinds in (final["stage_counts"] or {}).items():
+                    merged = fault_plane.stage_counts.setdefault(stage, {})
+                    for kind, count in kinds.items():
+                        merged[kind] = merged.get(kind, 0) + count
+    finally:
+        pool.close()
+
+    qod = delivery.report(engine)
+    return RunResult(
+        scenario=scenario,
+        engine=engine,
+        stats=engine.stats,
+        qod=qod,
+        confidentiality=confidentiality,
+        delivery=delivery,
+        workload=workload,
+        partition_set=resolved_partitions,
+        fault_plane=fault_plane,
+    )
+
+
+def _run_round(
+    engine: ShardEngine,
+    view: ShardAdversaryView,
+    adversary: Adversary,
+    dispatch: Dict[str, Tuple],
+    delivery: DeliveryAuditor,
+    pool: _WorkerPool,
+    worker_ids: List[int],
+    plan: ShardPlan,
+) -> None:
+    round_no = engine.clock.round
+    for observer in dispatch["on_round_begin"]:
+        observer.on_round_begin(round_no)
+
+    decision = adversary.round_start(view)
+    if decision.crashes & decision.restarts:
+        raise ValueError(
+            "a process may crash or restart at most once per round"
+        )
+    alive = engine._alive
+    crashes = sorted(decision.crashes)
+    restarts = sorted(decision.restarts)
+    for pid in crashes:
+        if pid not in alive:
+            raise RuntimeError("process {} is already crashed".format(pid))
+        alive.discard(pid)
+        engine.event_log.record_crash(CrashEvent(pid, round_no, False))
+        for observer in dispatch["on_crash"]:
+            observer.on_crash(round_no, pid, False)
+    for pid in restarts:
+        if pid in alive:
+            raise RuntimeError("process {} is already alive".format(pid))
+        alive.add(pid)
+        engine.event_log.record_restart(RestartEvent(pid, round_no))
+        for observer in dispatch["on_restart"]:
+            observer.on_restart(round_no, pid)
+    engine._touched_this_round = set(crashes) | set(restarts)
+
+    injections_of: Dict[int, List[Tuple[int, object]]] = {}
+    injected: Set[int] = set()
+    for pid, rumor in decision.injections:
+        if pid in injected:
+            raise ValueError(
+                "at most one rumor per process per round (pid {})".format(pid)
+            )
+        if pid not in alive:
+            raise ValueError(
+                "cannot inject at crashed process {}".format(pid)
+            )
+        injected.add(pid)
+        engine.event_log.record_injection(InjectEvent(pid, round_no, rumor))
+        for observer in dispatch["on_inject"]:
+            observer.on_inject(round_no, pid, rumor)
+        injections_of.setdefault(plan.owner[pid], []).append((pid, rumor))
+
+    for worker in worker_ids:
+        pool.send(
+            worker,
+            encode_frame(
+                "round",
+                {
+                    "round": round_no,
+                    "crashes": crashes,
+                    "restarts": restarts,
+                    "injections": injections_of.get(worker, []),
+                },
+            ),
+        )
+    total = 0
+    size = 0
+    by_service: Dict[str, int] = {}
+    batches_for: Dict[int, List[bytes]] = {worker: [] for worker in worker_ids}
+    for worker in worker_ids:
+        sent = pool.recv(worker, "sent")
+        total += sent["count"]
+        size += sent["size"]
+        for service, tally in sent["by_service"].items():
+            by_service[service] = by_service.get(service, 0) + tally
+        engine.local_messages += sent["local_count"]
+        engine.cross_messages += sent["count"] - sent["local_count"]
+        # Opaque relay: the coordinator never decodes cross traffic.
+        for destination, blob in sorted(sent["cross"].items()):
+            batches_for[destination].append(blob)
+    engine.stats.record_round(round_no, total, size, by_service)
+
+    for worker in worker_ids:
+        pool.send(
+            worker,
+            encode_frame(
+                "deliver",
+                {
+                    "round": round_no,
+                    "mid_crashes": [],
+                    "batches": batches_for[worker],
+                },
+            ),
+        )
+    merged: List[Tuple[Tuple[int, ...], object]] = []
+    delivery_batches: List[Tuple[int, List]] = []
+    for worker in worker_ids:
+        events = pool.recv(worker, "events")
+        merged.extend(decode_tagged_messages(events["delivered"]))
+        delivery_batches.append((worker, events["deliveries"]))
+    # Restore the exact in-process delivered order: fresh messages by
+    # (src, seq) — the engine's outgoing order — then matured chaos
+    # copies by (admit_round, src, seq) — the plane's queue order.
+    merged.sort(key=lambda entry: entry[0])
+    deliver_observers = dispatch["on_deliver"]
+    if deliver_observers:
+        for _, message in merged:
+            for observer in deliver_observers:
+                observer.on_deliver(round_no, message)
+
+    for _, records in delivery_batches:
+        for pid, when, src, seq, digest, path in records:
+            rid = RumorId(src, seq)
+            rumor = delivery.rumors.get(rid)
+            if (
+                rumor is not None
+                and hashlib.sha256(rumor.data).hexdigest() == digest
+            ):
+                data = rumor.data
+            else:
+                # Never equal to any injected plaintext: records the
+                # delivery (and its path) while failing correct_data.
+                data = b"\x00unverified:" + digest.encode("ascii")
+            delivery.record_delivery(pid, when, rid, data, path)
+
+    for observer in dispatch["on_round_end"]:
+        observer.on_round_end(round_no, engine)
+    engine.rounds_executed += 1
+    engine.clock.advance()

@@ -1,0 +1,102 @@
+"""Group-aligned pid-to-worker shard plans.
+
+CONGOS fragments never leave their group except through the Proxy and
+GroupDistribution services, so the natural shard boundary is the group:
+placing whole partition-0 groups on one worker keeps the bulk of the
+GroupGossip fanout local and sends only Proxy / GD / direct-send /
+fallback traffic across shards.
+
+:class:`ShardPlan` is a pure value object (pid -> worker index) that
+both the coordinator and every worker compute routing against; it rides
+the spawn config as a plain tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.partitions import PartitionSet
+
+__all__ = ["ShardPlan"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An assignment of every pid to exactly one worker."""
+
+    n: int
+    workers: int
+    owner: Tuple[int, ...]  # owner[pid] == worker index
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if len(self.owner) != self.n:
+            raise ValueError("owner table must cover every pid")
+        seen = set(self.owner)
+        if not seen <= set(range(self.workers)):
+            raise ValueError("owner table references unknown workers")
+        if len(seen) != self.workers:
+            raise ValueError("every worker must own at least one pid")
+
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        workers: int,
+        partition_set: Optional[PartitionSet] = None,
+    ) -> "ShardPlan":
+        """Chunk pids onto ``workers`` near-equal contiguous shards.
+
+        With a partition set, pids are laid out group-major over
+        partition 0 first, so chunk boundaries fall between groups
+        wherever group sizes allow — whole groups land on one worker and
+        their GroupGossip traffic never crosses the wire.
+        """
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if workers > n:
+            raise ValueError(
+                "{} workers for {} pids: at least one worker would be "
+                "empty".format(workers, n)
+            )
+        if partition_set is None:
+            order = list(range(n))
+        else:
+            order = [
+                pid
+                for group in range(partition_set.num_groups)
+                for pid in sorted(partition_set.members(0, group))
+            ]
+            if len(order) != n:
+                raise ValueError("partition 0 does not cover every pid")
+        owner = [0] * n
+        base, extra = divmod(n, workers)
+        start = 0
+        for worker in range(workers):
+            size = base + (1 if worker < extra else 0)
+            for pid in order[start : start + size]:
+                owner[pid] = worker
+            start += size
+        return cls(n=n, workers=workers, owner=tuple(owner))
+
+    def pids_of(self, worker: int) -> List[int]:
+        """The pids a worker owns, ascending."""
+        return [pid for pid in range(self.n) if self.owner[pid] == worker]
+
+    def assignments(self) -> Dict[int, List[int]]:
+        out: Dict[int, List[int]] = {w: [] for w in range(self.workers)}
+        for pid in range(self.n):
+            out[self.owner[pid]].append(pid)
+        return out
+
+    def locality(self, partition_set: PartitionSet) -> float:
+        """Fraction of partition-0 groups living entirely on one worker
+        (a rough proxy for how much gossip traffic stays off the wire)."""
+        local = 0
+        for group in range(partition_set.num_groups):
+            owners = {self.owner[pid] for pid in partition_set.members(0, group)}
+            if len(owners) == 1:
+                local += 1
+        return local / partition_set.num_groups

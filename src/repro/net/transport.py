@@ -1,0 +1,205 @@
+"""Pluggable byte transports for the sharded backend.
+
+A transport moves opaque frames (length-prefixed byte strings) between
+the coordinator and its workers; all semantics live above it in
+:mod:`repro.net.codec`.  Two backends:
+
+* ``tcp`` — stdlib loopback sockets.  No dependencies; this is what
+  tier-1 tests and CI run on.
+* ``zmq`` — ROUTER/DEALER over pyzmq, behind the ``net`` optional
+  extra (:mod:`repro.net.zmq_transport`).  Imported lazily so the
+  package works without pyzmq installed.
+
+The interface is deliberately tiny::
+
+    transport = get_transport("tcp")
+    listener = transport.listen()          # coordinator side
+    conn = transport.connect(listener.address)   # worker side
+    peer = listener.accept()               # coordinator's handle on it
+    conn.send(frame); frame = peer.recv()
+
+Addresses are picklable tuples so they can ride in the spawn config of
+a worker process.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Optional, Tuple
+
+__all__ = [
+    "Connection",
+    "Listener",
+    "TcpTransport",
+    "Transport",
+    "TransportClosed",
+    "get_transport",
+]
+
+#: Generous ceiling so a hung peer fails loudly instead of deadlocking
+#: the round barrier forever.
+DEFAULT_TIMEOUT = 300.0
+
+_LEN = struct.Struct(">I")
+
+
+class TransportClosed(ConnectionError):
+    """The peer went away mid-conversation."""
+
+
+class Connection:
+    """One bidirectional frame pipe."""
+
+    def send(self, frame: bytes) -> None:
+        raise NotImplementedError
+
+    def recv(self) -> bytes:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class Listener:
+    """Coordinator-side acceptor."""
+
+    @property
+    def address(self) -> Tuple[object, ...]:
+        raise NotImplementedError
+
+    def accept(self) -> Connection:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class Transport:
+    name = "abstract"
+
+    def listen(self) -> Listener:
+        raise NotImplementedError
+
+    def connect(self, address: Tuple[object, ...]) -> Connection:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Stdlib TCP loopback
+# ----------------------------------------------------------------------
+
+
+class TcpConnection(Connection):
+    def __init__(self, sock: socket.socket, timeout: float = DEFAULT_TIMEOUT):
+        sock.settimeout(timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - platform quirk, not fatal
+            pass
+        self._sock = sock
+
+    def send(self, frame: bytes) -> None:
+        try:
+            self._sock.sendall(_LEN.pack(len(frame)) + frame)
+        except OSError as exc:
+            raise TransportClosed("send failed: {}".format(exc))
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        while count:
+            try:
+                chunk = self._sock.recv(min(count, 1 << 20))
+            except socket.timeout:
+                raise TransportClosed(
+                    "peer silent past the {}s transport timeout".format(
+                        self._sock.gettimeout()
+                    )
+                )
+            except OSError as exc:
+                raise TransportClosed("recv failed: {}".format(exc))
+            if not chunk:
+                raise TransportClosed("peer closed the connection")
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self) -> bytes:
+        (length,) = _LEN.unpack(self._recv_exact(_LEN.size))
+        return self._recv_exact(length)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class TcpListener(Listener):
+    def __init__(self, host: str = "127.0.0.1", timeout: float = DEFAULT_TIMEOUT):
+        self._timeout = timeout
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, 0))
+        self._sock.listen(64)
+        self._sock.settimeout(timeout)
+        self._host, self._port = self._sock.getsockname()
+
+    @property
+    def address(self) -> Tuple[str, str, int]:
+        return ("tcp", self._host, self._port)
+
+    def accept(self) -> TcpConnection:
+        try:
+            sock, _ = self._sock.accept()
+        except socket.timeout:
+            raise TransportClosed("no worker connected before the timeout")
+        return TcpConnection(sock, timeout=self._timeout)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class TcpTransport(Transport):
+    name = "tcp"
+
+    def __init__(self, timeout: float = DEFAULT_TIMEOUT):
+        self.timeout = timeout
+
+    def listen(self) -> TcpListener:
+        return TcpListener(timeout=self.timeout)
+
+    def connect(self, address: Tuple[object, ...]) -> TcpConnection:
+        scheme, host, port = address
+        if scheme != "tcp":
+            raise ValueError("tcp transport got address {!r}".format(address))
+        sock = socket.create_connection(
+            (str(host), int(port)), timeout=self.timeout
+        )
+        return TcpConnection(sock, timeout=self.timeout)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+def get_transport(name: str, timeout: Optional[float] = None) -> Transport:
+    """Resolve a transport by name (``tcp`` or ``zmq``).
+
+    The zmq backend is resolved lazily and raises a ``RuntimeError``
+    naming the ``net`` extra when pyzmq is not installed.
+    """
+    resolved_timeout = DEFAULT_TIMEOUT if timeout is None else timeout
+    if name == "tcp":
+        return TcpTransport(timeout=resolved_timeout)
+    if name == "zmq":
+        from repro.net.zmq_transport import ZmqTransport
+
+        return ZmqTransport(timeout=resolved_timeout)
+    raise ValueError(
+        "unknown transport {!r} (expected 'tcp' or 'zmq')".format(name)
+    )

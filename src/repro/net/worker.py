@@ -1,0 +1,297 @@
+"""The shard worker process.
+
+A worker hosts the :class:`~repro.sim.process.ProcessShell`\\ s of the
+pids it owns and replays, for that subset, exactly what
+:class:`~repro.sim.engine.Engine` would do — same phase order, same
+pid-ascending iteration, same crash-loss and chaos semantics — driven by
+lockstep frames from the coordinator:
+
+``round``   crashes/restarts/injections for this round; the worker runs
+            its send phase and answers ``sent`` with aggregate counts
+            plus the cross-shard batches, encoded, per destination
+            worker.  Payload bytes in cross batches are opaque to the
+            coordinator — it relays them verbatim.
+``deliver`` the cross batches addressed to this worker; the worker
+            merges them with its local traffic **in global send order**
+            (every message is tagged ``(src, seq)`` where ``seq`` is the
+            sender's emission index), routes with the message-keyed
+            chaos plane, runs its receive phase, and answers ``events``
+            with the delivered stream (order keys included) and delivery
+            records.  Delivery records carry a sha256 of the rumor
+            bytes, never the bytes themselves.
+``stop``    answers ``final`` (chaos counts) and exits.
+
+Determinism argument: a node's behaviour is a function of its pid, the
+shared seed hierarchy, and its per-round inputs (injections, inbox).
+Workers reproduce the engine's inbox content and order exactly — fresh
+messages sort by ``(src, seq)`` (the engine's outgoing order) and
+matured chaos copies append in plane-queue order, which the keyed plane
+makes shard-invariant — so every node computes bit-identical state to
+the in-process run, by induction over rounds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.chaos.plane import ChaosFaultPlane
+from repro.chaos.spec import FaultSpec
+from repro.core.config import CongosParams
+from repro.core.congos import build_partition_set, congos_factory
+from repro.net.codec import (
+    decode_frame,
+    decode_tagged_messages,
+    encode_frame,
+    encode_tagged_messages,
+)
+from repro.net.transport import get_transport
+from repro.sim.messages import Message
+from repro.sim.process import ProcessShell
+
+__all__ = ["ShardWorker", "worker_main"]
+
+#: Order-key tags: fresh messages deliver in (src, seq) order before any
+#: matured chaos copy, which delivers in (admit_round, src, seq) order —
+#: together they reproduce the engine's delivered-stream order exactly.
+FRESH = 0
+MATURED = 1
+
+
+class ShardWorker:
+    """One worker's full state; see the module docstring for protocol."""
+
+    def __init__(self, config: Dict[str, object]):
+        self.wid: int = int(config["worker"])  # type: ignore[arg-type]
+        self.n: int = int(config["n"])  # type: ignore[arg-type]
+        self.seed: int = int(config["seed"])  # type: ignore[arg-type]
+        self.owner: Tuple[int, ...] = tuple(config["owner"])  # type: ignore[arg-type]
+        params = CongosParams(**config["params"])  # type: ignore[arg-type]
+        self.my_pids: List[int] = [
+            pid for pid in range(self.n) if self.owner[pid] == self.wid
+        ]
+        partition_set = build_partition_set(self.n, params, self.seed)
+        self._deliveries: List[Tuple[int, int, int, int, str, str]] = []
+
+        def _deliver(pid: int, round_no: int, rid, data: bytes, path: str) -> None:
+            self._deliveries.append(
+                (
+                    pid,
+                    round_no,
+                    rid.src,
+                    rid.seq,
+                    hashlib.sha256(data).hexdigest(),
+                    path,
+                )
+            )
+
+        factory = congos_factory(
+            self.n,
+            params=params,
+            seed=self.seed,
+            deliver_callback=_deliver,
+            partition_set=partition_set,
+        )
+        self.shells: Dict[int, ProcessShell] = {}
+        for pid in self.my_pids:
+            shell = ProcessShell(pid, factory)
+            shell.start(0)
+            self.shells[pid] = shell
+        self.alive: Set[int] = set(range(self.n))
+        chaos = config.get("chaos")
+        self.plane: Optional[ChaosFaultPlane] = None
+        if chaos is not None:
+            spec = FaultSpec.from_dict(chaos)  # type: ignore[arg-type]
+            if not spec.is_null():
+                # Message-keyed mode: fates drawn per (round, src, dst,
+                # copy) and shuffles per recipient, so every worker makes
+                # the same decisions regardless of the shard layout.
+                self.plane = ChaosFaultPlane(
+                    self.seed,
+                    spec,
+                    self.n,
+                    keep_events=False,
+                    message_keyed=True,
+                )
+        # Round-local state between the round and deliver frames.
+        self._local: List[Tuple[Tuple[int, ...], Message]] = []
+        # id(queued message) -> (src, seq), for tagging matured copies.
+        self._queued_keys: Dict[int, Tuple[int, int]] = {}
+
+    # -- frame handlers --------------------------------------------------
+
+    def handle_round(self, body: Dict[str, object]) -> Dict[str, object]:
+        round_no: int = body["round"]  # type: ignore[assignment]
+        for pid in body["crashes"]:  # type: ignore[union-attr]
+            if pid in self.shells:
+                self.shells[pid].crash()
+            self.alive.discard(pid)
+        for pid in body["restarts"]:  # type: ignore[union-attr]
+            if pid in self.shells:
+                self.shells[pid].restart(round_no)
+            self.alive.add(pid)
+        for pid, rumor in body["injections"]:  # type: ignore[union-attr]
+            self.shells[pid].inject(round_no, rumor)
+
+        count = 0
+        size = 0
+        by_service: Dict[str, int] = {}
+        local: List[Tuple[Tuple[int, ...], Message]] = []
+        cross: Dict[int, List[Tuple[Tuple[int, ...], Message]]] = {}
+        n = self.n
+        owner = self.owner
+        wid = self.wid
+        for pid in self.my_pids:
+            messages = self.shells[pid].send_phase(round_no)
+            for seq, message in enumerate(messages):
+                src = message.src
+                dst = message.dst
+                if src < 0 or src >= n or dst < 0 or dst >= n:
+                    raise ValueError(
+                        "invalid endpoints {}->{}".format(src, dst)
+                    )
+                count += 1
+                size += message.size
+                service = message.service
+                by_service[service] = by_service.get(service, 0) + 1
+                entry = ((src, seq), message)
+                if owner[dst] == wid:
+                    local.append(entry)
+                else:
+                    cross.setdefault(owner[dst], []).append(entry)
+        self._local = local
+        return {
+            "round": round_no,
+            "count": count,
+            "size": size,
+            "local_count": len(local),
+            "by_service": by_service,
+            "cross": {
+                worker: encode_tagged_messages(batch)
+                for worker, batch in cross.items()
+            },
+        }
+
+    def handle_deliver(self, body: Dict[str, object]) -> Dict[str, object]:
+        round_no: int = body["round"]  # type: ignore[assignment]
+        for pid in body["mid_crashes"]:  # type: ignore[union-attr]
+            if pid in self.shells:
+                self.shells[pid].crash()
+            self.alive.discard(pid)
+
+        entries = list(self._local)
+        self._local = []
+        # Keep the decoded batches alive until the frame is built: the
+        # auditor-side id(payload) cache pins by identity, and matured
+        # chaos copies are keyed by id() below.
+        for blob in body["batches"]:  # type: ignore[union-attr]
+            entries.extend(decode_tagged_messages(blob))
+        entries.sort(key=lambda entry: entry[0])
+
+        plane = self.plane
+        chaos = plane is not None and plane.active_in(round_no)
+        if chaos:
+            plane.begin_round(round_no)
+        alive = self.alive
+        inboxes: Dict[int, List[Message]] = {}
+        delivered: List[Tuple[Tuple[int, ...], Message]] = []
+        lost_to_crash = 0
+        lost_to_fault = 0
+        for key, message in entries:
+            dst = message.dst
+            if dst not in alive:
+                lost_to_crash += 1
+                continue
+            if chaos:
+                fate = plane.admit(round_no, message)
+                if fate == "drop" or fate == "sever":
+                    lost_to_fault += 1
+                    continue
+                if fate == "delay":
+                    self._queued_keys[id(message)] = key
+                    continue
+                if fate == "duplicate":
+                    self._queued_keys[id(message)] = key
+            inboxes.setdefault(dst, []).append(message)
+            delivered.append(((FRESH,) + key, message))
+        if plane is not None and plane.has_pending():
+            for admit_round, message in plane.release_tagged(round_no):
+                src, seq = self._queued_keys.pop(id(message))
+                if message.dst not in alive:
+                    lost_to_crash += 1
+                    plane.record_late_loss(round_no, message)
+                    continue
+                inboxes.setdefault(message.dst, []).append(message)
+                delivered.append(((MATURED, admit_round, src, seq), message))
+        if chaos:
+            plane.shuffle_inboxes(round_no, inboxes)
+
+        empty: List[Message] = []
+        for pid in self.my_pids:
+            shell = self.shells[pid]
+            if shell.alive:
+                shell.receive_phase(round_no, inboxes.get(pid, empty))
+        # Everything recorded since the last flush — including "local"
+        # deliveries triggered by this round's injections in handle_round.
+        deliveries = self._deliveries
+        self._deliveries = []
+        return {
+            "round": round_no,
+            "delivered": encode_tagged_messages(delivered),
+            "deliveries": deliveries,
+            "lost_to_crash": lost_to_crash,
+            "lost_to_fault": lost_to_fault,
+        }
+
+    def handle_stop(self) -> Dict[str, object]:
+        plane = self.plane
+        return {
+            "worker": self.wid,
+            "counts": dict(plane.counts) if plane is not None else None,
+            "stage_counts": (
+                {stage: dict(kinds) for stage, kinds in plane.stage_counts.items()}
+                if plane is not None
+                else None
+            ),
+        }
+
+
+def worker_main(config: Dict[str, object]) -> None:
+    """Process entry point (spawn-safe: config is a plain dict)."""
+    transport = get_transport(
+        str(config["transport"]), timeout=config.get("timeout")
+    )
+    connection = transport.connect(config["address"])  # type: ignore[arg-type]
+    try:
+        try:
+            worker = ShardWorker(config)
+            connection.send(
+                encode_frame("hello", {"worker": worker.wid})
+            )
+            while True:
+                kind, body = decode_frame(connection.recv())
+                if kind == "round":
+                    reply = ("sent", worker.handle_round(body))
+                elif kind == "deliver":
+                    reply = ("events", worker.handle_deliver(body))
+                elif kind == "stop":
+                    connection.send(
+                        encode_frame("final", worker.handle_stop())
+                    )
+                    break
+                else:
+                    raise ValueError("unexpected frame {!r}".format(kind))
+                connection.send(encode_frame(*reply))
+        except Exception:
+            connection.send(
+                encode_frame(
+                    "error",
+                    {
+                        "worker": int(config.get("worker", -1)),  # type: ignore[arg-type]
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            )
+    finally:
+        connection.close()

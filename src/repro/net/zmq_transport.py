@@ -1,0 +1,149 @@
+"""Optional zmq transport (ROUTER/DEALER), behind the ``net`` extra.
+
+Modeled on the FEUP-SDLE ``ProxyCommunicator`` pattern: the coordinator
+binds one ROUTER socket and multiplexes every worker over it, keyed by
+the DEALER's connection identity; workers each run a single DEALER.  A
+poller with a hard deadline guards every receive so a dead peer fails
+the round barrier loudly instead of hanging it.
+
+pyzmq is imported lazily — constructing the transport without it raises
+a ``RuntimeError`` naming the extra, and nothing in the default install
+path touches this module.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+from repro.net.transport import (
+    DEFAULT_TIMEOUT,
+    Connection,
+    Listener,
+    Transport,
+    TransportClosed,
+)
+
+__all__ = ["ZmqTransport"]
+
+
+def _import_zmq():
+    try:
+        import zmq
+    except ImportError as exc:  # pragma: no cover - exercised when absent
+        raise RuntimeError(
+            "the zmq transport requires pyzmq, which is not installed; "
+            "install the optional extra:  pip install 'repro[net]'"
+        ) from exc
+    return zmq
+
+
+class _RouterPeer(Connection):
+    """The coordinator's handle on one worker, over the shared ROUTER."""
+
+    def __init__(self, listener: "ZmqListener", identity: bytes):
+        self._listener = listener
+        self._identity = identity
+
+    def send(self, frame: bytes) -> None:
+        self._listener._send_to(self._identity, frame)
+
+    def recv(self) -> bytes:
+        return self._listener._recv_from(self._identity)
+
+    def close(self) -> None:
+        pass  # peer lifetime == router lifetime
+
+
+class ZmqListener(Listener):
+    def __init__(self, timeout: float):
+        zmq = _import_zmq()
+        self._zmq = zmq
+        self._timeout_ms = int(timeout * 1000)
+        self._context = zmq.Context.instance()
+        self._socket = self._context.socket(zmq.ROUTER)
+        port = self._socket.bind_to_random_port("tcp://127.0.0.1")
+        self._endpoint = "tcp://127.0.0.1:{}".format(port)
+        self._poller = zmq.Poller()
+        self._poller.register(self._socket, zmq.POLLIN)
+        # Per-identity inbound frame queues: the ROUTER interleaves
+        # traffic from all workers, so frames for peer A that arrive
+        # while waiting on peer B are buffered, not lost.
+        self._queues: Dict[bytes, Deque[bytes]] = {}
+
+    @property
+    def address(self) -> Tuple[str, str]:
+        return ("zmq", self._endpoint)
+
+    def _pump(self) -> bytes:
+        """Block for one inbound frame; returns the sender identity."""
+        events = dict(self._poller.poll(self._timeout_ms))
+        if self._socket not in events:
+            raise TransportClosed(
+                "no zmq traffic within {}ms".format(self._timeout_ms)
+            )
+        identity, frame = self._socket.recv_multipart()
+        self._queues.setdefault(identity, deque()).append(frame)
+        return identity
+
+    def accept(self) -> _RouterPeer:
+        known = set(self._queues)
+        while True:
+            identity = self._pump()
+            if identity not in known:
+                return _RouterPeer(self, identity)
+
+    def _send_to(self, identity: bytes, frame: bytes) -> None:
+        self._socket.send_multipart([identity, frame])
+
+    def _recv_from(self, identity: bytes) -> bytes:
+        queue = self._queues.setdefault(identity, deque())
+        while not queue:
+            self._pump()
+        return queue.popleft()
+
+    def close(self) -> None:
+        self._socket.close(linger=0)
+
+
+class _DealerConnection(Connection):
+    def __init__(self, endpoint: str, timeout: float):
+        zmq = _import_zmq()
+        self._zmq = zmq
+        self._timeout_ms = int(timeout * 1000)
+        self._context = zmq.Context.instance()
+        self._socket = self._context.socket(zmq.DEALER)
+        self._socket.connect(endpoint)
+        self._poller = zmq.Poller()
+        self._poller.register(self._socket, zmq.POLLIN)
+
+    def send(self, frame: bytes) -> None:
+        self._socket.send(frame)
+
+    def recv(self) -> bytes:
+        events = dict(self._poller.poll(self._timeout_ms))
+        if self._socket not in events:
+            raise TransportClosed(
+                "coordinator silent for {}ms".format(self._timeout_ms)
+            )
+        return self._socket.recv()
+
+    def close(self) -> None:
+        self._socket.close(linger=0)
+
+
+class ZmqTransport(Transport):
+    name = "zmq"
+
+    def __init__(self, timeout: float = DEFAULT_TIMEOUT):
+        _import_zmq()  # fail at construction, with the extra's name
+        self.timeout = timeout
+
+    def listen(self) -> ZmqListener:
+        return ZmqListener(timeout=self.timeout)
+
+    def connect(self, address: Tuple[object, ...]) -> _DealerConnection:
+        scheme, endpoint = address
+        if scheme != "zmq":
+            raise ValueError("zmq transport got address {!r}".format(address))
+        return _DealerConnection(str(endpoint), timeout=self.timeout)

@@ -1,0 +1,188 @@
+"""The sharded backend: bit-identical results, plans, options, gating."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import CongosParams, run_scenario
+from repro.core.congos import build_partition_set
+from repro.exec.results import RunRecord
+from repro.exec.tasks import RunSpec
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import get_builder
+from repro.net.coordinator import NetOptions
+from repro.net.shard import ShardPlan
+
+
+def _record(result) -> RunRecord:
+    # No spec_key: the payload alone must match across backends.
+    return RunRecord.from_result(result).without_profile()
+
+
+def _compare_backends(scenario, workers=2):
+    """Run one scenario on both backends; assert bit-identical records."""
+    inproc = run_congos_scenario(scenario)
+    sharded = run_congos_scenario(
+        dataclasses.replace(
+            scenario, backend="sharded", net={"workers": workers}
+        )
+    )
+    assert _record(sharded) == _record(inproc)
+    assert sharded.confidentiality.is_clean()
+    net = sharded.engine.net_summary()
+    assert net["local_messages"] + net["cross_messages"] == sharded.stats.total
+    return inproc, sharded
+
+
+def test_sharded_matches_inproc_steady_pipeline():
+    # deadline 64 > direct_send_threshold: the full Proxy/GD/Gossip
+    # pipeline runs, so Proxy and GD traffic crosses the shard boundary.
+    scenario = get_builder("steady")(
+        n=16, rounds=96, seed=0, deadline=64, params=CongosParams.lean()
+    )
+    _, sharded = _compare_backends(scenario, workers=2)
+    assert sharded.engine.net_summary()["cross_messages"] > 0
+
+
+def test_sharded_matches_inproc_n64():
+    scenario = get_builder("steady")(
+        n=64, rounds=32, seed=1, deadline=64, params=CongosParams.lean()
+    )
+    _compare_backends(scenario, workers=2)
+
+
+def test_sharded_chaos_keyed_matches_inproc_three_workers():
+    # Chaos comparison needs message-keyed fates on BOTH backends (the
+    # default index-order stream has no shard-invariant meaning); three
+    # workers over n=16 also exercises a non-divisible shard split.
+    scenario = get_builder("chaos")(
+        n=16,
+        rounds=80,
+        seed=2,
+        deadline=64,
+        drop=0.05,
+        delay=0.05,
+        duplicate=0.02,
+        reorder=0.2,
+        params=CongosParams.lean(),
+    )
+    scenario = dataclasses.replace(scenario, chaos_keyed=True)
+    inproc, sharded = _compare_backends(scenario, workers=3)
+    assert sharded.fault_plane is not None
+    assert (
+        sharded.fault_plane.counts_summary()
+        == inproc.fault_plane.counts_summary()
+    )
+
+
+def test_sharded_matches_inproc_under_churn():
+    scenario = get_builder("churn")(
+        n=16,
+        rounds=64,
+        seed=3,
+        deadline=64,
+        p_crash=0.05,
+        p_restart=0.3,
+        params=CongosParams.lean(),
+    )
+    inproc, sharded = _compare_backends(scenario, workers=2)
+    # The run must actually have exercised crash/restart relay.
+    assert sharded.engine.event_log.summary()["crashes"] > 0
+
+
+def test_api_backend_selector():
+    kwargs = dict(
+        n=8, rounds=24, deadline=16, seed=0, params=CongosParams.lean()
+    )
+    inproc = run_scenario("steady", **kwargs)
+    sharded = run_scenario(
+        "steady", backend="sharded", net={"workers": 2}, **kwargs
+    )
+    assert _record(sharded) == _record(inproc)
+
+
+def test_telemetry_rejected_on_sharded_backend():
+    from repro.obs.instrument import Telemetry
+
+    with pytest.raises(NotImplementedError, match="telemetry"):
+        run_scenario(
+            "steady",
+            n=8,
+            rounds=8,
+            deadline=16,
+            backend="sharded",
+            telemetry=Telemetry(),
+        )
+
+
+def test_mid_round_adversary_rejected():
+    scenario = get_builder("proxy-killer")(
+        n=16, rounds=16, seed=0, params=CongosParams.lean()
+    )
+    with pytest.raises(NotImplementedError, match="mid_round"):
+        run_congos_scenario(
+            dataclasses.replace(
+                scenario, backend="sharded", net={"workers": 2}
+            )
+        )
+
+
+def test_net_options_validation():
+    options = NetOptions(None)
+    assert (options.workers, options.transport) == (2, "tcp")
+    with pytest.raises(ValueError, match="unknown net options"):
+        NetOptions({"worker": 2})
+    with pytest.raises(ValueError, match="workers"):
+        NetOptions({"workers": 0})
+    with pytest.raises(ValueError, match="exceeds n"):
+        run_scenario(
+            "steady",
+            n=8,
+            rounds=8,
+            backend="sharded",
+            net={"workers": 9},
+        )
+
+
+def test_shard_plan_layout_and_locality():
+    params = CongosParams.lean()
+    partitions = build_partition_set(16, params, seed=0)
+    plan = ShardPlan.build(16, 2, partition_set=partitions)
+    assert sorted(
+        pid for worker in range(2) for pid in plan.pids_of(worker)
+    ) == list(range(16))
+    assert plan.assignments()[0] == plan.pids_of(0)
+    # Group-major layout: every partition-0 group fits one worker here.
+    assert plan.locality(partitions) == 1.0
+
+    with pytest.raises(ValueError, match="at least one worker"):
+        ShardPlan.build(8, 0)
+    with pytest.raises(ValueError, match="empty"):
+        ShardPlan.build(4, 5)
+    with pytest.raises(ValueError, match="cover every pid"):
+        ShardPlan(n=4, workers=2, owner=(0, 1, 0))
+
+
+def test_runspec_backend_excluded_from_default_key():
+    base = RunSpec.make("steady", seed=0, n=16, rounds=32, deadline=64)
+    explicit = RunSpec.make(
+        "steady", seed=0, n=16, rounds=32, deadline=64, backend="inproc"
+    )
+    sharded = RunSpec.make(
+        "steady",
+        seed=0,
+        n=16,
+        rounds=32,
+        deadline=64,
+        backend="sharded",
+        net={"workers": 2},
+    )
+    # Pre-sharding cache keys survive: the default backend never enters
+    # the content hash (or the serialized form), a non-default one does.
+    assert explicit.key == base.key
+    assert sharded.key != base.key
+    assert "backend" not in base.to_dict()
+    assert RunSpec.from_dict(base.to_dict()) == base
+    assert RunSpec.from_dict(sharded.to_dict()) == sharded
+    assert sharded.to_scenario().backend == "sharded"
+    assert base.to_scenario().backend == "inproc"
