@@ -125,6 +125,9 @@ class FaultPlane:
     def has_pending(self) -> bool:
         return False
 
+    def pending_count(self) -> int:
+        return 0
+
     def begin_round(self, round_no: int) -> None:
         pass
 
@@ -187,6 +190,10 @@ class ChaosFaultPlane(FaultPlane):
 
     def has_pending(self) -> bool:
         return bool(self._pending)
+
+    def pending_count(self) -> int:
+        """Delayed/duplicated copies still queued for future rounds."""
+        return sum(len(copies) for copies in self._pending.values())
 
     def counts_summary(self) -> Dict[str, int]:
         """Stable-keyed fault counts (zero entries included)."""

@@ -251,6 +251,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the telemetry-registry dump after the timelines",
     )
+    trace.add_argument(
+        "--backend",
+        choices=("inproc", "sharded"),
+        default="inproc",
+        help="trace the in-process engine, or the sharded backend with "
+        "worker-side capture merged deterministically at the coordinator",
+    )
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="sharded backend: worker process count",
+    )
+    trace.add_argument(
+        "--transport",
+        default="tcp",
+        help="sharded backend: transport name (tcp, or zmq with the "
+        "repro[net] extra installed)",
+    )
 
     profile = sub.add_parser(
         "profile-sweep",
@@ -600,13 +619,6 @@ def cmd_run(args: argparse.Namespace) -> int:
         return _run_multi_seed(args, params, kwargs)
     seed = args.seeds[0] if args.seeds else args.seed
     builder = SCENARIOS[args.scenario]
-    if args.backend == "sharded" and args.metrics:
-        print(
-            "--metrics needs the inproc backend (telemetry is not threaded "
-            "through shard workers)",
-            file=sys.stderr,
-        )
-        return 2
     telemetry = Telemetry() if args.metrics else None
     scenario = builder(seed=seed, params=params, **kwargs)
     if args.backend != "inproc":
@@ -783,12 +795,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
     params = _trace_params(args)
     kwargs = _scenario_kwargs(args)
     builder = SCENARIOS[args.scenario]
+    scenario = builder(seed=args.seed, params=params, **kwargs)
+    if args.backend != "inproc":
+        scenario = dataclasses.replace(
+            scenario,
+            backend=args.backend,
+            net={"workers": args.workers, "transport": args.transport},
+        )
     timeline = RumorTimeline()
     with JsonlSink(path=args.out) as sink:
         telemetry = Telemetry(sinks=[sink])
         telemetry.subscribe(timeline)
         result = run_congos_scenario(
-            builder(seed=args.seed, params=params, **kwargs),
+            scenario,
             observers=[timeline],
             telemetry=telemetry,
         )
@@ -823,8 +842,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 "max lat",
             ],
             rows,
-            title="trace {}: {} rumors, {} events -> {}".format(
-                args.scenario, len(lifecycles), emitted, args.out
+            title="trace {} [{} backend]: {} rumors, {} events -> {}".format(
+                args.scenario, args.backend, len(lifecycles), emitted, args.out
             ),
         )
     )

@@ -157,13 +157,11 @@ def run_congos_scenario(
         # that default in-process runs never need.
         from repro.net.coordinator import run_sharded_scenario
 
-        if telemetry is not None:
-            raise NotImplementedError(
-                "telemetry is not threaded through shard workers yet; "
-                "run with backend='inproc' to trace"
-            )
         return run_sharded_scenario(
-            scenario, observers=observers, partition_set=partition_set
+            scenario,
+            observers=observers,
+            partition_set=partition_set,
+            telemetry=telemetry,
         )
     resolved_partitions = (
         partition_set

@@ -8,8 +8,10 @@ E18 answers two questions about the sharded backend:
   bit-identical, and ``clean`` asserts the ConfidentialityAuditor — fed
   the reassembled cross-shard delivered stream — saw zero violations.
 * **What does the wire cost?**  Wall-clock for both backends, the
-  local/cross message split from :meth:`ShardEngine.net_summary`, and
-  the shard plan's group locality.  On a single-core box the lockstep
+  local/cross message split from :meth:`ShardEngine.net_summary`, the
+  shard plan's group locality, per-worker-pair cross-batch frame/byte
+  counts (deterministic, in ``runs``), and per-round coordinator phase
+  latencies — route/ship/barrier/merge p50/p99/p999 — in ``timing``.  On a single-core box the lockstep
   sharded run is strictly *slower* than in-process (every message pays
   codec + transport overhead and workers time-share one CPU); the
   artifact reports that slowdown honestly rather than a fabricated
@@ -112,6 +114,19 @@ def run_sharded_scaling(
         sharded, sharded_wall = _timed_run(shard_spec)
         net = sharded.engine.net_summary()
         total = inproc.stats.total
+        # Deterministic: batch contents come from the deterministic
+        # codec, so frame/byte counts repeat run to run (unlike the
+        # wall-clock phase percentiles, which stay in ``timing``).
+        worker_pairs = sharded.engine.worker_pair_summary()
+        phase_latency = {
+            phase: {
+                key: summary[key]
+                for key in ("count", "mean", "p50", "p99", "p999", "max")
+            }
+            for phase, summary in sorted(
+                sharded.engine.phase_summary().items()
+            )
+        }
         rows.append(
             {
                 "n": n,
@@ -135,6 +150,8 @@ def run_sharded_scaling(
                 "group_locality": round(
                     sharded.engine.plan.locality(sharded.partition_set), 4
                 ),
+                "worker_pairs": worker_pairs,
+                "phase_latency_s": phase_latency,
                 "wall_inproc_s": inproc_wall,
                 "wall_sharded_s": sharded_wall,
                 "slowdown": (
@@ -180,6 +197,7 @@ def sharded_scaling_payload(
                 "cross_messages",
                 "cross_fraction",
                 "group_locality",
+                "worker_pairs",
             )
         }
         for row in rows
@@ -191,6 +209,7 @@ def sharded_scaling_payload(
             "wall_sharded_s": row["wall_sharded_s"],
             "slowdown": row["slowdown"],
             "msgs_per_s_sharded": row["msgs_per_s_sharded"],
+            "phase_latency_s": row["phase_latency_s"],
         }
         for row in rows
     ]

@@ -66,8 +66,12 @@ MAGIC = b"\xc6\x05"  # "confidential gossip", version header follows
 WIRE_VERSION = 1
 
 #: Frame kinds used by the coordinator/worker lockstep protocol.
+#: ``telemetry`` (per-round sanitized event batches) and ``metrics``
+#: (end-of-run registry snapshots) only flow when the coordinator runs
+#: with telemetry enabled; default runs never emit them.
 FRAME_KINDS = (
     "hello", "round", "sent", "deliver", "events", "stop", "final", "error",
+    "telemetry", "metrics",
 )
 
 

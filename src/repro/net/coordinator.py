@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import time
 from dataclasses import asdict
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -54,6 +55,7 @@ from repro.net.codec import decode_frame, decode_tagged_messages, encode_frame
 from repro.net.shard import ShardPlan
 from repro.net.transport import DEFAULT_TIMEOUT, get_transport
 from repro.net.worker import worker_main
+from repro.obs.registry import MetricsRegistry
 from repro.sim.clock import RoundClock
 from repro.sim.events import (
     CrashEvent,
@@ -110,6 +112,15 @@ class ShardEngine:
         self.cross_messages = 0
         self._alive: Set[int] = set(range(n))
         self._touched_this_round: Set[int] = set()
+        # Always-on net-only observability (namespaced ``net.``): round
+        # phase spans, worker wait/queue summaries, transport totals.
+        # Kept outside any user Telemetry so the E18 bench can read it
+        # without paying for event capture.
+        self.metrics = MetricsRegistry()
+        # (src_worker, dst_worker) -> relayed cross-batch frames/bytes.
+        # Deterministic: the codec is, and batches are per-round merges.
+        self.pair_frames: Dict[Tuple[int, int], int] = {}
+        self.pair_bytes: Dict[Tuple[int, int], int] = {}
 
     @property
     def round(self) -> int:
@@ -130,6 +141,29 @@ class ShardEngine:
                 round(self.cross_messages / total, 4) if total else 0.0
             ),
         }
+
+    def record_cross_batch(self, src: int, dst: int, nbytes: int) -> None:
+        pair = (src, dst)
+        self.pair_frames[pair] = self.pair_frames.get(pair, 0) + 1
+        self.pair_bytes[pair] = self.pair_bytes.get(pair, 0) + nbytes
+
+    def worker_pair_summary(self) -> Dict[str, Dict[str, int]]:
+        """Relayed cross-batch frame/byte counts per ``src->dst`` pair."""
+        return {
+            "{}->{}".format(src, dst): {
+                "frames": self.pair_frames[(src, dst)],
+                "bytes": self.pair_bytes[(src, dst)],
+            }
+            for src, dst in sorted(self.pair_frames)
+        }
+
+    def phase_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-phase round-latency summaries (incl. p50/p99/p999)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for (name, labels), instrument in self.metrics.items():
+            if name == "net.round.phase_seconds":
+                out[dict(labels)["phase"]] = instrument.as_dict()
+        return out
 
 
 class ShardAdversaryView:
@@ -200,7 +234,13 @@ def _reject_mid_round_adversaries(adversary: Adversary) -> None:
 class _WorkerPool:
     """Spawned worker processes plus their coordinator-side connections."""
 
-    def __init__(self, scenario, plan: ShardPlan, options: NetOptions):
+    def __init__(
+        self,
+        scenario,
+        plan: ShardPlan,
+        options: NetOptions,
+        telemetry_enabled: bool = False,
+    ):
         self.plan = plan
         transport = get_transport(options.transport, timeout=options.timeout)
         self.listener = transport.listen()
@@ -219,6 +259,7 @@ class _WorkerPool:
                     "address": self.listener.address,
                     "transport": options.transport,
                     "timeout": options.timeout,
+                    "telemetry": telemetry_enabled,
                 }
                 process = context.Process(
                     target=worker_main, args=(config,), daemon=True
@@ -283,6 +324,7 @@ def run_sharded_scenario(
     scenario,
     observers=(),
     partition_set: Optional[PartitionSet] = None,
+    telemetry=None,
 ):
     """Run a scenario on the sharded multi-process backend.
 
@@ -291,6 +333,18 @@ def run_sharded_scenario(
     between coordinator and workers.  Returns the same ``RunResult``
     shape as the in-process path (``result.engine`` is a
     :class:`ShardEngine` facade).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) turns on worker-side
+    event capture: every worker runs its own registry + capture buffer,
+    ships sanitized batches back each round, and the coordinator re-emits
+    them here in ``(round, worker, seq)`` order with a ``worker`` field
+    added — for the same scenario the merged stream is the inproc stream
+    modulo that label.  Worker metric registries are folded into
+    ``telemetry.metrics`` *without* worker labels, so protocol counter
+    totals match the inproc run exactly; coordinator-side ``net.*``
+    metrics (phase spans, worker waits, transport totals) are added on
+    top.  ``None`` keeps the wire protocol byte-identical to a
+    pre-telemetry run — no extra frames at all.
     """
     # Imported here: harness.runner dispatches to this module, so a
     # top-level import would be circular.
@@ -365,17 +419,24 @@ def run_sharded_scenario(
             message_keyed=True,
         )
 
-    pool = _WorkerPool(scenario, plan, options)
+    pool = _WorkerPool(
+        scenario, plan, options, telemetry_enabled=telemetry is not None
+    )
     try:
         worker_ids = sorted(pool.connections)
         for _ in range(scenario.rounds):
             _run_round(
                 engine, view, adversary, dispatch, delivery, pool,
-                worker_ids, plan,
+                worker_ids, plan, telemetry,
             )
         for worker in worker_ids:
             pool.send(worker, encode_frame("stop", None))
         for worker in worker_ids:
+            if telemetry is not None:
+                # Exact global totals: merged without a worker label, so
+                # every protocol counter equals the inproc run's value.
+                snapshot = pool.recv(worker, "metrics")
+                telemetry.metrics.merge_snapshot(snapshot["metrics"])
             final = pool.recv(worker, "final")
             if fault_plane is not None and final["counts"] is not None:
                 for kind, count in final["counts"].items():
@@ -386,8 +447,15 @@ def run_sharded_scenario(
                     merged = fault_plane.stage_counts.setdefault(stage, {})
                     for kind, count in kinds.items():
                         merged[kind] = merged.get(kind, 0) + count
+            _fold_worker_net(engine.metrics, worker, final.get("net"))
+        _fold_transport_totals(engine, pool, worker_ids)
     finally:
         pool.close()
+
+    if telemetry is not None:
+        # Surface the coordinator's net-only registry (phase spans,
+        # worker waits, pair counters, transport totals) to the tracer.
+        telemetry.metrics.merge_snapshot(engine.metrics.snapshot())
 
     qod = delivery.report(engine)
     return RunResult(
@@ -403,6 +471,55 @@ def run_sharded_scenario(
     )
 
 
+def _fold_worker_net(
+    metrics: MetricsRegistry, worker: int, net: Optional[Dict[str, object]]
+) -> None:
+    """Fold a worker's final-frame wait/queue samples into ``net.*``."""
+    if not net:
+        return
+    barrier = metrics.histogram("net.worker.barrier_wait_seconds", worker=worker)
+    for sample in net.get("barrier_wait_s", ()):
+        barrier.observe(sample)
+    ship = metrics.histogram("net.worker.ship_wait_seconds", worker=worker)
+    for sample in net.get("ship_wait_s", ()):
+        ship.observe(sample)
+    depth = metrics.histogram("net.worker.queue_depth", worker=worker)
+    for sample in net.get("queue_depths", ()):
+        depth.observe(sample)
+    metrics.gauge("net.worker.queue_peak", worker=worker).set(
+        net.get("queue_peak", 0)
+    )
+
+
+def _fold_transport_totals(
+    engine: ShardEngine, pool: _WorkerPool, worker_ids: List[int]
+) -> None:
+    """Per-worker frame/byte totals from the coordinator's connections.
+
+    Direction is coordinator-relative: ``dir=send`` is control traffic
+    to the worker (round/deliver/stop frames and relayed batches),
+    ``dir=recv`` is the worker's replies.
+    """
+    for worker in worker_ids:
+        totals = pool.connections[worker].wire_totals()
+        for direction, frames_key, bytes_key in (
+            ("send", "sent_frames", "sent_bytes"),
+            ("recv", "recv_frames", "recv_bytes"),
+        ):
+            engine.metrics.counter(
+                "net.transport.frames", dir=direction, worker=worker
+            ).inc(totals[frames_key])
+            engine.metrics.counter(
+                "net.transport.bytes", dir=direction, worker=worker
+            ).inc(totals[bytes_key])
+    for (src, dst), frames in sorted(engine.pair_frames.items()):
+        pair = "{}->{}".format(src, dst)
+        engine.metrics.counter("net.cross.frames", pair=pair).inc(frames)
+        engine.metrics.counter("net.cross.bytes", pair=pair).inc(
+            engine.pair_bytes[(src, dst)]
+        )
+
+
 def _run_round(
     engine: ShardEngine,
     view: ShardAdversaryView,
@@ -412,8 +529,22 @@ def _run_round(
     pool: _WorkerPool,
     worker_ids: List[int],
     plan: ShardPlan,
+    telemetry=None,
 ) -> None:
     round_no = engine.clock.round
+    phase_started = time.perf_counter()
+
+    def mark_phase(phase: str) -> None:
+        # Wall-clock since the previous mark; lands in the always-on
+        # net registry (never the simulation payload), so the spans are
+        # free of digest concerns.
+        nonlocal phase_started
+        now = time.perf_counter()
+        engine.metrics.histogram(
+            "net.round.phase_seconds", phase=phase
+        ).observe(now - phase_started)
+        phase_started = now
+
     for observer in dispatch["on_round_begin"]:
         observer.on_round_begin(round_no)
 
@@ -471,6 +602,7 @@ def _run_round(
                 },
             ),
         )
+    mark_phase("route")
     total = 0
     size = 0
     by_service: Dict[str, int] = {}
@@ -486,6 +618,7 @@ def _run_round(
         # Opaque relay: the coordinator never decodes cross traffic.
         for destination, blob in sorted(sent["cross"].items()):
             batches_for[destination].append(blob)
+            engine.record_cross_batch(worker, destination, len(blob))
     engine.stats.record_round(round_no, total, size, by_service)
 
     for worker in worker_ids:
@@ -500,12 +633,21 @@ def _run_round(
                 },
             ),
         )
+    mark_phase("ship")
     merged: List[Tuple[Tuple[int, ...], object]] = []
     delivery_batches: List[Tuple[int, List]] = []
+    telemetry_entries: List[Tuple[int, int, int, str, Dict[str, object]]] = []
     for worker in worker_ids:
         events = pool.recv(worker, "events")
         merged.extend(decode_tagged_messages(events["delivered"]))
         delivery_batches.append((worker, events["deliveries"]))
+        if telemetry is not None:
+            batch = pool.recv(worker, "telemetry")
+            for seq, kind, event_round, fields in batch["events"]:
+                telemetry_entries.append(
+                    (event_round, worker, seq, kind, fields)
+                )
+    mark_phase("barrier")
     # Restore the exact in-process delivered order: fresh messages by
     # (src, seq) — the engine's outgoing order — then matured chaos
     # copies by (admit_round, src, seq) — the plane's queue order.
@@ -531,7 +673,18 @@ def _run_round(
                 data = b"\x00unverified:" + digest.encode("ascii")
             delivery.record_delivery(pid, when, rid, data, path)
 
+    if telemetry is not None:
+        # The deterministic cross-shard merge: (round, worker, seq) is a
+        # total order — seq is monotonic within a worker's stream and
+        # the worker label breaks ties across streams.  Re-emitting here
+        # fans out to the tracer's sinks and subscribers exactly as the
+        # inproc backend would, with one extra ``worker`` field.
+        telemetry_entries.sort(key=lambda entry: entry[:3])
+        for event_round, worker, _seq, kind, fields in telemetry_entries:
+            telemetry.emit(kind, event_round, **{**fields, "worker": worker})
+
     for observer in dispatch["on_round_end"]:
         observer.on_round_end(round_no, engine)
     engine.rounds_executed += 1
     engine.clock.advance()
+    mark_phase("merge")

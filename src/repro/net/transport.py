@@ -49,7 +49,34 @@ class TransportClosed(ConnectionError):
 
 
 class Connection:
-    """One bidirectional frame pipe."""
+    """One bidirectional frame pipe.
+
+    Every connection keeps frame/byte counters for both directions
+    (payload bytes, excluding any length prefix).  The counts are always
+    on — four integer adds per frame — so the coordinator can report
+    per-worker transport totals without a telemetry opt-in.
+    """
+
+    sent_frames = 0
+    sent_bytes = 0
+    recv_frames = 0
+    recv_bytes = 0
+
+    def _note_send(self, nbytes: int) -> None:
+        self.sent_frames += 1
+        self.sent_bytes += nbytes
+
+    def _note_recv(self, nbytes: int) -> None:
+        self.recv_frames += 1
+        self.recv_bytes += nbytes
+
+    def wire_totals(self) -> dict:
+        return {
+            "sent_frames": self.sent_frames,
+            "sent_bytes": self.sent_bytes,
+            "recv_frames": self.recv_frames,
+            "recv_bytes": self.recv_bytes,
+        }
 
     def send(self, frame: bytes) -> None:
         raise NotImplementedError
@@ -104,6 +131,7 @@ class TcpConnection(Connection):
             self._sock.sendall(_LEN.pack(len(frame)) + frame)
         except OSError as exc:
             raise TransportClosed("send failed: {}".format(exc))
+        self._note_send(len(frame))
 
     def _recv_exact(self, count: int) -> bytes:
         chunks = []
@@ -126,7 +154,9 @@ class TcpConnection(Connection):
 
     def recv(self) -> bytes:
         (length,) = _LEN.unpack(self._recv_exact(_LEN.size))
-        return self._recv_exact(length)
+        frame = self._recv_exact(length)
+        self._note_recv(len(frame))
+        return frame
 
     def close(self) -> None:
         try:

@@ -19,7 +19,20 @@ lockstep frames from the coordinator:
             with the delivered stream (order keys included) and delivery
             records.  Delivery records carry a sha256 of the rumor
             bytes, never the bytes themselves.
-``stop``    answers ``final`` (chaos counts) and exits.
+``stop``    answers ``final`` (chaos counts plus always-on wait/queue
+            instrumentation) and exits.
+
+With telemetry enabled in the spawn config, the worker also runs its own
+:class:`~repro.obs.Telemetry` — a private :class:`MetricsRegistry` plus
+a :class:`~repro.obs.SequenceSink` capture buffer — and ships two extra
+frame kinds: a ``telemetry`` frame after every ``events`` reply (the
+round's sanitized event batch, each entry ``(seq, kind, round, fields)``
+with ``seq`` the worker's monotonic emission index) and one ``metrics``
+frame (the registry snapshot) before ``final``.  Sanitization happens
+*worker-side* at emission time (:meth:`ObsEvent.make` runs
+``json_safe``), so rumor payload bytes never enter a telemetry frame —
+the codec tests pin this with a marker grep.  Telemetry emission reads
+no rng stream, so traced runs stay bit-identical to default runs.
 
 Determinism argument: a node's behaviour is a function of its pid, the
 shared seed hierarchy, and its per-round inputs (injections, inbox).
@@ -33,6 +46,7 @@ the in-process run, by induction over rounds.
 from __future__ import annotations
 
 import hashlib
+import time
 import traceback
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -47,6 +61,8 @@ from repro.net.codec import (
     encode_tagged_messages,
 )
 from repro.net.transport import get_transport
+from repro.obs.instrument import Telemetry
+from repro.obs.sink import SequenceSink
 from repro.sim.messages import Message
 from repro.sim.process import ProcessShell
 
@@ -74,6 +90,22 @@ class ShardWorker:
         partition_set = build_partition_set(self.n, params, self.seed)
         self._deliveries: List[Tuple[int, int, int, int, str, str]] = []
 
+        # Worker-local telemetry: events buffer in a SequenceSink until
+        # the coordinator drains them (one telemetry frame per round),
+        # metrics accumulate in a private registry shipped at stop.
+        self.capture: Optional[SequenceSink] = None
+        self.telemetry: Optional[Telemetry] = None
+        if config.get("telemetry"):
+            self.capture = SequenceSink()
+            self.telemetry = Telemetry(sinks=[self.capture])
+
+        # Always-on SLO instrumentation (floats/ints only; never touches
+        # simulation state, so default runs stay bit-identical).
+        self.barrier_wait_s: List[float] = []
+        self.ship_wait_s: List[float] = []
+        self.queue_depths: List[int] = []
+        self.queue_peak = 0
+
         def _deliver(pid: int, round_no: int, rid, data: bytes, path: str) -> None:
             self._deliveries.append(
                 (
@@ -92,6 +124,7 @@ class ShardWorker:
             seed=self.seed,
             deliver_callback=_deliver,
             partition_set=partition_set,
+            telemetry=self.telemetry,
         )
         self.shells: Dict[int, ProcessShell] = {}
         for pid in self.my_pids:
@@ -111,6 +144,7 @@ class ShardWorker:
                     self.seed,
                     spec,
                     self.n,
+                    telemetry=self.telemetry,
                     keep_events=False,
                     message_keyed=True,
                 )
@@ -189,6 +223,12 @@ class ShardWorker:
             entries.extend(decode_tagged_messages(blob))
         entries.sort(key=lambda entry: entry[0])
 
+        pending = self.plane.pending_count() if self.plane is not None else 0
+        depth = len(entries) + pending
+        self.queue_depths.append(depth)
+        if depth > self.queue_peak:
+            self.queue_peak = depth
+
         plane = self.plane
         chaos = plane is not None and plane.active_in(round_no)
         if chaos:
@@ -254,6 +294,41 @@ class ShardWorker:
                 if plane is not None
                 else None
             ),
+            # Always-on SLO instrumentation.  Floats/ints only; the
+            # coordinator folds these into its net-metrics registry,
+            # never into the simulation payload, so nondeterministic
+            # timings cannot perturb a RunRecord digest.
+            "net": {
+                "barrier_wait_s": list(self.barrier_wait_s),
+                "ship_wait_s": list(self.ship_wait_s),
+                "queue_depths": list(self.queue_depths),
+                "queue_peak": self.queue_peak,
+            },
+        }
+
+    # -- telemetry frames ------------------------------------------------
+
+    def drain_telemetry(self, round_no: int) -> Dict[str, object]:
+        """The round's ``telemetry`` frame body: sanitized event batch.
+
+        Entries are ``(seq, kind, round, fields)`` with ``seq`` the
+        worker's monotonic emission index — the coordinator merges all
+        workers' batches on ``(round, worker, seq)``.  Fields were made
+        JSON-safe at emission time, so no rumor bytes can appear here.
+        """
+        assert self.capture is not None
+        events = [
+            (seq, event.kind, event.round_no, event.fields)
+            for seq, event in self.capture.drain()
+        ]
+        return {"worker": self.wid, "round": round_no, "events": events}
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The ``metrics`` frame body: this worker's registry snapshot."""
+        assert self.telemetry is not None
+        return {
+            "worker": self.wid,
+            "metrics": self.telemetry.metrics.snapshot(),
         }
 
 
@@ -270,12 +345,24 @@ def worker_main(config: Dict[str, object]) -> None:
                 encode_frame("hello", {"worker": worker.wid})
             )
             while True:
+                # Wall-clock blocked on the coordinator: before a round
+                # frame this is the lockstep barrier (the slowest peer's
+                # shadow); before a deliver frame it is the cross-batch
+                # relay (ship) wait.
+                waited_from = time.perf_counter()
                 kind, body = decode_frame(connection.recv())
+                waited = time.perf_counter() - waited_from
                 if kind == "round":
+                    worker.barrier_wait_s.append(waited)
                     reply = ("sent", worker.handle_round(body))
                 elif kind == "deliver":
+                    worker.ship_wait_s.append(waited)
                     reply = ("events", worker.handle_deliver(body))
                 elif kind == "stop":
+                    if worker.telemetry is not None:
+                        connection.send(
+                            encode_frame("metrics", worker.metrics_snapshot())
+                        )
                     connection.send(
                         encode_frame("final", worker.handle_stop())
                     )
@@ -283,6 +370,13 @@ def worker_main(config: Dict[str, object]) -> None:
                 else:
                     raise ValueError("unexpected frame {!r}".format(kind))
                 connection.send(encode_frame(*reply))
+                if kind == "deliver" and worker.telemetry is not None:
+                    connection.send(
+                        encode_frame(
+                            "telemetry",
+                            worker.drain_telemetry(body["round"]),
+                        )
+                    )
         except Exception:
             connection.send(
                 encode_frame(

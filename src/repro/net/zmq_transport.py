@@ -47,9 +47,12 @@ class _RouterPeer(Connection):
 
     def send(self, frame: bytes) -> None:
         self._listener._send_to(self._identity, frame)
+        self._note_send(len(frame))
 
     def recv(self) -> bytes:
-        return self._listener._recv_from(self._identity)
+        frame = self._listener._recv_from(self._identity)
+        self._note_recv(len(frame))
+        return frame
 
     def close(self) -> None:
         pass  # peer lifetime == router lifetime
@@ -119,6 +122,7 @@ class _DealerConnection(Connection):
 
     def send(self, frame: bytes) -> None:
         self._socket.send(frame)
+        self._note_send(len(frame))
 
     def recv(self) -> bytes:
         events = dict(self._poller.poll(self._timeout_ms))
@@ -126,7 +130,9 @@ class _DealerConnection(Connection):
             raise TransportClosed(
                 "coordinator silent for {}ms".format(self._timeout_ms)
             )
-        return self._socket.recv()
+        frame = self._socket.recv()
+        self._note_recv(len(frame))
+        return frame
 
     def close(self) -> None:
         self._socket.close(linger=0)

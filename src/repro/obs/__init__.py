@@ -16,7 +16,7 @@ from repro.obs.registry import (
     MetricsRegistry,
     Span,
 )
-from repro.obs.sink import CollectSink, JsonlSink, RingBufferSink
+from repro.obs.sink import CollectSink, JsonlSink, RingBufferSink, SequenceSink
 from repro.obs.timeline import RumorLifecycle, RumorTimeline
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "RingBufferSink",
     "RumorLifecycle",
     "RumorTimeline",
+    "SequenceSink",
     "Span",
     "Telemetry",
     "json_safe",

@@ -61,23 +61,28 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary: count / total / min / max / mean.
+    """Sample-keeping summary: count / total / min / max / mean / quantiles.
 
-    No buckets — the repro workloads need magnitudes, not quantiles, and
-    a five-number summary keeps merge and JSON output trivial.
+    No buckets — the repro workloads are small enough that keeping the raw
+    samples is cheaper than tuning bucket edges, and exact quantiles make
+    the SLO summaries (p50/p99/p999) trustworthy at any sample count.
     """
 
     kind = "histogram"
+
+    QUANTILES = ((0.5, "p50"), (0.99, "p99"), (0.999, "p999"))
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.samples: List[float] = []
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
+        self.samples.append(value)
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
@@ -87,14 +92,43 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Exact sample quantile with linear interpolation.
+
+        Returns ``None`` when no samples were observed; ``q`` must lie in
+        ``[0, 1]``.  With a single sample every quantile is that sample.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got {!r}".format(q))
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "count": self.count,
             "total": round(self.total, 6),
             "min": self.min,
             "max": self.max,
             "mean": round(self.mean, 6),
         }
+        ordered = sorted(self.samples)
+        for q, label in self.QUANTILES:
+            if not ordered:
+                out[label] = None
+                continue
+            position = q * (len(ordered) - 1)
+            lower = int(position)
+            upper = min(lower + 1, len(ordered) - 1)
+            fraction = position - lower
+            value = ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+            out[label] = round(value, 6)
+        return out
 
 
 class Span:
@@ -165,6 +199,61 @@ class MetricsRegistry:
             entry.update(instrument.as_dict())
             out.append(entry)
         return out
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Wire-safe instrument state, deterministically ordered.
+
+        Unlike :meth:`dump` (a human/JSON view with derived quantiles),
+        a snapshot carries the *mergeable* state — counter/gauge values
+        and raw histogram samples — so registries from shard workers can
+        be folded into one via :meth:`merge_snapshot` without losing
+        exactness.  Payload values are scalars and flat containers only,
+        so a snapshot rides the net codec unmodified.
+        """
+        out: List[Dict[str, Any]] = []
+        for (name, labels), instrument in self.items():
+            if instrument.kind == "histogram":
+                state: Dict[str, Any] = {"samples": list(instrument.samples)}
+            else:
+                state = {"value": instrument.value}
+            out.append(
+                {
+                    "name": name,
+                    "kind": instrument.kind,
+                    "labels": dict(labels),
+                    "state": state,
+                }
+            )
+        return out
+
+    def merge_snapshot(
+        self, entries: List[Dict[str, Any]], **extra_labels: Any
+    ) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters add their value, gauges add their value (merged gauges
+        are sums — the only cross-shard gauge semantics that compose),
+        histograms replay their samples.  ``extra_labels`` are appended
+        to every entry's label set (e.g. ``worker=3``), so callers choose
+        between per-worker breakdowns and exact global totals.
+        """
+        for entry in entries:
+            labels = dict(entry["labels"])
+            labels.update(extra_labels)
+            kind = entry["kind"]
+            state = entry["state"]
+            if kind == "counter":
+                self.counter(entry["name"], **labels).inc(state["value"])
+            elif kind == "gauge":
+                self.gauge(entry["name"], **labels).add(state["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(entry["name"], **labels)
+                for sample in state["samples"]:
+                    histogram.observe(sample)
+            else:
+                raise ValueError(
+                    "snapshot entry with unknown kind {!r}".format(kind)
+                )
 
     def render(self) -> str:
         """Human-readable registry dump (the CLI ``--metrics`` view)."""

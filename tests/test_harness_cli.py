@@ -341,6 +341,41 @@ class TestTraceCommand:
         ]
         assert any(record["complete"] for record in lifecycles)
 
+    def test_trace_sharded_backend(self, tmp_path, capsys):
+        out_path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "trace",
+                "steady",
+                "-n",
+                "8",
+                "--rounds",
+                "24",
+                "--deadline",
+                "16",
+                "--lean",
+                "--backend",
+                "sharded",
+                "--workers",
+                "2",
+                "--out",
+                str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # The report names the backend it traced.
+        assert "[sharded backend]" in out
+        lines = out_path.read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        # Every live protocol event carries its shard's worker label;
+        # lifecycle records are coordinator-side reconstructions.
+        live = [e for e in events if e["kind"] != "rumor_lifecycle"]
+        assert live
+        assert all("worker" in event for event in live)
+        assert {e["kind"] for e in events} >= {"rumor_inject", "rumor_deliver"}
+
     def test_trace_replays_requested_rumor(self, tmp_path, capsys):
         code = main(
             [

@@ -206,6 +206,23 @@ def test_control_frames_never_carry_rumor_bytes():
     assert marker in wire
 
 
+def test_telemetry_frame_round_trips_sanitized_batches():
+    # Worker telemetry batches are (seq, kind, round, fields) tuples whose
+    # fields were json_safe'd worker-side — scalars and flat containers
+    # only, so they ride the closed allow-list codec unmodified.
+    body = {
+        "worker": 1,
+        "round": 7,
+        "events": [
+            (0, "rumor_inject", 7, {"rid": "r0:0", "data": "<16 bytes>"}),
+            (1, "rumor_deliver", 7, {"rid": "r0:0", "pid": 3, "path": "gd"}),
+        ],
+    }
+    kind, decoded = decode_frame(encode_frame("telemetry", body))
+    assert kind == "telemetry"
+    assert decoded == body
+
+
 def test_batch_interning_shares_one_payload_object():
     fragment = Fragment(
         RumorId(0, 1), 0, 0, 1, 2, b"share", frozenset({1, 2}), 64, 80

@@ -101,18 +101,30 @@ def test_api_backend_selector():
     assert _record(sharded) == _record(inproc)
 
 
-def test_telemetry_rejected_on_sharded_backend():
+def test_telemetry_supported_on_sharded_backend():
+    # The full cross-backend contract lives in tests/test_net_telemetry.py;
+    # this pins the api-level plumbing: a traced sharded run works, emits
+    # worker-labelled events, and matches the untraced payload exactly.
     from repro.obs.instrument import Telemetry
+    from repro.obs.sink import CollectSink
 
-    with pytest.raises(NotImplementedError, match="telemetry"):
-        run_scenario(
-            "steady",
-            n=8,
-            rounds=8,
-            deadline=16,
-            backend="sharded",
-            telemetry=Telemetry(),
-        )
+    kwargs = dict(
+        n=8, rounds=24, deadline=16, seed=0, params=CongosParams.lean()
+    )
+    sink = CollectSink()
+    traced = run_scenario(
+        "steady",
+        backend="sharded",
+        net={"workers": 2},
+        telemetry=Telemetry(sinks=[sink]),
+        **kwargs,
+    )
+    untraced = run_scenario(
+        "steady", backend="sharded", net={"workers": 2}, **kwargs
+    )
+    assert sink.events, "traced sharded run produced no events"
+    assert all("worker" in event.fields for event in sink.events)
+    assert _record(traced) == _record(untraced)
 
 
 def test_mid_round_adversary_rejected():

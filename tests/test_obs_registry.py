@@ -33,6 +33,59 @@ class TestInstruments:
         assert Histogram().mean == 0.0
 
 
+class TestHistogramQuantiles:
+    def test_empty_histogram_quantile_is_none(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.5) is None
+        summary = histogram.as_dict()
+        assert summary["p50"] is None
+        assert summary["p99"] is None
+        assert summary["p999"] is None
+
+    def test_out_of_range_q_rejected(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.1)
+
+    def test_single_sample_is_every_quantile(self):
+        histogram = Histogram()
+        histogram.observe(7.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 7.0
+
+    def test_small_n_linear_interpolation(self):
+        histogram = Histogram()
+        for value in (10.0, 20.0, 30.0, 40.0):
+            histogram.observe(value)
+        # position = q*(n-1); q=0.5 over 4 samples sits halfway between
+        # the 2nd and 3rd order statistics.
+        assert histogram.quantile(0.5) == pytest.approx(25.0)
+        assert histogram.quantile(0.25) == pytest.approx(17.5)
+        assert histogram.quantile(0.0) == 10.0
+        assert histogram.quantile(1.0) == 40.0
+
+    def test_insertion_order_does_not_matter(self):
+        a, b = Histogram(), Histogram()
+        for value in (3.0, 1.0, 2.0):
+            a.observe(value)
+        for value in (1.0, 2.0, 3.0):
+            b.observe(value)
+        assert a.quantile(0.5) == b.quantile(0.5) == 2.0
+
+    def test_as_dict_reports_slo_percentiles(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.as_dict()
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p99"] == pytest.approx(99.01)
+        assert summary["p999"] == pytest.approx(99.901)
+        assert summary["count"] == 100
+
+
 class TestRegistry:
     def test_same_labels_return_same_instrument(self):
         registry = MetricsRegistry()
@@ -78,6 +131,51 @@ class TestRegistry:
         assert dump[0]["labels"] == {"svc": "gg"}
         assert dump[0]["value"] == 2
         assert dump[0]["type"] == "counter"
+
+    def test_snapshot_merge_round_trip(self):
+        source = MetricsRegistry()
+        source.counter("gossip.injected", service="gg").inc(3)
+        source.gauge("queue.depth").set(2.5)
+        histogram = source.histogram("wait.seconds")
+        for value in (0.1, 0.2, 0.7):
+            histogram.observe(value)
+
+        target = MetricsRegistry()
+        target.counter("gossip.injected", service="gg").inc(4)
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("gossip.injected", service="gg").value == 7
+        assert target.gauge("queue.depth").value == pytest.approx(2.5)
+        merged = target.histogram("wait.seconds")
+        assert merged.count == 3
+        assert merged.samples == [0.1, 0.2, 0.7]
+
+    def test_merge_snapshot_extra_labels_keep_workers_apart(self):
+        source = MetricsRegistry()
+        source.counter("x").inc(5)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot(), worker=0)
+        target.merge_snapshot(source.snapshot(), worker=1)
+        # Labelled merges stay per-worker; an unlabelled one would sum.
+        assert target.counter("x", worker=0).value == 5
+        assert target.counter("x", worker=1).value == 5
+        assert len(target) == 2
+
+    def test_merge_snapshot_rejects_unknown_kind(self):
+        registry = MetricsRegistry()
+        bogus = [{"name": "x", "kind": "summary", "labels": {}, "state": {}}]
+        with pytest.raises(ValueError, match="unknown kind"):
+            registry.merge_snapshot(bogus)
+
+    def test_snapshot_rides_the_net_codec(self):
+        from repro.net.codec import decode_frame, encode_frame
+
+        registry = MetricsRegistry()
+        registry.counter("a", svc="gg").inc(2)
+        registry.histogram("b").observe(0.25)
+        snapshot = registry.snapshot()
+        kind, body = decode_frame(encode_frame("metrics", snapshot))
+        assert kind == "metrics"
+        assert body == snapshot
 
     def test_render_empty_and_populated(self):
         registry = MetricsRegistry()

@@ -7,7 +7,22 @@ import pytest
 
 from repro.obs.events import ObsEvent
 from repro.obs.instrument import NULL_TELEMETRY, Telemetry
-from repro.obs.sink import CollectSink, JsonlSink, RingBufferSink
+from repro.obs.sink import (
+    CollectSink,
+    JsonlSink,
+    RingBufferSink,
+    SequenceSink,
+)
+
+
+class FlushCountingStream(io.StringIO):
+    def __init__(self):
+        super().__init__()
+        self.flushes = 0
+
+    def flush(self):
+        self.flushes += 1
+        super().flush()
 
 
 def mk_event(round_no=0, **fields):
@@ -46,6 +61,54 @@ class TestJsonlSink:
             JsonlSink()
         with pytest.raises(ValueError):
             JsonlSink(path=str(tmp_path / "x"), stream=io.StringIO())
+
+    def test_close_flushes_non_owned_streams(self):
+        stream = FlushCountingStream()
+        sink = JsonlSink(stream=stream)
+        sink.write(mk_event())
+        assert stream.flushes == 0
+        sink.close()
+        assert stream.flushes == 1
+        assert not stream.closed
+
+    def test_context_manager_closes_on_exit(self):
+        stream = FlushCountingStream()
+        with JsonlSink(stream=stream) as sink:
+            sink.write(mk_event())
+        assert stream.flushes == 1
+        with pytest.raises(ValueError):
+            sink.write(mk_event())
+
+    def test_flush_every_forces_periodic_flushes(self):
+        stream = FlushCountingStream()
+        sink = JsonlSink(stream=stream, flush_every=2)
+        for round_no in range(5):
+            sink.write(mk_event(round_no))
+        # Flushed after events 2 and 4; the tail waits for close().
+        assert stream.flushes == 2
+        sink.close()
+        assert stream.flushes == 3
+
+    def test_flush_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JsonlSink(stream=io.StringIO(), flush_every=0)
+
+
+class TestSequenceSink:
+    def test_seq_is_monotonic_across_drains(self):
+        sink = SequenceSink()
+        sink.write(mk_event(0))
+        sink.write(mk_event(0))
+        first = sink.drain()
+        assert [seq for seq, _ in first] == [0, 1]
+        assert len(sink) == 0
+        # The sequence never resets — (round, seq) stays a total order
+        # over the emitter's whole stream, drain after drain.
+        sink.write(mk_event(1))
+        second = sink.drain()
+        assert [seq for seq, _ in second] == [2]
+        assert sink.seen == 3
+        assert sink.drain() == []
 
 
 class TestRingBufferSink:
