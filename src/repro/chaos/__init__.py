@@ -10,17 +10,33 @@ production-like loss, delay, duplication, reordering and partitions.
 * :mod:`repro.chaos.plane` — :class:`ChaosFaultPlane`, the network hook.
 * :mod:`repro.chaos.soak` — fault-matrix sweeps and the E15 payload.
 * :mod:`repro.chaos.direct` — direct-send reliability matrix (E16).
+* :mod:`repro.chaos.targeted` — budgeted rumor-aware fault policies and
+  the E19 targeted-vs-oblivious matrix.
 """
 
 from repro.chaos.plane import ChaosFaultPlane, FaultEvent, FaultPlane, pipeline_stage
 from repro.chaos.schedule import FaultSchedule
 from repro.chaos.spec import FaultSpec
+from repro.chaos.targeted import (
+    BudgetLedger,
+    TargetedFaultPlane,
+    TargetedFaultPolicy,
+    TargetedSpec,
+    get_policy,
+    policy_names,
+)
 
 __all__ = [
+    "BudgetLedger",
     "ChaosFaultPlane",
     "FaultEvent",
     "FaultPlane",
     "FaultSchedule",
     "FaultSpec",
+    "TargetedFaultPlane",
+    "TargetedFaultPolicy",
+    "TargetedSpec",
+    "get_policy",
     "pipeline_stage",
+    "policy_names",
 ]

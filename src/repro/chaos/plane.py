@@ -100,9 +100,10 @@ class FaultEvent:
     dst: int
     service: str
     detail: int = 0  # delay rounds, inbox size for reorder, 0 otherwise
+    policy: str = ""  # targeted policy name; "" for oblivious faults
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "round": self.round_no,
             "kind": self.kind,
             "src": self.src,
@@ -110,6 +111,9 @@ class FaultEvent:
             "service": self.service,
             "detail": self.detail,
         }
+        if self.policy:
+            data["policy"] = self.policy
+        return data
 
 
 class FaultPlane:
@@ -218,6 +222,15 @@ class ChaosFaultPlane(FaultPlane):
         else:
             self._round_rng = self.schedule.round_rng(round_no)
         self._severed = self.schedule.severed(round_no)
+        if self.telemetry.enabled:
+            # Delay-queue depth entering the round, so delay-heavy soaks
+            # can watch growth: the gauge tracks the live value, the
+            # histogram keeps the whole profile (mean/p99/max survive
+            # the final snapshot).
+            pending = self.pending_count()
+            metrics = self.telemetry.metrics
+            metrics.gauge("chaos.pending").set(pending)
+            metrics.histogram("chaos.pending_depth").observe(pending)
 
     def admit(self, round_no: int, message: Message) -> str:
         """Decide the fate of one in-flight message.
@@ -231,6 +244,10 @@ class ChaosFaultPlane(FaultPlane):
         ):
             self._record(round_no, SEVER, message)
             return SEVER
+        return self._schedule_admit(round_no, message)
+
+    def _schedule_admit(self, round_no: int, message: Message) -> str:
+        """The post-sever fate draw (subclasses compose around this)."""
         if self.message_keyed:
             pair = (message.src, message.dst)
             copy = self._pair_counts.get(pair, 0)
@@ -310,28 +327,44 @@ class ChaosFaultPlane(FaultPlane):
     # -- internals -------------------------------------------------------
 
     def _record(
-        self, round_no: int, kind: str, message: Message, detail: int = 0
+        self,
+        round_no: int,
+        kind: str,
+        message: Message,
+        detail: int = 0,
+        policy: Optional[str] = None,
+        budget_spent: Optional[int] = None,
     ) -> None:
-        self.counts[kind] += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
         stage = pipeline_stage(message.service)
         kinds = self.stage_counts.setdefault(stage, {})
         kinds[kind] = kinds.get(kind, 0) + 1
         if self.keep_events and len(self.events) < self.max_events:
             self.events.append(
                 FaultEvent(
-                    round_no, kind, message.src, message.dst, message.service, detail
+                    round_no,
+                    kind,
+                    message.src,
+                    message.dst,
+                    message.service,
+                    detail,
+                    policy or "",
                 )
             )
         if self.telemetry.enabled:
-            self.telemetry.metrics.counter(
-                "chaos.faults", kind=kind, stage=stage
-            ).inc()
-            self.telemetry.emit(
-                "fault_" + kind,
-                round_no,
-                src=message.src,
-                dst=message.dst,
-                service=message.service,
-                detail=detail,
-                rids=message_rids(message),
-            )
+            labels = {"kind": kind, "stage": stage}
+            fields: Dict[str, Any] = {
+                "src": message.src,
+                "dst": message.dst,
+                "service": message.service,
+                "detail": detail,
+                "rids": message_rids(message),
+            }
+            if policy is not None:
+                # Targeted faults carry their attribution: which policy
+                # spent the budget unit and the ledger level after it.
+                labels["policy"] = policy
+                fields["policy"] = policy
+                fields["budget_spent"] = budget_spent
+            self.telemetry.metrics.counter("chaos.faults", **labels).inc()
+            self.telemetry.emit("fault_" + kind, round_no, **fields)

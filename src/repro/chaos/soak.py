@@ -64,11 +64,18 @@ def run_soak(
     timeout: Optional[float] = None,
     retries: int = 1,
     progress: Optional[Progress] = None,
+    builder: str = "chaos",
     **fixed: object,
 ) -> SweepResult:
-    """Sweep the ``chaos`` builder over the matrix on the exec pool."""
+    """Sweep a chaos-family builder over the matrix on the exec pool.
+
+    ``builder`` defaults to the oblivious ``chaos`` scenario;
+    ``chaos-soak --policy`` passes ``"targeted"`` to layer a budgeted
+    rumor-aware policy (:mod:`repro.chaos.targeted`) over the same
+    drop x delay matrix.
+    """
     return sweep_congos(
-        "chaos",
+        builder,
         cells,
         seeds=seeds,
         jobs=jobs,

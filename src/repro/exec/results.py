@@ -47,6 +47,10 @@ class RunRecord:
     # splits the same counts by pipeline stage (proxy/gd/gossip/direct)
     faults: Dict[str, int] = field(default_factory=dict)
     faults_by_stage: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # targeted adversary summary (empty unless a TargetedFaultPlane ran):
+    # policy, budget ledger, tracked rids, and the tracked rumors' own
+    # admissible/missed pair counts pulled from the QoD outcomes
+    targeted: Dict[str, object] = field(default_factory=dict)
     # bookkeeping
     rumors_injected: int = 0
     spec_key: Optional[str] = None
@@ -63,6 +67,22 @@ class RunRecord:
         stats = result.stats
         qod = result.qod
         confidentiality = result.confidentiality
+        targeted: Dict[str, object] = {}
+        summarize = getattr(result.fault_plane, "targeted_summary", None)
+        if summarize is not None:
+            targeted = summarize()
+            tracked = set(targeted.get("tracked", ()))
+            outcomes = [o for o in qod.outcomes if str(o.rid) in tracked]
+            targeted["tracked_pairs"] = len(outcomes)
+            targeted["tracked_admissible"] = sum(
+                1 for o in outcomes if o.admissible
+            )
+            targeted["tracked_missed"] = sum(
+                1
+                for o in outcomes
+                if o.admissible
+                and not (o.delivered and o.on_time and o.correct_data)
+            )
         return cls(
             scenario=result.scenario.name,
             n=result.scenario.n,
@@ -88,6 +108,7 @@ class RunRecord:
                 stage: dict(kinds)
                 for stage, kinds in (result.chaos_stage_summary() or {}).items()
             },
+            targeted=targeted,
             rumors_injected=result.rumors_injected,
             spec_key=spec_key,
         )
@@ -131,6 +152,10 @@ class RunRecord:
     def to_dict(self) -> Dict[str, object]:
         data = asdict(self)
         data["latencies"] = list(self.latencies)
+        # Absent unless a targeted plane ran: pre-targeted payloads (and
+        # their golden digests) are byte-identical.
+        if not data["targeted"]:
+            del data["targeted"]
         return data
 
     @classmethod
@@ -145,4 +170,6 @@ class RunRecord:
             stage: dict(kinds)
             for stage, kinds in dict(payload.get("faults_by_stage", {})).items()
         }
+        # Default keeps pre-targeted cached records loading.
+        payload["targeted"] = dict(payload.get("targeted", {}))
         return cls(**payload)

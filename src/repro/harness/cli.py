@@ -28,6 +28,12 @@ Commands
     default/hardened matrix (E16): the direct-send path in isolation,
     with and without the ack/retransmit/k-copy reliability layer.
     Writes ``BENCH_e16_direct_matrix.json`` under ``--out``.
+``targeted-soak``
+    Sweep the budgeted rumor-aware adversaries (E19): policy × budget ×
+    n × preset, every targeted cell paired with its rumor-blind twin at
+    the same budget (the matched-budget oblivious baseline).  Writes
+    ``BENCH_e19_targeted_matrix.json`` under ``--out``; exits nonzero on
+    any confidentiality violation or budget-ledger mismatch.
 ``perf``
     The performance benches (see DESIGN.md Section 8): ``perf micro``
     runs the stable-keyed microbenchmark suite (optionally with
@@ -82,6 +88,13 @@ from repro.chaos.soak import (
     chaos_cells,
     run_soak,
     soak_payload,
+)
+from repro.chaos.targeted import (
+    BENCH_NAME as TARGETED_BENCH_NAME,
+    policy_names,
+    run_targeted_soak,
+    targeted_cells,
+    targeted_payload,
 )
 from repro.core.config import CongosParams
 from repro.core.congos import build_partition_set
@@ -383,6 +396,112 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="re-run the highest-intensity cell with telemetry to this JSONL",
+    )
+    soak.add_argument(
+        "--policy",
+        default=None,
+        choices=policy_names(),
+        help="layer a budgeted rumor-aware policy over every cell "
+        "(routes through the 'targeted' builder; see targeted-soak for "
+        "the full E19 matrix)",
+    )
+    soak.add_argument(
+        "--per-round",
+        type=int,
+        default=4,
+        dest="per_round",
+        help="targeted budget per destination per round (--policy only)",
+    )
+    soak.add_argument(
+        "--total",
+        type=int,
+        default=64,
+        help="targeted budget per destination per run (--policy only)",
+    )
+    soak.add_argument(
+        "--blind",
+        action="store_true",
+        help="rumor-blind variant of --policy (matched-budget baseline)",
+    )
+
+    targeted = sub.add_parser(
+        "targeted-soak",
+        help="sweep the budgeted rumor-aware adversary matrix (E19)",
+    )
+    targeted.add_argument("-n", type=int, nargs="+", default=[64], metavar="N")
+    # 96 rounds fits the full injection window for deadline 64 (inject
+    # in [24, 28), last expiry 92) while keeping the concurrent-rumor
+    # population — the dominant cost at n=256 — small.
+    targeted.add_argument("--rounds", type=int, default=96)
+    targeted.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        choices=policy_names(),
+        metavar="POLICY",
+        help="policies to sweep (default: all registered)",
+    )
+    targeted.add_argument(
+        "--budgets",
+        nargs="+",
+        default=["4:64", "8:128"],
+        metavar="PER_ROUND:TOTAL",
+        help="per-destination budget pairs, e.g. 4:64 8:128",
+    )
+    targeted.add_argument(
+        "--kind",
+        default="drop",
+        choices=["drop", "delay"],
+        help="what a spent budget unit does",
+    )
+    targeted.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="deadline-chaser grace rounds after injection",
+    )
+    targeted.add_argument(
+        "--drop",
+        type=float,
+        default=0.0,
+        help="background oblivious drop probability composed under the "
+        "targeted layer",
+    )
+    targeted.add_argument(
+        "--presets",
+        nargs="+",
+        default=["default", "hardened"],
+        choices=["default", "hardened"],
+        help="CongosParams presets to sweep",
+    )
+    targeted.add_argument(
+        "--aware-only",
+        action="store_true",
+        dest="aware_only",
+        help="skip the rumor-blind matched-budget baseline cells",
+    )
+    targeted.add_argument(
+        "--seeds", type=int, default=2, help="seed replicates per cell"
+    )
+    targeted.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes (0 = cpu count, 1 = serial)",
+    )
+    targeted.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory: result cache, TXT table, BENCH E19 JSON",
+    )
+    targeted.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse cached cells under --out instead of re-running them",
+    )
+    targeted.add_argument(
+        "--json", action="store_true", help="emit JSON payload"
     )
 
     direct = sub.add_parser(
@@ -977,6 +1096,20 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
         "churn": args.churn,
         "hardened": args.hardened,
     }
+    builder = "chaos"
+    if args.policy is not None:
+        # Same intensity matrix, with a budgeted rumor-aware policy
+        # layered over every cell's oblivious spec.
+        builder = "targeted"
+        fixed.update(
+            policy=args.policy,
+            per_round=args.per_round,
+            total=args.total,
+            blind=args.blind,
+        )
+        # The targeted builder picks its own deadline default per policy.
+        if args.deadline == 64:
+            del fixed["deadline"]
     cache = None
     if args.out:
         cache = ResultCache(os.path.join(args.out, "cache"))
@@ -990,6 +1123,7 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
             cache=cache,
             resume=args.resume,
             progress=progress,
+            builder=builder,
             **fixed,
         )
     except InvariantViolation as violation:
@@ -1009,7 +1143,7 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
         return 130
     progress.finish()
     payload = soak_payload(result, fixed)
-    payload["scenario"] = "chaos"
+    payload["scenario"] = builder
     payload["seeds"] = args.seeds
     payload["fixed"] = dict(fixed)
     # Nondeterministic timing lives under one key so artifact comparisons
@@ -1046,8 +1180,11 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
             "clean",
         ],
         rows,
-        title="chaos soak ({} cells x {} seeds{})".format(
-            len(cells), args.seeds, ", hardened" if args.hardened else ""
+        title="chaos soak ({} cells x {} seeds{}{})".format(
+            len(cells),
+            args.seeds,
+            ", hardened" if args.hardened else "",
+            ", policy " + args.policy if args.policy else "",
         ),
     )
     if args.json:
@@ -1064,12 +1201,15 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
         )
         print("artifacts: {}".format(artifact), file=sys.stderr)
     if args.trace:
-        _trace_worst_cell(args, result, fixed)
+        _trace_worst_cell(args, result, fixed, builder)
     return 0 if result.all_clean() else 1
 
 
 def _trace_worst_cell(
-    args: argparse.Namespace, result, fixed: Dict[str, object]
+    args: argparse.Namespace,
+    result,
+    fixed: Dict[str, object],
+    builder: str = "chaos",
 ) -> None:
     """Re-run the highest-intensity cell in-process with full telemetry."""
     worst = max(
@@ -1083,7 +1223,7 @@ def _trace_worst_cell(
     with JsonlSink(path=args.trace) as sink:
         telemetry = Telemetry(sinks=[sink])
         telemetry.subscribe(timeline)
-        scenario = SCENARIOS["chaos"](seed=0, **fixed, **worst.cell)
+        scenario = SCENARIOS[builder](seed=0, **fixed, **worst.cell)
         run_congos_scenario(
             scenario, observers=[timeline], telemetry=telemetry
         )
@@ -1195,6 +1335,172 @@ def cmd_direct_soak(args: argparse.Namespace) -> int:
         )
         print("artifacts: {}".format(artifact), file=sys.stderr)
     return 0 if result.all_clean() else 1
+
+
+def _parse_budgets(specs: List[str]) -> List[tuple]:
+    budgets = []
+    for spec in specs:
+        try:
+            per_round, total = spec.split(":", 1)
+            budgets.append((int(per_round), int(total)))
+        except ValueError:
+            raise SystemExit(
+                "bad --budgets entry {!r}: expected PER_ROUND:TOTAL, "
+                "e.g. 4:64".format(spec)
+            )
+    return budgets
+
+
+def cmd_targeted_soak(args: argparse.Namespace) -> int:
+    if args.resume and not args.out:
+        print("--resume needs --out (the cache lives there)", file=sys.stderr)
+        return 2
+    policies = args.policies if args.policies else policy_names()
+    budgets = _parse_budgets(args.budgets)
+    hardened = [preset == "hardened" for preset in args.presets]
+    blind = (False,) if args.aware_only else (False, True)
+    cells = targeted_cells(
+        policies, budgets, args.n, hardened=hardened, blind=blind
+    )
+    fixed: Dict[str, object] = {
+        "rounds": args.rounds,
+        "kind": args.kind,
+        "window": args.window,
+        "drop": args.drop,
+    }
+    cache = None
+    if args.out:
+        cache = ResultCache(os.path.join(args.out, "cache"))
+    total = len(cells) * args.seeds
+    progress = Progress.for_tty(total, label="targeted soak")
+    try:
+        result = run_targeted_soak(
+            cells,
+            seeds=range(args.seeds),
+            jobs=args.jobs,
+            cache=cache,
+            resume=args.resume,
+            progress=progress,
+            **fixed,
+        )
+    except InvariantViolation as violation:
+        # Red alert: a *targeted* adversary must still never learn z.
+        print("\nINVARIANT VIOLATION: {}".format(violation), file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted after {} of {} tasks{}".format(
+                progress.done,
+                total,
+                " — rerun with --resume to continue" if args.out else "",
+            ),
+            file=sys.stderr,
+        )
+        return 130
+    progress.finish()
+    payload = targeted_payload(result, fixed)
+    payload["scenario"] = "targeted"
+    payload["seeds"] = args.seeds
+    payload["fixed"] = dict(fixed)
+    payload["policies"] = list(policies)
+    payload["budgets"] = ["{}:{}".format(*pair) for pair in budgets]
+    flat_records = [record for cell in result.cells for record in cell.runs]
+    payload["profile"] = profile_payload(flat_records)
+    payload["profile"]["elapsed_seconds"] = round(progress.elapsed(), 3)
+    rows: List[List[object]] = []
+    for entry in payload["cells"]:
+        cell = entry["cell"]
+        rows.append(
+            [
+                cell["policy"],
+                "{}:{}".format(cell["per_round"], cell["total"]),
+                cell["n"],
+                "hardened" if cell["hardened"] else "default",
+                "blind" if cell["blind"] else "aware",
+                entry["budget_spent"],
+                "ok" if entry["ledger_ok"] else "MISMATCH",
+                entry["delivery_rate"]
+                if entry["delivery_rate"] is not None
+                else "-",
+                entry["tracked_delivery_rate"]
+                if entry["tracked_delivery_rate"] is not None
+                else "-",
+                entry["fallback_rate"],
+                entry["clean"],
+            ]
+        )
+    table = format_table(
+        [
+            "policy",
+            "budget",
+            "n",
+            "preset",
+            "mode",
+            "spent",
+            "ledger",
+            "delivery",
+            "tracked",
+            "fallback",
+            "clean",
+        ],
+        rows,
+        title="targeted soak ({} cells x {} seeds)".format(
+            len(cells), args.seeds
+        ),
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(table)
+        if payload["comparisons"]:
+            comp_rows = [
+                [
+                    comp["policy"],
+                    "{}:{}".format(comp["per_round"], comp["total"]),
+                    comp["n"],
+                    "hardened" if comp["hardened"] else "default",
+                    comp["targeted_delivery"]
+                    if comp["targeted_delivery"] is not None
+                    else "-",
+                    comp["oblivious_delivery"]
+                    if comp["oblivious_delivery"] is not None
+                    else "-",
+                    comp["delivery_delta"]
+                    if comp["delivery_delta"] is not None
+                    else "-",
+                    comp["targeted_spent"],
+                    comp["oblivious_spent"],
+                ]
+                for comp in payload["comparisons"]
+            ]
+            print()
+            print(
+                format_table(
+                    [
+                        "policy",
+                        "budget",
+                        "n",
+                        "preset",
+                        "aware",
+                        "blind",
+                        "delta",
+                        "aware spent",
+                        "blind spent",
+                    ],
+                    comp_rows,
+                    title="targeted vs matched-budget oblivious",
+                )
+            )
+    if args.out:
+        with open(
+            os.path.join(args.out, "targeted_soak.txt"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(table + "\n")
+        artifact = write_bench_json(
+            TARGETED_BENCH_NAME, payload, results_dir=args.out
+        )
+        print("artifacts: {}".format(artifact), file=sys.stderr)
+    return 0 if payload["all_clean"] and payload["all_ledgers_ok"] else 1
 
 
 def _builder_kwargs(builder) -> str:
@@ -1394,10 +1700,11 @@ def _net_verify(args: argparse.Namespace) -> int:
     kwargs = _scenario_kwargs(args)
     builder = SCENARIOS[args.scenario]
     base = builder(seed=args.seed, params=params, **kwargs)
-    if base.chaos is not None:
+    if base.chaos is not None or base.targeted is not None:
         # The default index-order fate stream has no shard-invariant
         # meaning; both backends must draw message-keyed fates to be
-        # digest-comparable.
+        # digest-comparable.  Targeted planes are message-keyed by
+        # construction but their oblivious fallthrough still needs it.
         base = dataclasses.replace(base, chaos_keyed=True)
     inproc = run_congos_scenario(base)
     sharded = run_congos_scenario(
@@ -1583,6 +1890,7 @@ def main(argv=None) -> int:
         "profile-sweep": cmd_profile_sweep,
         "chaos-soak": cmd_chaos_soak,
         "direct-soak": cmd_direct_soak,
+        "targeted-soak": cmd_targeted_soak,
         "perf": cmd_perf,
         "net": cmd_net,
         "scenarios": cmd_scenarios,

@@ -23,6 +23,7 @@ from repro.audit.delivery import DeliveryAuditor, QoDReport
 from repro.audit.failfast import FailFastMonitor
 from repro.chaos.plane import ChaosFaultPlane, FaultPlane
 from repro.chaos.spec import FaultSpec
+from repro.chaos.targeted import TargetedFaultPlane, TargetedSpec
 from repro.core.config import CongosParams
 from repro.core.congos import build_partition_set, congos_factory
 from repro.core.partitions import PartitionSet
@@ -30,10 +31,33 @@ from repro.sim.engine import Engine, SimObserver
 from repro.sim.metrics import MessageStats
 from repro.sim.rng import derive_rng
 
-__all__ = ["Scenario", "RunResult", "run_congos_scenario", "run_with_factory"]
+__all__ = [
+    "Scenario",
+    "RunResult",
+    "TargetedInjectionTap",
+    "run_congos_scenario",
+    "run_with_factory",
+]
 
 WorkloadFactory = Callable[[random.Random], Adversary]
 FaultFactory = Callable[[random.Random, PartitionSet, int], Adversary]
+
+
+class TargetedInjectionTap(SimObserver):
+    """Feeds injection announcements to a targeted fault plane.
+
+    Forwards exactly the leak-safe metadata the adversary model allows:
+    the rumor's id coordinates and its deadline — never the payload, the
+    destination set, or node state.  The sharded backend broadcasts the
+    same tuple in its round frames instead of using this observer.
+    """
+
+    def __init__(self, plane: "TargetedFaultPlane"):
+        self.plane = plane
+
+    def on_inject(self, round_no: int, pid: int, rumor) -> None:
+        rid = rumor.rid
+        self.plane.observe_injection(round_no, rid.src, rid.seq, rumor.deadline)
 
 
 @dataclass
@@ -67,6 +91,10 @@ class Scenario:
     # sharded backend always uses.  Set it on inproc runs that must be
     # digest-comparable with sharded ones.
     chaos_keyed: bool = False
+    # Targeted chaos extension (None = no rumor-aware adversary): a
+    # TargetedSpec as a plain dict.  Composes with ``chaos`` — the
+    # targeted policy decides first, the oblivious schedule after.
+    targeted: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -81,12 +109,19 @@ class Scenario:
             raise ValueError("backend must be 'inproc' or 'sharded'")
         if self.chaos is not None:
             FaultSpec.from_dict(self.chaos)  # validate eagerly
+        if self.targeted is not None:
+            TargetedSpec.from_dict(self.targeted)  # validate eagerly
 
     def fault_spec(self) -> Optional[FaultSpec]:
         if self.chaos is None:
             return None
         spec = FaultSpec.from_dict(self.chaos)
         return None if spec.is_null() else spec
+
+    def targeted_spec(self) -> Optional[TargetedSpec]:
+        if self.targeted is None:
+            return None
+        return TargetedSpec.from_dict(self.targeted)
 
 
 @dataclass
@@ -138,6 +173,9 @@ class RunResult:
             # bench payloads built from them) are unchanged.
             out["chaos"] = chaos
             out["chaos_by_stage"] = self.chaos_stage_summary()
+        summarize = getattr(self.fault_plane, "targeted_summary", None)
+        if summarize is not None:
+            out["targeted"] = summarize()
         return out
 
 
@@ -228,8 +266,20 @@ def run_with_factory(
         )
     adversary: Adversary = ComposedAdversary(parts)
     spec = scenario.fault_spec()
+    tspec = scenario.targeted_spec()
     fault_plane: Optional[FaultPlane] = None
-    if spec is not None:
+    if tspec is not None:
+        # Targeted layer composes with (a possibly null) oblivious spec;
+        # the policy's tracking state is fed by the injection tap below.
+        fault_plane = TargetedFaultPlane(
+            scenario.seed,
+            spec if spec is not None else FaultSpec(),
+            tspec,
+            scenario.n,
+            telemetry=telemetry,
+            message_keyed=scenario.chaos_keyed,
+        )
+    elif spec is not None:
         # The plane's schedule is keyed on the scenario seed alone, so
         # "same seed => same fault schedule" holds across builders and at
         # any --jobs setting.
@@ -243,6 +293,8 @@ def run_with_factory(
     all_observers: List[SimObserver] = [
         resolved_delivery, confidentiality, *observers
     ]
+    if tspec is not None:
+        all_observers.append(TargetedInjectionTap(fault_plane))
     if scenario.failfast == "confidentiality":
         all_observers.append(FailFastMonitor(confidentiality))
     elif scenario.failfast == "qod":

@@ -27,6 +27,7 @@ from repro.adversary.injection import (
 from repro.adversary.patterns import AlternatingPartitionFaults
 from repro.adversary.random_crash import ChurnAdversary
 from repro.chaos.spec import FaultSpec
+from repro.chaos.targeted import TargetedSpec
 from repro.core.config import CongosParams
 from repro.core.deadlines import goes_direct
 from repro.harness.runner import Scenario
@@ -35,6 +36,7 @@ __all__ = [
     "injection_window",
     "steady_scenario",
     "chaos_scenario",
+    "targeted_scenario",
     "direct_scenario",
     "churn_scenario",
     "proxy_killer_scenario",
@@ -170,6 +172,99 @@ def chaos_scenario(
             partition_period,
             churn,
             " [hardened]" if hardened else "",
+        )
+    )
+    return base
+
+
+def targeted_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    policy: str = "proxy-suppressor",
+    per_round: int = 4,
+    total: int = 64,
+    kind: str = "drop",
+    hold: int = 4,
+    window: int = 8,
+    blind: bool = False,
+    track_src: Optional[int] = None,
+    retarget: bool = True,
+    deadline: Optional[int] = None,
+    rate: int = 1,
+    period: int = 4,
+    dest_size: int = 4,
+    drop: float = 0.0,
+    delay: float = 0.0,
+    max_delay: int = 4,
+    duplicate: float = 0.0,
+    reorder: float = 0.0,
+    partition_period: int = 0,
+    partition_width: int = 0,
+    churn: float = 0.0,
+    hardened: bool = False,
+    failfast: Optional[str] = "confidentiality",
+    params: Optional[CongosParams] = None,
+    name: str = "targeted",
+) -> Scenario:
+    """Steady traffic under a budgeted rumor-aware adversary (E19).
+
+    Layers a :class:`~repro.chaos.targeted.TargetedFaultPolicy` over the
+    (by default null) oblivious chaos spec: the policy watches leak-safe
+    routing metadata and spends a per-destination fault budget on the
+    tracked rumor's worst-case edges.  ``blind=True`` is the
+    matched-budget oblivious baseline — same budget and stage shape,
+    rumor-blind targeting.  The deadline defaults to the pipeline path
+    (64), except for ``fallback-herder`` which needs the direct-send
+    path's acks and defaults to 32; combine that policy with
+    ``hardened=True`` for a non-vacuous attack (paper defaults send no
+    acks, so there is nothing to herd).
+    """
+    if deadline is None:
+        deadline = 32 if policy == "fallback-herder" else 64
+    base = chaos_scenario(
+        n,
+        rounds,
+        seed,
+        deadline=deadline,
+        rate=rate,
+        period=period,
+        dest_size=dest_size,
+        drop=drop,
+        delay=delay,
+        max_delay=max_delay,
+        duplicate=duplicate,
+        reorder=reorder,
+        partition_period=partition_period,
+        partition_width=partition_width,
+        churn=churn,
+        hardened=hardened,
+        failfast=failfast,
+        params=params,
+        name=name,
+    )
+    base.targeted = TargetedSpec(
+        policy=policy,
+        per_round=per_round,
+        total=total,
+        kind=kind,
+        hold=hold,
+        window=window,
+        blind=blind,
+        track_src=track_src,
+        retarget=retarget,
+    ).to_dict()
+    base.description = (
+        "targeted {} budget {}/{} per dst ({}){}{}; oblivious drop={} "
+        "delay={}".format(
+            policy,
+            per_round,
+            total,
+            kind,
+            " [blind]" if blind else "",
+            " [hardened]" if hardened else "",
+            drop,
+            delay,
         )
     )
     return base
@@ -579,6 +674,7 @@ ScenarioBuilder = Callable[..., Scenario]
 BUILDERS: Dict[str, ScenarioBuilder] = {
     "steady": steady_scenario,
     "chaos": chaos_scenario,
+    "targeted": targeted_scenario,
     "direct": direct_scenario,
     "churn": churn_scenario,
     "proxy-killer": proxy_killer_scenario,

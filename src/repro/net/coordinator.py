@@ -48,6 +48,8 @@ from repro.audit.confidentiality import ConfidentialityAuditor
 from repro.audit.delivery import DeliveryAuditor
 from repro.audit.failfast import FailFastMonitor
 from repro.chaos.plane import ChaosFaultPlane
+from repro.chaos.spec import FaultSpec
+from repro.chaos.targeted import TargetedFaultPlane
 from repro.core.congos import build_partition_set
 from repro.core.partitions import PartitionSet
 from repro.gossip.rumor import RumorId
@@ -214,20 +216,34 @@ class ShardAdversaryView:
 
 
 def _reject_mid_round_adversaries(adversary: Adversary) -> None:
-    """Fail fast on adversaries the sharded backend cannot honor."""
-    parts = (
-        adversary.parts
-        if isinstance(adversary, ComposedAdversary)
-        else [adversary]
-    )
-    for part in parts:
+    """Fail fast on adversaries the sharded backend cannot honor.
+
+    Names the exact offending part — including its position inside a
+    :class:`ComposedAdversary` — and points at the supported
+    alternative: targeted chaos policies (``Scenario.targeted`` with
+    ``chaos_keyed=True``) make their decisions from shard-invariant
+    message metadata, so they run on this backend where a mid-round
+    adversary cannot.
+    """
+    composed = isinstance(adversary, ComposedAdversary)
+    parts = adversary.parts if composed else [adversary]
+    for index, part in enumerate(parts):
         if type(part).mid_round is not Adversary.mid_round:
+            if composed:
+                where = "{} (part {} of {} in a ComposedAdversary)".format(
+                    type(part).__name__, index + 1, len(parts)
+                )
+            else:
+                where = type(part).__name__
             raise NotImplementedError(
                 "{} overrides mid_round (it inspects the round's outgoing "
                 "messages); the sharded backend never materializes them in "
-                "one place — run this scenario with backend='inproc'".format(
-                    type(part).__name__
-                )
+                "one place.  Run this scenario with backend='inproc', or "
+                "express the attack as a targeted chaos policy "
+                "(Scenario.targeted + chaos_keyed=True, see "
+                "repro.chaos.targeted) — those decide from per-message "
+                "metadata and replay identically on the sharded "
+                "backend".format(where)
             )
 
 
@@ -255,6 +271,7 @@ class _WorkerPool:
                     "seed": scenario.seed,
                     "params": asdict(scenario.params),
                     "chaos": scenario.chaos,
+                    "targeted": scenario.targeted,
                     "owner": plan.owner,
                     "address": self.listener.address,
                     "transport": options.transport,
@@ -409,8 +426,22 @@ def run_sharded_scenario(
     engine = ShardEngine(scenario.n, plan, options.transport)
     view = ShardAdversaryView(engine)
     spec = scenario.fault_spec()
+    tspec = scenario.targeted_spec()
     fault_plane: Optional[ChaosFaultPlane] = None
-    if spec is not None:
+    if tspec is not None:
+        # Counts-only mirror of the workers' targeted planes.  Tracking
+        # state is maintained here via the same injection announcements
+        # the round frames broadcast; counts and the budget ledger are
+        # merged from the final frames below.
+        fault_plane = TargetedFaultPlane(
+            scenario.seed,
+            spec if spec is not None else FaultSpec(),
+            tspec,
+            scenario.n,
+            keep_events=False,
+            message_keyed=True,
+        )
+    elif spec is not None:
         # Counts-only mirror of the workers' planes: the schedule object
         # is identical (same seed/spec), the counts are merged from the
         # final frames below.
@@ -427,7 +458,7 @@ def run_sharded_scenario(
         for _ in range(scenario.rounds):
             _run_round(
                 engine, view, adversary, dispatch, delivery, pool,
-                worker_ids, plan, telemetry,
+                worker_ids, plan, telemetry, fault_plane,
             )
         for worker in worker_ids:
             pool.send(worker, encode_frame("stop", None))
@@ -438,6 +469,11 @@ def run_sharded_scenario(
                 snapshot = pool.recv(worker, "metrics")
                 telemetry.metrics.merge_snapshot(snapshot["metrics"])
             final = pool.recv(worker, "final")
+            if (
+                isinstance(fault_plane, TargetedFaultPlane)
+                and final.get("targeted") is not None
+            ):
+                fault_plane.merge_targeted(final["targeted"])
             if fault_plane is not None and final["counts"] is not None:
                 for kind, count in final["counts"].items():
                     fault_plane.counts[kind] = (
@@ -530,8 +566,10 @@ def _run_round(
     worker_ids: List[int],
     plan: ShardPlan,
     telemetry=None,
+    fault_plane: Optional[ChaosFaultPlane] = None,
 ) -> None:
     round_no = engine.clock.round
+    targeted = isinstance(fault_plane, TargetedFaultPlane)
     phase_started = time.perf_counter()
 
     def mark_phase(phase: str) -> None:
@@ -574,6 +612,7 @@ def _run_round(
 
     injections_of: Dict[int, List[Tuple[int, object]]] = {}
     injected: Set[int] = set()
+    rumor_meta: List[List[int]] = []
     for pid, rumor in decision.injections:
         if pid in injected:
             raise ValueError(
@@ -588,20 +627,29 @@ def _run_round(
         for observer in dispatch["on_inject"]:
             observer.on_inject(round_no, pid, rumor)
         injections_of.setdefault(plan.owner[pid], []).append((pid, rumor))
+        if targeted:
+            # Leak-safe announcement (rid coordinates + deadline, never
+            # the payload or destination set), broadcast to EVERY worker
+            # so all targeted policies track identically; the mirror
+            # plane tracks the same way coordinator-side.
+            rid = rumor.rid
+            rumor_meta.append([rid.src, rid.seq, rumor.deadline])
+            fault_plane.observe_injection(
+                round_no, rid.src, rid.seq, rumor.deadline
+            )
 
     for worker in worker_ids:
-        pool.send(
-            worker,
-            encode_frame(
-                "round",
-                {
-                    "round": round_no,
-                    "crashes": crashes,
-                    "restarts": restarts,
-                    "injections": injections_of.get(worker, []),
-                },
-            ),
-        )
+        body: Dict[str, object] = {
+            "round": round_no,
+            "crashes": crashes,
+            "restarts": restarts,
+            "injections": injections_of.get(worker, []),
+        }
+        if targeted:
+            # Key only present on targeted runs: the wire stays
+            # byte-identical for every pre-existing scenario.
+            body["rumor_meta"] = rumor_meta
+        pool.send(worker, encode_frame("round", body))
     mark_phase("route")
     total = 0
     size = 0

@@ -52,6 +52,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.chaos.plane import ChaosFaultPlane
 from repro.chaos.spec import FaultSpec
+from repro.chaos.targeted import TargetedFaultPlane, TargetedSpec
 from repro.core.config import CongosParams
 from repro.core.congos import build_partition_set, congos_factory
 from repro.net.codec import (
@@ -133,8 +134,29 @@ class ShardWorker:
             self.shells[pid] = shell
         self.alive: Set[int] = set(range(self.n))
         chaos = config.get("chaos")
+        targeted = config.get("targeted")
         self.plane: Optional[ChaosFaultPlane] = None
-        if chaos is not None:
+        if targeted is not None:
+            # Targeted layer over a possibly-null oblivious spec.  All
+            # policy state is fed by the coordinator's rumor_meta
+            # broadcast, and budgets are per-destination, so every
+            # worker reaches exactly the inproc (chaos_keyed) verdicts
+            # for the destinations it owns.
+            spec = (
+                FaultSpec.from_dict(chaos)  # type: ignore[arg-type]
+                if chaos is not None
+                else FaultSpec()
+            )
+            self.plane = TargetedFaultPlane(
+                self.seed,
+                spec,
+                TargetedSpec.from_dict(targeted),  # type: ignore[arg-type]
+                self.n,
+                telemetry=self.telemetry,
+                keep_events=False,
+                message_keyed=True,
+            )
+        elif chaos is not None:
             spec = FaultSpec.from_dict(chaos)  # type: ignore[arg-type]
             if not spec.is_null():
                 # Message-keyed mode: fates drawn per (round, src, dst,
@@ -167,6 +189,12 @@ class ShardWorker:
             self.alive.add(pid)
         for pid, rumor in body["injections"]:  # type: ignore[union-attr]
             self.shells[pid].inject(round_no, rumor)
+        # Targeted runs only: the round's injection announcements (rid
+        # coordinates + deadline, never payload bytes or destination
+        # sets), broadcast to every worker so all policies track alike.
+        if self.plane is not None:
+            for src, seq, deadline in body.get("rumor_meta") or ():
+                self.plane.observe_injection(round_no, src, seq, deadline)
 
         count = 0
         size = 0
@@ -292,6 +320,14 @@ class ShardWorker:
             "stage_counts": (
                 {stage: dict(kinds) for stage, kinds in plane.stage_counts.items()}
                 if plane is not None
+                else None
+            ),
+            # Targeted runs: this worker's policy counts + budget ledger
+            # (per-destination accounting over the pids it owns); the
+            # coordinator merges them into its mirror plane.
+            "targeted": (
+                plane.targeted_summary()
+                if isinstance(plane, TargetedFaultPlane)
                 else None
             ),
             # Always-on SLO instrumentation.  Floats/ints only; the

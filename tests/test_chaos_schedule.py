@@ -163,3 +163,111 @@ class TestPartitionStorms:
     def test_no_partitions_when_disabled(self):
         schedule = FaultSchedule(42, FaultSpec(drop=0.5), 16)
         assert all(schedule.severed(r) is None for r in range(16))
+
+
+class TestSeveredBoundaries:
+    """severed() at the exact edges of storm windows and active ranges."""
+
+    def test_storm_window_boundary_rounds(self):
+        # period=8, width=3: storm covers phases 0,1,2 of every window.
+        schedule = FaultSchedule(42, FaultSpec(partition_period=8, partition_width=3), 16)
+        for window_start in (0, 8, 16, 24):
+            assert schedule.severed(window_start) is not None  # first round
+            assert schedule.severed(window_start + 2) is not None  # last storm round
+            assert schedule.severed(window_start + 3) is None  # first calm round
+            assert schedule.severed(window_start + 7) is None  # last calm round
+
+    def test_width_one_severs_exactly_one_round_per_window(self):
+        schedule = FaultSchedule(7, FaultSpec(partition_period=4, partition_width=1), 16)
+        severed_rounds = [r for r in range(40) if schedule.severed(r) is not None]
+        assert severed_rounds == [0, 4, 8, 12, 16, 20, 24, 28, 32, 36]
+
+    def test_start_round_edge(self):
+        spec = FaultSpec(partition_period=4, partition_width=2, start_round=8)
+        schedule = FaultSchedule(42, spec, 16)
+        # Round 7 is outside the active window even though phase 3 of
+        # window 1 would not sever anyway; round 8 (window 2, phase 0) does.
+        assert schedule.severed(7) is None
+        assert schedule.severed(8) is not None
+        assert schedule.severed(9) is not None
+        assert schedule.severed(10) is None
+
+    def test_stop_round_edge(self):
+        spec = FaultSpec(partition_period=4, partition_width=2, stop_round=8)
+        schedule = FaultSchedule(42, spec, 16)
+        assert schedule.severed(4) is not None
+        assert schedule.severed(5) is not None
+        assert schedule.severed(7) is None  # phase 3: calm
+        assert schedule.severed(8) is None  # stop_round is exclusive
+        assert schedule.severed(9) is None
+
+    def test_consecutive_windows_draw_distinct_cuts(self):
+        # Not a fairness claim — just that window k's cut comes from its
+        # own stream: over many windows at least two cuts differ.
+        schedule = FaultSchedule(42, FaultSpec(partition_period=2, partition_width=1), 16)
+        cuts = {schedule.severed(window * 2) for window in range(16)}
+        assert len(cuts) > 1
+
+
+class TestMessageFatePurity:
+    """message_fate is a pure function of (seed, round, src, dst, copy) —
+    the property that makes chaos_keyed runs --jobs- and shard-invariant."""
+
+    SPEC = FaultSpec(drop=0.3, delay=0.3, max_delay=4, duplicate=0.1)
+
+    def test_same_coordinates_same_fate(self):
+        schedule = FaultSchedule(42, self.SPEC, 16)
+        for round_no in range(8):
+            for copy in range(3):
+                first = schedule.message_fate(round_no, 1, 2, copy)
+                assert schedule.message_fate(round_no, 1, 2, copy) == first
+
+    def test_independent_instances_agree(self):
+        # Two schedules (e.g. two exec-pool workers, or two shard
+        # workers) reach identical fates without sharing any state.
+        a = FaultSchedule(42, self.SPEC, 16)
+        b = FaultSchedule(42, self.SPEC, 16)
+        fates_a = [
+            a.message_fate(r, s, d, c)
+            for r in range(6)
+            for s in range(4)
+            for d in range(4)
+            for c in range(2)
+        ]
+        fates_b = [
+            b.message_fate(r, s, d, c)
+            for r in range(6)
+            for s in range(4)
+            for d in range(4)
+            for c in range(2)
+        ]
+        assert fates_a == fates_b
+
+    def test_query_order_is_irrelevant(self):
+        # Shards enumerate only their own destinations, in their own
+        # order; fates must not depend on the enumeration order.
+        forward = FaultSchedule(42, self.SPEC, 16)
+        backward = FaultSchedule(42, self.SPEC, 16)
+        coords = [
+            (r, s, d, c)
+            for r in range(4)
+            for s in range(3)
+            for d in range(3)
+            for c in range(2)
+        ]
+        want = {xyz: forward.message_fate(*xyz) for xyz in coords}
+        got = {xyz: backward.message_fate(*xyz) for xyz in reversed(coords)}
+        assert got == want
+
+    def test_copy_index_distinguishes_duplicates(self):
+        schedule = FaultSchedule(42, FaultSpec(drop=0.5), 64)
+        fates = {
+            copy: schedule.message_fate(3, 1, 2, copy) for copy in range(64)
+        }
+        assert len(set(fates.values())) > 1  # copies draw distinct streams
+
+    def test_inactive_rounds_deliver_without_drawing(self):
+        spec = FaultSpec(drop=1.0, start_round=10)
+        schedule = FaultSchedule(42, spec, 16)
+        assert schedule.message_fate(9, 0, 1, 0) == (DELIVER, 0)
+        assert schedule.message_fate(10, 0, 1, 0) == (DROP, 0)

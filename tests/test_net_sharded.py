@@ -139,6 +139,79 @@ def test_mid_round_adversary_rejected():
         )
 
 
+def test_mid_round_rejection_names_composed_part():
+    # The error must identify WHICH part of a ComposedAdversary is the
+    # problem and point at the supported alternative (targeted chaos
+    # policies), not just say "something overrides mid_round".
+    from repro.adversary.base import Adversary, ComposedAdversary
+    from repro.net.coordinator import _reject_mid_round_adversaries
+
+    class Benign(Adversary):
+        pass
+
+    class Nosy(Adversary):
+        def mid_round(self, view, outgoing):
+            return super().mid_round(view, outgoing)
+
+    composed = ComposedAdversary([Benign(), Nosy(), Benign()])
+    with pytest.raises(NotImplementedError) as excinfo:
+        _reject_mid_round_adversaries(composed)
+    message = str(excinfo.value)
+    assert "Nosy (part 2 of 3 in a ComposedAdversary)" in message
+    assert "Scenario.targeted" in message
+    assert "chaos_keyed" in message
+
+    # A bare (non-composed) adversary is named without the part suffix.
+    with pytest.raises(NotImplementedError) as excinfo:
+        _reject_mid_round_adversaries(Nosy())
+    assert "ComposedAdversary" not in str(excinfo.value).split("Run this")[0]
+
+    # Benign compositions pass.
+    _reject_mid_round_adversaries(ComposedAdversary([Benign(), Benign()]))
+
+
+def test_sharded_targeted_matches_inproc():
+    # Targeted policies decide from shard-invariant metadata and
+    # per-destination budgets, so the whole RunRecord — including the
+    # merged budget ledger — must be bit-identical across backends.
+    scenario = get_builder("targeted")(
+        n=16,
+        rounds=96,
+        seed=4,
+        policy="collector-starver",
+        per_round=2,
+        total=32,
+        params=CongosParams.lean(),
+    )
+    scenario = dataclasses.replace(scenario, chaos_keyed=True)
+    inproc, sharded = _compare_backends(scenario, workers=3)
+    inproc_summary = inproc.fault_plane.targeted_summary()
+    sharded_summary = sharded.fault_plane.targeted_summary()
+    assert sharded_summary == inproc_summary
+    assert inproc_summary["budget"]["spent"] > 0
+
+
+def test_sharded_targeted_composed_with_oblivious_drop():
+    # The targeted layer's fallthrough to the oblivious schedule must
+    # also be shard-invariant when both are active.
+    scenario = get_builder("targeted")(
+        n=16,
+        rounds=96,
+        seed=5,
+        policy="deadline-chaser",
+        per_round=2,
+        total=32,
+        drop=0.05,
+        params=CongosParams.lean(),
+    )
+    scenario = dataclasses.replace(scenario, chaos_keyed=True)
+    inproc, sharded = _compare_backends(scenario, workers=2)
+    assert (
+        sharded.fault_plane.targeted_summary()
+        == inproc.fault_plane.targeted_summary()
+    )
+
+
 def test_net_options_validation():
     options = NetOptions(None)
     assert (options.workers, options.transport) == (2, "tcp")
