@@ -39,7 +39,52 @@ __all__ = [
     "Violation",
     "CoalitionFinding",
     "ConfidentialityAuditor",
+    "shed_rumor_leaks",
 ]
+
+
+def shed_rumor_leaks(result) -> List[str]:
+    """Audit that arrivals shed by admission control never surfaced.
+
+    An open workload (:class:`repro.load.workload.OpenWorkload`) draws a
+    rumor's confidential payload at *arrival* time — before admission —
+    so a shed arrival is a secret the system declined to carry.  Nothing
+    of it may exist in the run: its payload must appear in no injected
+    rumor (admission resurrecting a shed entry would be a bug) and in no
+    delivered payload anywhere.  Returns human-readable violations; an
+    empty list is a clean verdict.  Runs without shed records (closed
+    workloads, underload) are trivially clean.
+    """
+    workload = getattr(result, "workload", None)
+    shed = getattr(workload, "shed_records", None)
+    if not shed:
+        return []
+    by_payload = {record.data: record for record in shed}
+    leaks: List[str] = []
+    for rumor in workload.injected:
+        record = by_payload.get(rumor.data)
+        if record is not None:
+            leaks.append(
+                "shed arrival (src {}, shed r{} [{}]) was injected as {}".format(
+                    record.src, record.shed_round, record.reason, rumor.rid
+                )
+            )
+    for (rid, pid), (round_no, data, path) in result.delivery.deliveries.items():
+        record = by_payload.get(data)
+        if record is not None:
+            leaks.append(
+                "shed arrival (src {}, shed r{} [{}]) delivered to pid {} "
+                "as {} via {} in r{}".format(
+                    record.src,
+                    record.shed_round,
+                    record.reason,
+                    pid,
+                    rid,
+                    path,
+                    round_no,
+                )
+            )
+    return leaks
 
 
 @dataclass(frozen=True)

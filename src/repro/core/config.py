@@ -208,6 +208,23 @@ class CongosParams:
         """Continuous uptime GroupDistribution requires (2*dline/3)."""
         return (2 * dline) // 3
 
+    def injection_budget(self, n: int) -> int:
+        """Sustainable per-round injection budget for open workloads.
+
+        The cost of a round grows with the number of *concurrent* rumors
+        (each drives its own proxy/GD fanout), and a rumor stays live for
+        up to its deadline — so admitting ``b`` rumors per round holds
+        roughly ``b * dline`` in flight.  ``n/32`` keeps that population
+        a small fraction of the system at the deadlines the simulations
+        use (calibrated like the other constants in this module for
+        ``n <= 512``; it is a default, not a cap — admission policies may
+        override ``per_round`` explicitly).  Floor of 1 so small systems
+        still make progress.
+        """
+        if n < 2:
+            raise ValueError("injection budgets need at least two processes")
+        return max(1, n // 32)
+
     def collusion_forces_direct(self, n: int) -> bool:
         """Theorem 16 case 1: if ``tau >= n / log^2 n``, send directly.
 
@@ -246,6 +263,16 @@ class CongosParams:
     def preset_names(cls) -> list:
         """Registered preset names, sorted."""
         return sorted(_PRESET_FIELDS)
+
+    @classmethod
+    def preset_descriptions(cls) -> Dict[str, str]:
+        """Registered preset names with one-line descriptions, sorted.
+
+        The discovery surface behind :func:`repro.api.presets` — callers
+        should not need to import ``core.config`` to learn what presets
+        exist.
+        """
+        return {name: _PRESET_DESCRIPTIONS[name] for name in sorted(_PRESET_FIELDS)}
 
     @classmethod
     def preset(cls, name: str, **overrides: object) -> "CongosParams":
@@ -329,4 +356,13 @@ _PRESET_FIELDS: Dict[str, Dict[str, object]] = {
         "direct_send_ack": True,
         "direct_send_copies": 2,
     },
+}
+
+# One line per preset, kept in lockstep with _PRESET_FIELDS (a test
+# asserts the two registries cover the same names).
+_PRESET_DESCRIPTIONS: Dict[str, str] = {
+    "default": "simulation-calibrated constants for n <= 512 (the plain constructor)",
+    "paper": "the paper's literal constants (analytic use; fanout saturates at sim scale)",
+    "lean": "frugal fanouts for large-n shape sweeps",
+    "hardened": "every graceful-degradation knob on, incl. direct-send ack/retransmit/k-copy",
 }

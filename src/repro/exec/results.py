@@ -51,6 +51,11 @@ class RunRecord:
     # policy, budget ledger, tracked rids, and the tracked rumors' own
     # admissible/missed pair counts pulled from the QoD outcomes
     targeted: Dict[str, object] = field(default_factory=dict)
+    # open-workload SLO summary (empty unless the run's workload was an
+    # OpenWorkload): offered/admitted/shed accounting, delivery and
+    # arrival-to-delivery latency quantiles, fallback rate, shed-leak
+    # verdict (see repro.load.slo.slo_summary)
+    load: Dict[str, object] = field(default_factory=dict)
     # bookkeeping
     rumors_injected: int = 0
     spec_key: Optional[str] = None
@@ -83,6 +88,13 @@ class RunRecord:
                 if o.admissible
                 and not (o.delivered and o.on_time and o.correct_data)
             )
+        load: Dict[str, object] = {}
+        if getattr(result.workload, "load_summary", None) is not None:
+            # Imported lazily: closed-workload workers never touch
+            # repro.load.
+            from repro.load.slo import slo_summary
+
+            load = slo_summary(result) or {}
         return cls(
             scenario=result.scenario.name,
             n=result.scenario.n,
@@ -109,6 +121,7 @@ class RunRecord:
                 for stage, kinds in (result.chaos_stage_summary() or {}).items()
             },
             targeted=targeted,
+            load=load,
             rumors_injected=result.rumors_injected,
             spec_key=spec_key,
         )
@@ -156,6 +169,9 @@ class RunRecord:
         # their golden digests) are byte-identical.
         if not data["targeted"]:
             del data["targeted"]
+        # Same contract for the open-workload section.
+        if not data["load"]:
+            del data["load"]
         return data
 
     @classmethod
@@ -170,6 +186,7 @@ class RunRecord:
             stage: dict(kinds)
             for stage, kinds in dict(payload.get("faults_by_stage", {})).items()
         }
-        # Default keeps pre-targeted cached records loading.
+        # Defaults keep pre-targeted / pre-load cached records loading.
         payload["targeted"] = dict(payload.get("targeted", {}))
+        payload["load"] = dict(payload.get("load", {}))
         return cls(**payload)

@@ -34,6 +34,14 @@ Commands
     the same budget (the matched-budget oblivious baseline).  Writes
     ``BENCH_e19_targeted_matrix.json`` under ``--out``; exits nonzero on
     any confidentiality violation or budget-ledger mismatch.
+``load-soak``
+    Sweep the open-workload ``open`` scenario over an arrival-rate ×
+    n × preset (× arrival process) matrix (E20): seeded arrival streams
+    behind a bounded admission queue, with per-cell SLO metrics
+    (delivery-latency p50/p99/p999, shed/fallback rates) and the
+    saturation knee per (n, process, preset) series.  Writes
+    ``BENCH_e20_open_workload.json`` under ``--out``; exits nonzero on
+    any confidentiality violation or shed-rumor leak.
 ``perf``
     The performance benches (see DESIGN.md Section 8): ``perf micro``
     runs the stable-keyed microbenchmark suite (optionally with
@@ -107,6 +115,13 @@ from repro.exec.tasks import RunSpec, canonical_json
 from repro.harness.report import format_kv, format_table
 from repro.harness.runner import run_congos_scenario
 from repro.harness.scenarios import BUILDERS
+from repro.load.arrivals import PROCESSES as ARRIVAL_PROCESSES
+from repro.load.soak import (
+    BENCH_NAME as LOAD_BENCH_NAME,
+    load_cells,
+    load_payload,
+    run_load_soak,
+)
 from repro.net.bench import (
     E18_BENCH_NAME,
     run_sharded_scaling,
@@ -501,6 +516,108 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse cached cells under --out instead of re-running them",
     )
     targeted.add_argument(
+        "--json", action="store_true", help="emit JSON payload"
+    )
+
+    load = sub.add_parser(
+        "load-soak",
+        help="sweep the open workload over an arrival-rate x n x preset "
+        "matrix (E20)",
+    )
+    load.add_argument("-n", type=int, nargs="+", default=[64], metavar="N")
+    # 200 rounds leaves a 50-round arrival window for deadline 64 with
+    # the default wait cap (32): warmup 50, arrivals [50, 100), queue
+    # drain by 132, last expiry 196.
+    load.add_argument("--rounds", type=int, default=200)
+    load.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[1.0, 2.0, 4.0, 8.0],
+        metavar="RATE",
+        help="peak mean arrivals per round (the swept load axis)",
+    )
+    load.add_argument(
+        "--processes",
+        nargs="+",
+        default=["poisson"],
+        choices=list(ARRIVAL_PROCESSES),
+        metavar="PROCESS",
+        help="arrival processes to sweep (poisson/bursty/diurnal)",
+    )
+    load.add_argument(
+        "--presets",
+        nargs="+",
+        default=["default"],
+        choices=CongosParams.preset_names(),
+        help="CongosParams presets to sweep",
+    )
+    load.add_argument(
+        "--deadline",
+        type=int,
+        default=64,
+        help="rumor deadline (above direct_send_threshold=48 exercises "
+        "the full pipeline)",
+    )
+    load.add_argument(
+        "--dest-size", type=int, default=3, dest="dest_size",
+        help="destination-set size per rumor",
+    )
+    load.add_argument(
+        "--zipf-groups",
+        type=int,
+        default=0,
+        dest="zipf_groups",
+        help="hotspot destination blocks (0 = uniform destinations)",
+    )
+    load.add_argument(
+        "--zipf-s", type=float, default=1.1, dest="zipf_s",
+        help="Zipf exponent over the hotspot blocks",
+    )
+    load.add_argument(
+        "--queue-cap",
+        type=int,
+        default=256,
+        dest="queue_cap",
+        help="admission queue bound (arrivals beyond it are shed)",
+    )
+    load.add_argument(
+        "--max-wait",
+        type=int,
+        default=None,
+        dest="max_wait",
+        help="shed queued arrivals waiting longer than this "
+        "(default: half the deadline)",
+    )
+    load.add_argument(
+        "--per-round",
+        type=int,
+        default=None,
+        dest="per_round",
+        help="per-round injection budget "
+        "(default: CongosParams.injection_budget(n))",
+    )
+    load.add_argument(
+        "--seeds", type=int, default=2, help="seed replicates per cell"
+    )
+    load.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes (0 = cpu count, 1 = serial)",
+    )
+    load.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory: result cache, TXT table, BENCH E20 JSON",
+    )
+    load.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse cached cells under --out instead of re-running them",
+    )
+    load.add_argument(
         "--json", action="store_true", help="emit JSON payload"
     )
 
@@ -1503,6 +1620,154 @@ def cmd_targeted_soak(args: argparse.Namespace) -> int:
     return 0 if payload["all_clean"] and payload["all_ledgers_ok"] else 1
 
 
+def cmd_load_soak(args: argparse.Namespace) -> int:
+    if args.resume and not args.out:
+        print("--resume needs --out (the cache lives there)", file=sys.stderr)
+        return 2
+    cells = load_cells(
+        args.rates, args.n, processes=args.processes, presets=args.presets
+    )
+    fixed: Dict[str, object] = {
+        "rounds": args.rounds,
+        "deadline": args.deadline,
+        "dest_size": args.dest_size,
+        "zipf_groups": args.zipf_groups,
+        "zipf_s": args.zipf_s,
+        "queue_cap": args.queue_cap,
+    }
+    if args.max_wait is not None:
+        fixed["max_wait"] = args.max_wait
+    if args.per_round is not None:
+        fixed["per_round"] = args.per_round
+    cache = None
+    if args.out:
+        cache = ResultCache(os.path.join(args.out, "cache"))
+    total = len(cells) * args.seeds
+    progress = Progress.for_tty(total, label="load soak")
+    try:
+        result = run_load_soak(
+            cells,
+            seeds=range(args.seeds),
+            jobs=args.jobs,
+            cache=cache,
+            resume=args.resume,
+            progress=progress,
+            **fixed,
+        )
+    except InvariantViolation as violation:
+        # Red alert: overload may shed traffic, it must never leak z.
+        print("\nINVARIANT VIOLATION: {}".format(violation), file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted after {} of {} tasks{}".format(
+                progress.done,
+                total,
+                " — rerun with --resume to continue" if args.out else "",
+            ),
+            file=sys.stderr,
+        )
+        return 130
+    progress.finish()
+    payload = load_payload(result, fixed)
+    payload["scenario"] = "open"
+    payload["seeds"] = args.seeds
+    flat_records = [record for cell in result.cells for record in cell.runs]
+    payload["profile"] = profile_payload(flat_records)
+    payload["profile"]["elapsed_seconds"] = round(progress.elapsed(), 3)
+    rows: List[List[object]] = []
+    for entry in payload["cells"]:
+        cell = entry["cell"]
+        rows.append(
+            [
+                cell["process"],
+                cell["rate"],
+                cell["n"],
+                cell["preset"],
+                entry["budget"],
+                entry["offered"],
+                entry["admitted"],
+                entry["shed_rate"],
+                entry["delivery_latency"]["p99"]
+                if entry["delivery_latency"]["p99"] is not None
+                else "-",
+                entry["e2e_latency_worst_seed"]["p99"]
+                if entry["e2e_latency_worst_seed"]["p99"] is not None
+                else "-",
+                entry["fallback_rate"],
+                entry["qod_satisfied"],
+                entry["clean"] and entry["shed_leak_free"],
+            ]
+        )
+    table = format_table(
+        [
+            "process",
+            "rate",
+            "n",
+            "preset",
+            "budget",
+            "offered",
+            "admitted",
+            "shed",
+            "p99",
+            "e2e p99",
+            "fallback",
+            "qod",
+            "clean",
+        ],
+        rows,
+        title="load soak ({} cells x {} seeds)".format(len(cells), args.seeds),
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(table)
+        knee_rows = [
+            [
+                knee["n"],
+                knee["process"],
+                knee["preset"],
+                knee["knee_rate"] if knee["knee_rate"] is not None else "-",
+                knee["ceiling_admitted_per_round"]
+                if knee["ceiling_admitted_per_round"] is not None
+                else "-",
+                knee["rumors_per_sec_at_knee"]
+                if knee["rumors_per_sec_at_knee"] is not None
+                else "-",
+                knee["first_saturated_rate"]
+                if knee["first_saturated_rate"] is not None
+                else "-",
+            ]
+            for knee in payload["knees"]
+        ]
+        print()
+        print(
+            format_table(
+                [
+                    "n",
+                    "process",
+                    "preset",
+                    "knee rate",
+                    "ceiling/round",
+                    "rumors/sec",
+                    "saturates at",
+                ],
+                knee_rows,
+                title="saturation knees",
+            )
+        )
+    if args.out:
+        with open(
+            os.path.join(args.out, "load_soak.txt"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(table + "\n")
+        artifact = write_bench_json(
+            LOAD_BENCH_NAME, payload, results_dir=args.out
+        )
+        print("artifacts: {}".format(artifact), file=sys.stderr)
+    return 0 if payload["all_clean"] and payload["all_shed_leak_free"] else 1
+
+
 def _builder_kwargs(builder) -> str:
     """Render a builder's keyword arguments for the listing."""
     parts: List[str] = []
@@ -1891,6 +2156,7 @@ def main(argv=None) -> int:
         "chaos-soak": cmd_chaos_soak,
         "direct-soak": cmd_direct_soak,
         "targeted-soak": cmd_targeted_soak,
+        "load-soak": cmd_load_soak,
         "perf": cmd_perf,
         "net": cmd_net,
         "scenarios": cmd_scenarios,

@@ -176,6 +176,13 @@ class RunResult:
         summarize = getattr(self.fault_plane, "targeted_summary", None)
         if summarize is not None:
             out["targeted"] = summarize()
+        if getattr(self.workload, "load_summary", None) is not None:
+            # Only open-workload runs carry a load/SLO section; closed
+            # scenarios keep their summaries byte-identical.  Imported
+            # lazily so default runs never touch repro.load.
+            from repro.load.slo import slo_summary
+
+            out["load"] = slo_summary(self)
         return out
 
 
@@ -255,6 +262,13 @@ def run_with_factory(
         workload = scenario.workload_factory(
             derive_rng(scenario.seed, "workload", scenario.name)
         )
+        if telemetry is not None:
+            # Workloads with admission accounting (repro.load) mirror it
+            # into the metrics registry; binding never affects the rng
+            # stream, so traced and untraced runs stay bit-identical.
+            bind = getattr(workload, "bind_telemetry", None)
+            if bind is not None:
+                bind(telemetry)
         parts.append(workload)
     if scenario.fault_factory is not None:
         parts.append(

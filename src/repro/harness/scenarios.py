@@ -31,10 +31,15 @@ from repro.chaos.targeted import TargetedSpec
 from repro.core.config import CongosParams
 from repro.core.deadlines import goes_direct
 from repro.harness.runner import Scenario
+from repro.load.admission import AdmissionPolicy
+from repro.load.arrivals import ArrivalSpec
+from repro.load.workload import OpenWorkload
 
 __all__ = [
     "injection_window",
+    "open_window",
     "steady_scenario",
+    "open_scenario",
     "chaos_scenario",
     "targeted_scenario",
     "direct_scenario",
@@ -59,6 +64,122 @@ def injection_window(rounds: int, deadline: int) -> tuple:
     start = min(deadline, max(1, rounds // 4))
     stop = max(start + 1, rounds - deadline - 4)
     return start, stop
+
+
+def open_window(rounds: int, max_deadline: int, max_wait: int) -> tuple:
+    """(start, stop) rounds for *arrivals* in an open scenario.
+
+    Like :func:`injection_window`, but the drain margin also covers the
+    admission queue: an arrival accepted at ``stop - 1`` may wait up to
+    ``max_wait`` rounds before injection, and its deadline must still
+    fall inside the run so the QoD report judges it.
+    """
+    start = min(max_deadline, max(1, rounds // 4))
+    stop = max(start + 1, rounds - max_deadline - max_wait - 4)
+    return start, stop
+
+
+def open_scenario(
+    n: int,
+    rounds: int,
+    seed: int,
+    process: str = "poisson",
+    rate: float = 2.0,
+    burst_on: int = 16,
+    burst_off: int = 48,
+    off_rate: float = 0.0,
+    period: int = 96,
+    dest_size: int = 3,
+    zipf_groups: int = 0,
+    zipf_s: float = 1.1,
+    deadline: int = 64,
+    deadlines: Optional[Sequence[int]] = None,
+    deadline_weights: Optional[Sequence[float]] = None,
+    payload_size: int = 16,
+    per_round: Optional[int] = None,
+    queue_cap: int = 256,
+    max_wait: Optional[int] = None,
+    preset: Optional[str] = None,
+    failfast: Optional[str] = "confidentiality",
+    params: Optional[CongosParams] = None,
+    name: str = "open",
+) -> Scenario:
+    """Open-workload traffic: a seeded arrival process behind admission
+    control (E20).
+
+    Arrivals follow ``process`` (``"poisson"``/``"bursty"``/``"diurnal"``
+    — see :class:`repro.load.arrivals.ArrivalSpec`) at peak mean ``rate``
+    per round, optionally skewed to hotspot destination blocks
+    (``zipf_groups``/``zipf_s``) and mixing ``deadlines`` (weighted by
+    ``deadline_weights``; ``deadline`` is shorthand for a single-deadline
+    mix).  A bounded admission queue (``queue_cap``) levels the stream
+    into the per-round injection budget ``per_round`` (default: the
+    :meth:`~repro.core.config.CongosParams.injection_budget` core hook),
+    shedding arrivals that would wait longer than ``max_wait`` rounds
+    (default: half the shortest deadline).  ``preset`` names a
+    :meth:`CongosParams.preset` so sweep cells stay JSON-representable;
+    an explicit ``params`` object wins.  Confidentiality is fail-fast by
+    default — overload may shed, it must never leak.
+    """
+    if params is not None:
+        resolved = params
+    elif preset is not None:
+        resolved = CongosParams.preset(preset)
+    else:
+        resolved = CongosParams()
+    spec = ArrivalSpec(
+        process=process,
+        rate=rate,
+        burst_on=burst_on,
+        burst_off=burst_off,
+        off_rate=off_rate,
+        period=period,
+        dest_size=dest_size,
+        zipf_groups=zipf_groups,
+        zipf_s=zipf_s,
+        deadlines=tuple(deadlines) if deadlines is not None else (deadline,),
+        deadline_weights=(
+            tuple(deadline_weights) if deadline_weights is not None else None
+        ),
+        payload_size=payload_size,
+    )
+    resolved_wait = (
+        max_wait if max_wait is not None else max(2, spec.min_deadline // 2)
+    )
+    policy = AdmissionPolicy(
+        per_round=per_round, queue_cap=queue_cap, max_wait=resolved_wait
+    )
+    budget = (
+        per_round if per_round is not None else resolved.injection_budget(n)
+    )
+    start, stop = open_window(rounds, spec.max_deadline, resolved_wait)
+
+    def workload(rng: random.Random) -> OpenWorkload:
+        return OpenWorkload(
+            n=n,
+            rng=rng,
+            spec=spec,
+            policy=policy,
+            budget=budget,
+            start_round=start,
+            stop_round=stop,
+        )
+
+    return Scenario(
+        name=name,
+        n=n,
+        rounds=rounds,
+        seed=seed,
+        params=resolved,
+        workload_factory=workload,
+        failfast=failfast,
+        description=(
+            "open {} arrivals rate={}/round, budget={}/round, queue<={}, "
+            "max_wait={}".format(
+                process, rate, budget, queue_cap, resolved_wait
+            )
+        ),
+    )
 
 
 def steady_scenario(
@@ -672,6 +793,7 @@ def collusion_scenario(
 ScenarioBuilder = Callable[..., Scenario]
 
 BUILDERS: Dict[str, ScenarioBuilder] = {
+    "open": open_scenario,
     "steady": steady_scenario,
     "chaos": chaos_scenario,
     "targeted": targeted_scenario,

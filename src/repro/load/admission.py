@@ -1,0 +1,148 @@
+"""Admission control: queue-based load leveling for open workloads.
+
+The engine accepts at most one rumor per process per round, and the
+protocol's message complexity grows with the number of *concurrent*
+rumors — so an open workload cannot simply inject whatever arrives.
+:class:`AdmissionQueue` sits between the arrival stream and the engine:
+
+* arrivals enter a bounded FIFO queue (capacity ``queue_cap``); when it
+  is full they are **shed** immediately (``"queue_full"``);
+* each round, up to ``per_round`` queued arrivals are admitted, oldest
+  first, skipping (but keeping queued) arrivals whose source is crashed
+  or already injected this round;
+* queued arrivals that have waited longer than ``max_wait`` rounds are
+  shed (``"aged_out"``) — a rumor that has already burned a deadline's
+  worth of queueing is not worth injecting.
+
+The queue itself is pure bookkeeping: it draws no randomness and its
+decisions are a deterministic function of the offered stream, the
+policy, and the alive set — so open runs stay jobs- and
+backend-invariant wherever the underlying simulation is.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Set
+
+from repro.load.arrivals import Arrival
+
+__all__ = ["AdmissionPolicy", "AdmissionQueue", "QueuedArrival"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """JSON-representable admission-control knobs.
+
+    ``per_round=None`` means "auto": the scenario builder resolves it to
+    :meth:`repro.core.config.CongosParams.injection_budget` for the run's
+    ``n``, keeping the budget consistent with what the protocol stack can
+    absorb at a sustainable message complexity.
+    """
+
+    per_round: Optional[int] = None
+    queue_cap: int = 256
+    max_wait: Optional[int] = 32
+
+    def __post_init__(self) -> None:
+        if self.per_round is not None and self.per_round < 1:
+            raise ValueError("per_round must be >= 1 (or None for auto)")
+        if self.queue_cap < 1:
+            raise ValueError("queue_cap must be >= 1")
+        if self.max_wait is not None and self.max_wait < 1:
+            raise ValueError("max_wait must be >= 1 (or None for no cap)")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AdmissionPolicy":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                "unknown AdmissionPolicy fields: {}".format(sorted(unknown))
+            )
+        return cls(**dict(data))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class QueuedArrival:
+    """An arrival parked in the admission queue."""
+
+    arrival: Arrival
+    enqueued_round: int
+
+    def waited(self, round_no: int) -> int:
+        return round_no - self.enqueued_round
+
+
+class AdmissionQueue:
+    """Bounded FIFO between the arrival stream and the injection budget."""
+
+    def __init__(self, queue_cap: int):
+        if queue_cap < 1:
+            raise ValueError("queue_cap must be >= 1")
+        self.queue_cap = queue_cap
+        self._entries: Deque[QueuedArrival] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def offer(self, round_no: int, arrival: Arrival) -> bool:
+        """Enqueue one arrival; ``False`` means shed (queue full)."""
+        if len(self._entries) >= self.queue_cap:
+            return False
+        self._entries.append(QueuedArrival(arrival, round_no))
+        return True
+
+    def expire(
+        self, round_no: int, max_wait: Optional[int]
+    ) -> List[QueuedArrival]:
+        """Remove and return entries that waited longer than ``max_wait``."""
+        if max_wait is None:
+            return []
+        expired = [
+            e for e in self._entries if e.waited(round_no) > max_wait
+        ]
+        if expired:
+            dead = set(id(e) for e in expired)
+            self._entries = deque(
+                e for e in self._entries if id(e) not in dead
+            )
+        return expired
+
+    def take(
+        self,
+        round_no: int,
+        budget: int,
+        is_alive: Callable[[int], bool],
+        used_sources: Set[int],
+    ) -> List[QueuedArrival]:
+        """Dequeue up to ``budget`` injectable entries, oldest first.
+
+        Entries whose source is crashed (the model forbids injecting at
+        crashed processes) or already injecting this round (the engine
+        enforces one rumor per process per round) are skipped in place —
+        they stay queued, aging, and get another chance next round.
+        ``used_sources`` is updated with the admitted sources.
+        """
+        admitted: List[QueuedArrival] = []
+        if budget < 1:
+            return admitted
+        kept: Deque[QueuedArrival] = deque()
+        while self._entries:
+            entry = self._entries.popleft()
+            src = entry.arrival.src
+            if (
+                len(admitted) < budget
+                and src not in used_sources
+                and is_alive(src)
+            ):
+                admitted.append(entry)
+                used_sources.add(src)
+            else:
+                kept.append(entry)
+        self._entries = kept
+        return admitted

@@ -1,0 +1,294 @@
+"""Deterministic open-workload arrival processes.
+
+An :class:`ArrivalSpec` describes *offered* traffic — how many rumors
+want in per round, to whom, with what deadlines — as a plain,
+JSON-representable dataclass, so open scenarios ride
+:class:`repro.exec.tasks.RunSpec` across process boundaries unchanged.
+An :class:`ArrivalStream` materializes the spec into per-round
+:class:`Arrival` batches.
+
+Determinism contract (the load-subsystem analogue of the chaos plane's
+"same seed => same schedule"): a stream draws *only* from its own rng —
+derived from ``(scenario seed, "workload", scenario name)`` by the
+harness — and the round number.  It never looks at engine state (alive
+sets, queue occupancy), so the offered stream is bit-identical at any
+``--jobs`` setting and on both the inproc and sharded backends; only
+*admission* (a pure function of the stream and the policy) reacts to
+the simulation.
+
+Three processes are supported:
+
+* ``"poisson"`` — stationary Poisson arrivals at ``rate`` per round;
+* ``"bursty"`` — an on/off (interrupted Poisson) process: ``burst_on``
+  rounds at ``rate``, then ``burst_off`` rounds at ``off_rate``;
+* ``"diurnal"`` — a raised-cosine day curve with period ``period``
+  rounds, peaking at ``rate`` mid-period and calm at the edges.
+
+Destination sets are uniform by default; ``zipf_groups > 0`` partitions
+the pid space into that many contiguous blocks and picks the block of
+each destination set Zipf-distributed (exponent ``zipf_s``), modelling
+hotspot destination skew.  Deadlines come from a weighted mix.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, fields
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Arrival",
+    "ArrivalSpec",
+    "ArrivalStream",
+    "PROCESSES",
+    "poisson_sample",
+]
+
+PROCESSES = ("poisson", "bursty", "diurnal")
+
+# Knuth's product-of-uniforms sampler underflows for large lambda; split
+# the mean into chunks (Poisson(a) + Poisson(b) ~ Poisson(a+b)) so the
+# per-chunk exp(-lambda) stays comfortably representable.
+_POISSON_CHUNK = 12.0
+
+
+def _poisson_knuth(rng: random.Random, lam: float) -> int:
+    threshold = math.exp(-lam)
+    count = 0
+    product = 1.0
+    while True:
+        product *= rng.random()
+        if product <= threshold:
+            return count
+        count += 1
+
+
+def poisson_sample(rng: random.Random, lam: float) -> int:
+    """Draw ``Poisson(lam)`` from ``rng`` (stdlib-only, exact for any lam)."""
+    if lam < 0:
+        raise ValueError("poisson mean must be non-negative")
+    total = 0
+    while lam > _POISSON_CHUNK:
+        total += _poisson_knuth(rng, _POISSON_CHUNK)
+        lam -= _POISSON_CHUNK
+    if lam > 0:
+        total += _poisson_knuth(rng, lam)
+    return total
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One rumor that *wants* to be injected (pre-admission).
+
+    The payload is drawn at arrival time — the client's secret exists
+    before admission control sees it — which is what makes the shed-leak
+    audit non-vacuous: a shed arrival has concrete bytes that must never
+    surface anywhere in the run.
+    """
+
+    arrival_round: int
+    src: int
+    dest: FrozenSet[int]
+    deadline: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """A JSON-representable description of an open arrival process."""
+
+    process: str = "poisson"
+    rate: float = 2.0  # peak mean arrivals per round
+    burst_on: int = 16  # bursty: rounds at ``rate`` ...
+    burst_off: int = 48  # ... then rounds at ``off_rate``
+    off_rate: float = 0.0
+    period: int = 96  # diurnal: day length in rounds
+    dest_size: int = 3
+    zipf_groups: int = 0  # 0 = uniform destinations
+    zipf_s: float = 1.1
+    deadlines: Tuple[int, ...] = (64,)
+    deadline_weights: Optional[Tuple[float, ...]] = None
+    payload_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.process not in PROCESSES:
+            raise ValueError(
+                "process must be one of {}, got {!r}".format(
+                    "/".join(PROCESSES), self.process
+                )
+            )
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+        if self.burst_on < 1 or self.burst_off < 0:
+            raise ValueError("burst_on must be >= 1, burst_off >= 0")
+        if self.off_rate < 0:
+            raise ValueError("off_rate must be non-negative")
+        if self.period < 2:
+            raise ValueError("diurnal period must be >= 2")
+        if self.dest_size < 1:
+            raise ValueError("dest_size must be >= 1")
+        if self.zipf_groups < 0:
+            raise ValueError("zipf_groups must be non-negative")
+        if self.zipf_s <= 0:
+            raise ValueError("zipf_s must be positive")
+        # Tolerate JSON round-trips (lists in, tuples out).
+        object.__setattr__(self, "deadlines", tuple(self.deadlines))
+        if not self.deadlines or any(d < 1 for d in self.deadlines):
+            raise ValueError("deadlines must be a non-empty tuple of >= 1")
+        if self.deadline_weights is not None:
+            object.__setattr__(
+                self, "deadline_weights", tuple(self.deadline_weights)
+            )
+            if len(self.deadline_weights) != len(self.deadlines):
+                raise ValueError(
+                    "deadline_weights must match deadlines in length"
+                )
+            if any(w < 0 for w in self.deadline_weights) or not any(
+                self.deadline_weights
+            ):
+                raise ValueError(
+                    "deadline_weights must be non-negative with a positive sum"
+                )
+        if self.payload_size < 1:
+            raise ValueError("payload_size must be >= 1")
+
+    @property
+    def max_deadline(self) -> int:
+        return max(self.deadlines)
+
+    @property
+    def min_deadline(self) -> int:
+        return min(self.deadlines)
+
+    def mean_rate(self, round_no: int, start_round: int = 0) -> float:
+        """Expected arrivals in ``round_no`` (the process's rate curve)."""
+        t = round_no - start_round
+        if self.process == "poisson":
+            return self.rate
+        if self.process == "bursty":
+            phase = t % (self.burst_on + self.burst_off)
+            return self.rate if phase < self.burst_on else self.off_rate
+        # diurnal: raised cosine, 0 at the period edges, ``rate`` mid-day
+        return self.rate * (1.0 - math.cos(2.0 * math.pi * t / self.period)) / 2.0
+
+    # -- JSON round-trip -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        out["deadlines"] = list(self.deadlines)
+        if self.deadline_weights is not None:
+            out["deadline_weights"] = list(self.deadline_weights)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ArrivalSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                "unknown ArrivalSpec fields: {}".format(sorted(unknown))
+            )
+        return cls(**dict(data))  # type: ignore[arg-type]
+
+
+class ArrivalStream:
+    """Materializes an :class:`ArrivalSpec` into per-round batches.
+
+    Per arrival the draw order is fixed — count, then for each arrival
+    src / destination set / deadline / payload — so two streams with the
+    same (spec, n, seed) are byte-identical however they are consumed.
+    """
+
+    def __init__(
+        self,
+        spec: ArrivalSpec,
+        n: int,
+        rng: random.Random,
+        start_round: int = 0,
+        stop_round: Optional[int] = None,
+    ):
+        if n < 2:
+            raise ValueError("arrival streams need at least two processes")
+        if spec.zipf_groups > n:
+            raise ValueError("zipf_groups cannot exceed n")
+        self.spec = spec
+        self.n = n
+        self.rng = rng
+        self.start_round = start_round
+        self.stop_round = stop_round
+        self._zipf_cumulative = self._zipf_table(spec.zipf_groups, spec.zipf_s)
+
+    @staticmethod
+    def _zipf_table(groups: int, s: float) -> Optional[List[float]]:
+        if not groups:
+            return None
+        weights = [1.0 / ((g + 1) ** s) for g in range(groups)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0  # guard against float drift
+        return cumulative
+
+    def _hot_block(self) -> range:
+        """Pick a pid block Zipf-distributed (block 0 is the hotspot)."""
+        u = self.rng.random()
+        cumulative = self._zipf_cumulative
+        assert cumulative is not None
+        group = 0
+        for group, edge in enumerate(cumulative):
+            if u <= edge:
+                break
+        groups = len(cumulative)
+        lo = group * self.n // groups
+        hi = (group + 1) * self.n // groups
+        return range(lo, hi)
+
+    def _destinations(self, src: int) -> FrozenSet[int]:
+        spec = self.spec
+        if self._zipf_cumulative is not None:
+            pool = [p for p in self._hot_block() if p != src]
+            if not pool:  # degenerate block (size <= 1 holding src)
+                pool = [p for p in range(self.n) if p != src]
+        else:
+            pool = [p for p in range(self.n) if p != src]
+        size = min(spec.dest_size, len(pool))
+        return frozenset(self.rng.sample(pool, size))
+
+    def _deadline(self) -> int:
+        spec = self.spec
+        if spec.deadline_weights is None:
+            return self.rng.choice(spec.deadlines)
+        return self.rng.choices(
+            spec.deadlines, weights=spec.deadline_weights, k=1
+        )[0]
+
+    def arrivals(self, round_no: int) -> List[Arrival]:
+        """The offered batch for one round (empty outside the window)."""
+        if round_no < self.start_round:
+            return []
+        if self.stop_round is not None and round_no >= self.stop_round:
+            return []
+        lam = self.spec.mean_rate(round_no, self.start_round)
+        count = poisson_sample(self.rng, lam)
+        batch: List[Arrival] = []
+        for _ in range(count):
+            src = self.rng.randrange(self.n)
+            dest = self._destinations(src)
+            deadline = self._deadline()
+            data = self.rng.randbytes(self.spec.payload_size)
+            batch.append(
+                Arrival(
+                    arrival_round=round_no,
+                    src=src,
+                    dest=dest,
+                    deadline=deadline,
+                    data=data,
+                )
+            )
+        return batch

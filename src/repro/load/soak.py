@@ -1,0 +1,214 @@
+"""E20: the open-workload saturation matrix.
+
+Sweeps arrival rate x n x preset (x arrival process) over the ``open``
+scenario builder on the exec pool and reduces the records into the
+``BENCH_e20_open_workload.json`` sidecar: per-cell service metrics
+(delivery-latency p50/p99/p999, arrival-to-delivery worst-seed
+quantiles, shed/fallback rates, admitted throughput) plus, per
+``(n, process, preset)`` series, the **saturation knee** — the highest
+swept arrival rate the admission budget sustains with zero shedding —
+and the sustained-throughput ceiling at that knee.
+
+The payload follows the E15/E16/E19 split: everything here is
+deterministic (cacheable, jobs-invariant); wall-clock throughput
+(rumors/sec) is attached from the runs' exec-pool profiles and lives
+next to the ``profile`` section's caveat — real time, not simulated
+rounds, so it varies machine to machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.registry import Histogram
+
+__all__ = [
+    "BENCH_NAME",
+    "load_cells",
+    "run_load_soak",
+    "load_payload",
+]
+
+BENCH_NAME = "e20_open_workload"
+
+_SERIES_AXES = ("n", "process", "preset")
+
+
+def load_cells(
+    rates: Sequence[float],
+    ns: Sequence[int],
+    processes: Sequence[str] = ("poisson",),
+    presets: Sequence[str] = ("default",),
+) -> List[Dict[str, object]]:
+    """The E20 matrix: arrival rate x n x preset x process."""
+    from repro.analysis.sweeps import grid
+
+    return grid(
+        process=[str(p) for p in processes],
+        rate=[float(r) for r in rates],
+        n=[int(n) for n in ns],
+        preset=[str(p) for p in presets],
+    )
+
+
+def run_load_soak(
+    cells,
+    seeds: Sequence[int] = (0, 1),
+    jobs: int = 1,
+    cache=None,
+    resume: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress=None,
+    **fixed: object,
+):
+    """Sweep the ``open`` builder over the matrix on the exec pool."""
+    from repro.analysis.sweeps import sweep_congos
+
+    return sweep_congos(
+        "open",
+        cells,
+        seeds=seeds,
+        jobs=jobs,
+        cache=cache,
+        resume=resume,
+        timeout=timeout,
+        retries=retries,
+        progress=progress,
+        **fixed,
+    )
+
+
+def _pooled_latency(runs) -> Dict[str, object]:
+    """Exact pooled delivery-latency quantiles across a cell's seeds."""
+    hist = Histogram()
+    for run in runs:
+        for latency in run.latencies:
+            hist.observe(latency)
+    full = hist.as_dict()
+    return {
+        key: full[key] for key in ("count", "mean", "max", "p50", "p99", "p999")
+    }
+
+
+def _worst_seed_latency(runs, section: str) -> Dict[str, object]:
+    """Per-quantile max across seeds (raw e2e samples stay in-worker)."""
+    out: Dict[str, object] = {}
+    for key in ("count", "max", "p50", "p99", "p999"):
+        values = [
+            run.load.get(section, {}).get(key)
+            for run in runs
+            if run.load.get(section, {}).get(key) is not None
+        ]
+        out[key] = max(values) if values else None
+    return out
+
+
+def _cell_entry(cell) -> Dict[str, object]:
+    runs = cell.runs
+    offered = sum(run.load.get("offered", 0) for run in runs)
+    admitted = sum(run.load.get("admitted", 0) for run in runs)
+    shed = sum(run.load.get("shed_total", 0) for run in runs)
+    admissible = sum(run.admissible_pairs for run in runs)
+    missed = sum(run.missed for run in runs)
+    rounds = runs[0].rounds if runs else 0
+    wall = sum(run.wall_time for run in runs)
+    return {
+        "cell": dict(cell.cell),
+        "seeds": cell.seeds,
+        "budget": runs[0].load.get("budget") if runs else None,
+        "offered": offered,
+        "admitted": admitted,
+        "shed": shed,
+        "shed_rate": round(shed / offered, 6) if offered else 0.0,
+        "admitted_per_round": (
+            round(admitted / (len(runs) * rounds), 6) if runs and rounds else 0.0
+        ),
+        "queue_depth_max": max(
+            (run.load.get("queue_depth", {}).get("max", 0) or 0 for run in runs),
+            default=0,
+        ),
+        "wait_p99_max": max(
+            (run.load.get("wait_rounds", {}).get("p99", 0) or 0 for run in runs),
+            default=0,
+        ),
+        "delivery_latency": _pooled_latency(runs),
+        "e2e_latency_worst_seed": _worst_seed_latency(runs, "e2e_latency"),
+        "admissible_pairs": admissible,
+        "missed": missed,
+        "delivery_rate": (
+            round((admissible - missed) / admissible, 6) if admissible else None
+        ),
+        "fallback_rate": round(cell.fallback_rate(), 6),
+        "qod_satisfied": cell.all_satisfied(),
+        "clean": cell.all_clean(),
+        "shed_leak_free": all(
+            run.load.get("shed_leak_free", False) for run in runs
+        ),
+        # Wall-clock, not simulated time — machine-dependent, see the
+        # payload's profile caveat.
+        "rumors_per_sec": round(admitted / wall, 2) if wall > 0 else None,
+    }
+
+
+def _knees(entries: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Locate the saturation knee per (n, process, preset) series.
+
+    The knee is the highest swept rate with zero shedding and QoD intact;
+    every rate above it must shed (the queue is bounded), so the knee's
+    admitted throughput is the series' sustained ceiling.
+    """
+    series: Dict[Tuple, List[Dict[str, object]]] = {}
+    for entry in entries:
+        key = tuple(entry["cell"].get(axis) for axis in _SERIES_AXES)
+        series.setdefault(key, []).append(entry)
+    knees: List[Dict[str, object]] = []
+    for key in sorted(series, key=str):
+        ordered = sorted(series[key], key=lambda e: e["cell"]["rate"])
+        knee = None
+        for entry in ordered:
+            if entry["shed_rate"] == 0.0 and entry["qod_satisfied"]:
+                knee = entry
+        saturated = [e for e in ordered if e["shed_rate"] > 0.0]
+        n, process, preset = key
+        knees.append(
+            {
+                "n": n,
+                "process": process,
+                "preset": preset,
+                "rates": [e["cell"]["rate"] for e in ordered],
+                "knee_rate": knee["cell"]["rate"] if knee else None,
+                "ceiling_admitted_per_round": (
+                    knee["admitted_per_round"] if knee else None
+                ),
+                "rumors_per_sec_at_knee": (
+                    knee["rumors_per_sec"] if knee else None
+                ),
+                "first_saturated_rate": (
+                    saturated[0]["cell"]["rate"] if saturated else None
+                ),
+                "shed_rate_at_peak": ordered[-1]["shed_rate"],
+                "e2e_p99_at_knee": (
+                    knee["e2e_latency_worst_seed"]["p99"] if knee else None
+                ),
+            }
+        )
+    return knees
+
+
+def load_payload(
+    sweep, fixed: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """The deterministic portion of the E20 artifact (plus wall-clock
+    rumors/sec, flagged as such)."""
+    entries = [_cell_entry(cell) for cell in sweep.cells]
+    return {
+        "fixed": dict(fixed or {}),
+        "cells": entries,
+        "knees": _knees(entries),
+        "all_clean": sweep.all_clean(),
+        "all_shed_leak_free": all(e["shed_leak_free"] for e in entries),
+        "total_offered": sum(e["offered"] for e in entries),
+        "total_admitted": sum(e["admitted"] for e in entries),
+        "total_shed": sum(e["shed"] for e in entries),
+    }

@@ -392,6 +392,13 @@ def run_sharded_scenario(
         workload = scenario.workload_factory(
             derive_rng(scenario.seed, "workload", scenario.name)
         )
+        if telemetry is not None:
+            # Same hook as the inproc runner: workloads run coordinator-
+            # side, so their admission accounting (repro.load) lands in
+            # the coordinator's registry, not a worker snapshot.
+            bind = getattr(workload, "bind_telemetry", None)
+            if bind is not None:
+                bind(telemetry)
         parts.append(workload)
     if scenario.fault_factory is not None:
         parts.append(

@@ -42,9 +42,61 @@ class TestRunScenario:
         with pytest.raises(TypeError, match="registry name"):
             api.run_scenario(scenario, n=16)
 
+    def test_seed_with_prebuilt_scenario_rejected(self):
+        scenario = steady_scenario(n=10, rounds=160, seed=2)
+        with pytest.raises(TypeError, match="registry name"):
+            api.run_scenario(scenario, seed=7)
+
+    def test_matching_or_default_seed_with_prebuilt_ok(self):
+        scenario = steady_scenario(n=10, rounds=160, seed=2)
+        # seed=0 (the default) and the scenario's own seed both pass.
+        assert api.run_scenario(scenario, seed=2).qod.satisfied
+
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError, match="steady"):
             api.run_scenario("nope", n=8, rounds=40)
+
+
+class TestPresets:
+    def test_names_match_config_registry(self):
+        from repro.core.config import CongosParams
+
+        described = api.presets()
+        assert sorted(described) == sorted(CongosParams.preset_names())
+        for name, description in described.items():
+            assert isinstance(description, str) and description
+            CongosParams.preset(name)  # every described name builds
+
+
+class TestRunOpen:
+    def test_defaults(self):
+        result = api.run_open(n=16, rounds=160, seed=3)
+        load = result.summary()["load"]
+        assert load["offered"] > 0
+        assert load["shed_leak_free"]
+
+    def test_spec_objects(self):
+        arrival = api.ArrivalSpec(process="poisson", rate=1.0)
+        admission = api.AdmissionPolicy(per_round=2, queue_cap=32)
+        result = api.run_open(
+            arrival, admission, seed=3, n=16, rounds=160
+        )
+        workload = result.workload
+        assert workload.spec == arrival
+        assert workload.budget == 2
+
+    def test_spec_kwarg_clash_rejected(self):
+        with pytest.raises(TypeError, match="exactly one place"):
+            api.run_open(
+                api.ArrivalSpec(rate=1.0), n=16, rounds=160, rate=2.0
+            )
+
+    def test_matches_run_scenario(self):
+        via_open = api.run_open(n=16, rounds=160, seed=3, rate=1.0)
+        via_name = api.run_scenario(
+            "open", n=16, rounds=160, seed=3, rate=1.0
+        )
+        assert via_open.summary() == via_name.summary()
 
 
 class TestSweep:
@@ -62,6 +114,36 @@ class TestSweep:
             [run.without_profile() for run in cell.runs]
             for cell in direct.cells
         ]
+
+    def test_backend_and_net_pass_through(self):
+        cells = api.grid(n=[8])
+        inproc = api.sweep("steady", cells, seeds=(0,), rounds=80, deadline=16)
+        sharded = api.sweep(
+            "steady",
+            cells,
+            seeds=(0,),
+            rounds=80,
+            deadline=16,
+            backend="sharded",
+            net={"workers": 2},
+        )
+
+        # backend/net ride the spec (and thus the cache key), so compare
+        # the payloads with spec_key stripped alongside the profile.
+        def strip(sweep):
+            import dataclasses
+
+            return [
+                [
+                    dataclasses.replace(
+                        run.without_profile(), spec_key=None
+                    )
+                    for run in cell.runs
+                ]
+                for cell in sweep.cells
+            ]
+
+        assert strip(sharded) == strip(inproc)
 
 
 class TestTrace:

@@ -459,3 +459,64 @@ class TestProfileSweepCommand:
     def test_profile_resume_requires_out(self, capsys):
         code = main(["profile-sweep", "steady", "--resume"])
         assert code == 2
+
+
+class TestLoadSoak:
+    def test_smoke_with_artifacts(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "artifacts")
+        code = main(
+            [
+                "load-soak",
+                "-n",
+                "16",
+                "--rates",
+                "1",
+                "--rounds",
+                "200",
+                "--seeds",
+                "1",
+                "--jobs",
+                "1",
+                "--out",
+                out_dir,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "load soak" in captured.out
+        assert "saturation knees" in captured.out
+        payload = json.loads(
+            (tmp_path / "artifacts" / "BENCH_e20_open_workload.json").read_text()
+        )
+        assert payload["scenario"] == "open"
+        assert payload["all_clean"] and payload["all_shed_leak_free"]
+        assert payload["cells"][0]["offered"] > 0
+        assert payload["knees"]
+        assert (tmp_path / "artifacts" / "load_soak.txt").exists()
+
+    def test_json_output(self, capsys):
+        code = main(
+            [
+                "load-soak",
+                "-n",
+                "16",
+                "--rates",
+                "1",
+                "--rounds",
+                "200",
+                "--seeds",
+                "1",
+                "--jobs",
+                "1",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["total_offered"] > 0
+        assert payload["profile"]["tasks"] == 1
+
+    def test_resume_requires_out(self, capsys):
+        code = main(["load-soak", "--resume"])
+        assert code == 2
