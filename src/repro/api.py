@@ -78,6 +78,7 @@ def run_scenario(
     telemetry: Optional[Telemetry] = None,
     backend: Optional[str] = None,
     net: Optional[dict] = None,
+    engine: Optional[str] = None,
     **kwargs: object,
 ) -> RunResult:
     """Run one fully audited CONGOS scenario.
@@ -91,7 +92,10 @@ def run_scenario(
     ``backend`` overrides the scenario's execution backend (``"inproc"``
     or ``"sharded"``); ``net`` supplies sharded-backend options such as
     ``{"workers": 2, "transport": "tcp"}``.  Both backends produce the
-    same audited results.
+    same audited results.  ``engine`` selects the round kernel:
+    ``"object"`` (default) or ``"array"`` (the vectorized
+    :mod:`repro.fastcore` kernel; needs ``pip install repro[fast]`` and
+    is statistically — not bit — equivalent, see DESIGN.md §11).
     """
     if isinstance(scenario, str):
         scenario = get_builder(scenario)(seed=seed, **kwargs)
@@ -108,12 +112,14 @@ def run_scenario(
                     seed, scenario.seed
                 )
             )
-    if backend is not None or net is not None:
+    if backend is not None or net is not None or engine is not None:
         overrides: dict = {}
         if backend is not None:
             overrides["backend"] = backend
         if net is not None:
             overrides["net"] = net
+        if engine is not None:
+            overrides["engine"] = engine
         scenario = dataclasses.replace(scenario, **overrides)
     return run_congos_scenario(
         scenario, observers=observers, telemetry=telemetry
@@ -128,6 +134,7 @@ def run_open(
     telemetry: Optional[Telemetry] = None,
     backend: Optional[str] = None,
     net: Optional[dict] = None,
+    engine: Optional[str] = None,
     **kwargs: object,
 ) -> RunResult:
     """Run one open-workload (service-model) scenario, fully audited.
@@ -164,6 +171,7 @@ def run_open(
         telemetry=telemetry,
         backend=backend,
         net=net,
+        engine=engine,
         **expanded,
     )
 

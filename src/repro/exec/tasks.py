@@ -63,6 +63,10 @@ class RunSpec:
     # backend is requested explicitly.
     backend: str = "inproc"
     net: Optional[Dict[str, object]] = None
+    # Round kernel ("object" | "array").  Like ``backend``, the default
+    # engine is EXCLUDED from the content key, so object-engine specs keep
+    # their pre-fastcore keys (and golden digests) byte-identical.
+    engine: str = "object"
 
     @classmethod
     def make(
@@ -72,6 +76,7 @@ class RunSpec:
         params: Union[CongosParams, Mapping, None] = None,
         backend: str = "inproc",
         net: Optional[Mapping[str, object]] = None,
+        engine: str = "object",
         **kwargs: object,
     ) -> "RunSpec":
         """Build a spec, resolving builder callables and params objects.
@@ -96,6 +101,7 @@ class RunSpec:
             params=resolved,
             backend=backend,
             net=dict(net) if net is not None else None,
+            engine=engine,
         )
 
     @property
@@ -110,6 +116,8 @@ class RunSpec:
         if self.backend != "inproc":
             payload["backend"] = self.backend
             payload["net"] = self.net
+        if self.engine != "object":
+            payload["engine"] = self.engine
         digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
         return digest.hexdigest()
 
@@ -134,6 +142,8 @@ class RunSpec:
             scenario = dataclasses.replace(
                 scenario, backend=self.backend, net=self.net
             )
+        if self.engine != "object":
+            scenario = dataclasses.replace(scenario, engine=self.engine)
         return scenario
 
     def to_dict(self) -> Dict[str, object]:
@@ -146,6 +156,8 @@ class RunSpec:
         if self.backend != "inproc":
             data["backend"] = self.backend
             data["net"] = dict(self.net) if self.net is not None else None
+        if self.engine != "object":
+            data["engine"] = self.engine
         return data
 
     @classmethod
@@ -157,6 +169,7 @@ class RunSpec:
             params=dict(data["params"]) if data.get("params") else None,
             backend=str(data.get("backend", "inproc")),
             net=dict(data["net"]) if data.get("net") else None,
+            engine=str(data.get("engine", "object")),
         )
 
 

@@ -1,0 +1,48 @@
+"""repro.fastcore — the numpy-backed vectorized round kernel.
+
+The object engine (:mod:`repro.sim.engine` + :mod:`repro.core.congos`)
+models every process and every message as a Python object; PR 5 tuned
+that model to its ceiling.  This package replaces the per-pid inner loop
+with array kernels — packed ``uint64`` bitset group membership, batched
+fragment XOR over contiguous payload arrays, array-based fanout sampling
+and vectorized expiry sweeps — behind the same run surfaces
+(``Scenario`` / ``RunResult`` / ``repro.api``), selected with
+``engine="array"``.
+
+Correctness contract (DESIGN.md §11): *equivalence mode*.  The array
+engine reproduces the protocol's per-round structure and message counts
+exactly and its randomized dynamics statistically — the gate is
+distributional parity of E6/E11 delivery/QoD metrics against the object
+engine plus a clean confidentiality audit, not rng-stream identity.
+
+numpy rides the ``repro[fast]`` extra; importing :mod:`repro` (and the
+whole tier-1 suite) works without it.  Only actually selecting
+``engine="array"`` requires the extra.
+"""
+
+from __future__ import annotations
+
+__all__ = ["numpy_available", "require_numpy"]
+
+_NUMPY_HINT = (
+    "engine='array' needs numpy, which is not installed. "
+    "Install the fast-engine extra: pip install repro[fast]"
+)
+
+
+def numpy_available() -> bool:
+    """True when the ``repro[fast]`` extra's numpy is importable."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def require_numpy():
+    """Import and return numpy, or raise an ImportError naming the extra."""
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise ImportError(_NUMPY_HINT) from exc
+    return numpy

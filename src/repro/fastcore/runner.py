@@ -1,0 +1,135 @@
+"""Audited scenario runner for the array engine.
+
+``run_array_scenario`` mirrors :func:`repro.harness.runner.run_congos_scenario`
+— same ``Scenario`` in, same :class:`RunResult` out — with the object
+engine swapped for :class:`repro.fastcore.engine.ArrayEngine`.  The
+delivery auditor, QoD report, event log and stats surfaces are the real
+ones; only the confidentiality auditor is the bitset mirror (it audits
+the array engine's delivered stream directly).
+
+Scenario features outside the array engine's scope raise
+:class:`UnsupportedScenario` eagerly with a pointer back to the object
+engine, so a mis-routed run fails loudly instead of quietly diverging.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.audit.delivery import DeliveryAuditor
+from repro.audit.failfast import FailFastMonitor
+from repro.sim.rng import derive_rng
+
+from repro.fastcore import require_numpy
+
+__all__ = ["run_array_scenario"]
+
+
+_UNSUPPORTED = "engine='array' does not support {}; use the object engine"
+
+
+def _check_scope(scenario) -> None:
+    params = scenario.params
+    reasons = []
+    if scenario.fault_factory is not None:
+        reasons.append("fault_factory adversaries")
+    if scenario.fault_spec() is not None:
+        reasons.append("the chaos fault plane")
+    if scenario.targeted_spec() is not None:
+        reasons.append("targeted fault policies")
+    if scenario.backend != "inproc":
+        reasons.append("backend={!r}".format(scenario.backend))
+    if params.gossip_schedule != "random":
+        reasons.append("gossip_schedule={!r}".format(params.gossip_schedule))
+    if params.gossip_reliable:
+        reasons.append("gossip_reliable")
+    if params.gossip_resend_backoff:
+        reasons.append("gossip_resend_backoff")
+    if params.proxy_retransmit:
+        reasons.append("proxy_retransmit")
+    if params.direct_send_reliable:
+        reasons.append("the reliable direct-send layer")
+    if params.gd_redundancy != 1:
+        reasons.append("gd_redundancy != 1")
+    if params.gd_target_pool != "destinations":
+        reasons.append("gd_target_pool={!r}".format(params.gd_target_pool))
+    if reasons:
+        from repro.fastcore.engine import UnsupportedScenario
+
+        raise UnsupportedScenario(_UNSUPPORTED.format(", ".join(reasons)))
+
+
+def run_array_scenario(
+    scenario,
+    observers: Iterable[object] = (),
+    partition_set=None,
+    telemetry=None,
+):
+    """Run a fault-free CONGOS scenario on the vectorized array engine."""
+    require_numpy()
+    # Imported lazily behind the numpy gate: tier-1 without the
+    # ``repro[fast]`` extra must never touch these modules.
+    from repro.core.congos import build_partition_set
+    from repro.fastcore.engine import ArrayEngine, FastConfidentialityAuditor
+    from repro.harness.runner import RunResult
+
+    _check_scope(scenario)
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        raise ValueError(
+            "engine='array' has no per-message telemetry hooks; "
+            "run traced scenarios on the object engine"
+        )
+    resolved_partitions = (
+        partition_set
+        if partition_set is not None
+        else build_partition_set(scenario.n, scenario.params, scenario.seed)
+    )
+    delivery = DeliveryAuditor()
+    confidentiality = FastConfidentialityAuditor(
+        num_partitions=resolved_partitions.count,
+        num_groups=resolved_partitions.num_groups,
+    )
+    workload = None
+    if scenario.workload_factory is not None:
+        workload = scenario.workload_factory(
+            derive_rng(scenario.seed, "workload", scenario.name)
+        )
+    adversary = workload if workload is not None else _NullAdversary()
+    all_observers = [delivery, *observers]
+    if scenario.failfast == "confidentiality":
+        all_observers.append(FailFastMonitor(confidentiality))
+    elif scenario.failfast == "qod":
+        all_observers.append(FailFastMonitor(confidentiality, delivery=delivery))
+    engine = ArrayEngine(
+        n=scenario.n,
+        params=scenario.params,
+        partition_set=resolved_partitions,
+        seed=scenario.seed,
+        adversary=adversary,
+        record_delivery=delivery.record_delivery,
+        auditor=confidentiality,
+        observers=all_observers,
+    )
+    engine.run(scenario.rounds)
+    engine.finalize()
+    qod = delivery.report(engine)
+    return RunResult(
+        scenario=scenario,
+        engine=engine,
+        stats=engine.stats,
+        qod=qod,
+        confidentiality=confidentiality,
+        delivery=delivery,
+        workload=workload,
+        partition_set=resolved_partitions,
+        fault_plane=None,
+    )
+
+
+class _NullAdversary:
+    """No injections, no faults (scenarios driven purely by observers)."""
+
+    def round_start(self, view):
+        from repro.sim.events import RoundDecision
+
+        return RoundDecision()

@@ -197,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharded backend: transport name (tcp, or zmq with the "
         "repro[net] extra installed)",
     )
+    run.add_argument(
+        "--engine",
+        choices=("object", "array"),
+        default="object",
+        help="round kernel: object (default), or the vectorized array "
+        "engine (statistical parity, needs the repro[fast] extra)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run a scenario grid on the parallel exec pool"
@@ -553,6 +560,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="CongosParams presets to sweep",
     )
     load.add_argument(
+        "--engines",
+        nargs="+",
+        default=["object"],
+        choices=("object", "array"),
+        metavar="ENGINE",
+        help="round kernels to sweep (array needs the repro[fast] extra)",
+    )
+    load.add_argument(
         "--deadline",
         type=int,
         default=64,
@@ -710,6 +725,15 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--rounds", type=int, default=120)
     perf.add_argument("--deadline", type=int, default=64)
     perf.add_argument(
+        "--engine",
+        nargs="+",
+        default=None,
+        choices=("object", "array"),
+        metavar="ENGINE",
+        help="scaling: round kernels to time (default object; pass both "
+        "to record the array-vs-object speedup in one artifact)",
+    )
+    perf.add_argument(
         "--drop",
         type=float,
         nargs="+",
@@ -863,6 +887,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             backend=args.backend,
             net={"workers": args.workers, "transport": args.transport},
         )
+    if args.engine != "object":
+        scenario = dataclasses.replace(scenario, engine=args.engine)
     result = run_congos_scenario(scenario, telemetry=telemetry)
     summary = result.summary()
     if args.json:
@@ -905,6 +931,7 @@ def _run_multi_seed(
             params=params,
             backend=args.backend,
             net=net,
+            engine=args.engine,
             **kwargs,
         )
         for seed in args.seeds
@@ -1625,7 +1652,11 @@ def cmd_load_soak(args: argparse.Namespace) -> int:
         print("--resume needs --out (the cache lives there)", file=sys.stderr)
         return 2
     cells = load_cells(
-        args.rates, args.n, processes=args.processes, presets=args.presets
+        args.rates,
+        args.n,
+        processes=args.processes,
+        presets=args.presets,
+        engines=args.engines,
     )
     fixed: Dict[str, object] = {
         "rounds": args.rounds,
@@ -1684,6 +1715,7 @@ def cmd_load_soak(args: argparse.Namespace) -> int:
                 cell["rate"],
                 cell["n"],
                 cell["preset"],
+                cell.get("engine", "object"),
                 entry["budget"],
                 entry["offered"],
                 entry["admitted"],
@@ -1705,6 +1737,7 @@ def cmd_load_soak(args: argparse.Namespace) -> int:
             "rate",
             "n",
             "preset",
+            "engine",
             "budget",
             "offered",
             "admitted",
@@ -1727,6 +1760,7 @@ def cmd_load_soak(args: argparse.Namespace) -> int:
                 knee["n"],
                 knee["process"],
                 knee["preset"],
+                knee.get("engine", "object"),
                 knee["knee_rate"] if knee["knee_rate"] is not None else "-",
                 knee["ceiling_admitted_per_round"]
                 if knee["ceiling_admitted_per_round"] is not None
@@ -1747,6 +1781,7 @@ def cmd_load_soak(args: argparse.Namespace) -> int:
                     "n",
                     "process",
                     "preset",
+                    "engine",
                     "knee rate",
                     "ceiling/round",
                     "rumors/sec",
@@ -1827,12 +1862,18 @@ def _perf_micro(args: argparse.Namespace) -> int:
 
 def _perf_scaling(args: argparse.Namespace) -> int:
     ns = tuple(args.ns) if args.ns else (16, 64, 256)
-    rows = run_engine_scaling(
-        ns=ns,
-        rounds=args.rounds,
-        deadline=args.deadline,
-        repeats=max(1, args.repeats),
-    )
+    engines = tuple(args.engine) if args.engine else ("object",)
+    rows: List[Dict[str, object]] = []
+    for engine in engines:
+        rows.extend(
+            run_engine_scaling(
+                ns=ns,
+                rounds=args.rounds,
+                deadline=args.deadline,
+                repeats=max(1, args.repeats),
+                engine=engine,
+            )
+        )
     payload = engine_scaling_payload(rows)
     if args.out:
         path = write_bench_json(E17_BENCH_NAME, payload, args.out)
@@ -1845,6 +1886,7 @@ def _perf_scaling(args: argparse.Namespace) -> int:
         table.append(
             [
                 row["n"],
+                row["engine"],
                 "{:.3f}".format(row["wall_s"]),
                 (
                     "{:.3f}".format(row["baseline_s"])
@@ -1859,13 +1901,26 @@ def _perf_scaling(args: argparse.Namespace) -> int:
         )
     print(
         format_table(
-            ["n", "wall s", "base s", "speedup", "msgs", "clean", "digest"],
+            [
+                "n",
+                "engine",
+                "wall s",
+                "base s",
+                "speedup",
+                "msgs",
+                "clean",
+                "digest",
+            ],
             table,
             title="E17 engine scaling ({} rounds, steady/lean)".format(
                 args.rounds
             ),
         )
     )
+    for n, ratio in sorted(
+        payload["engine_speedup"].items(), key=lambda item: int(item[0])
+    ):
+        print("n={}: array is {:.2f}x the object engine".format(n, ratio))
     return 0
 
 

@@ -95,6 +95,10 @@ class Scenario:
     # TargetedSpec as a plain dict.  Composes with ``chaos`` — the
     # targeted policy decides first, the oblivious schedule after.
     targeted: Optional[Dict[str, object]] = None
+    # Round kernel: "object" (default, the per-pid object model) or
+    # "array" (repro.fastcore's vectorized numpy kernel; needs the
+    # repro[fast] extra and models fault-free runs only).
+    engine: str = "object"
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -107,6 +111,8 @@ class Scenario:
             )
         if self.backend not in ("inproc", "sharded"):
             raise ValueError("backend must be 'inproc' or 'sharded'")
+        if self.engine not in ("object", "array"):
+            raise ValueError("engine must be 'object' or 'array'")
         if self.chaos is not None:
             FaultSpec.from_dict(self.chaos)  # validate eagerly
         if self.targeted is not None:
@@ -197,6 +203,17 @@ def run_congos_scenario(
     ``telemetry`` (a :class:`repro.obs.Telemetry`) is threaded through the
     whole protocol stack; ``None`` keeps the zero-overhead null telemetry.
     """
+    if scenario.engine == "array":
+        # Imported lazily: repro.fastcore needs numpy (the repro[fast]
+        # extra) and raises a pointed ImportError when it is missing.
+        from repro.fastcore.runner import run_array_scenario
+
+        return run_array_scenario(
+            scenario,
+            observers=observers,
+            partition_set=partition_set,
+            telemetry=telemetry,
+        )
     if scenario.backend == "sharded":
         # Imported lazily: repro.net pulls in multiprocessing machinery
         # that default in-process runs never need.

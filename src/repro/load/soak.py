@@ -31,7 +31,7 @@ __all__ = [
 
 BENCH_NAME = "e20_open_workload"
 
-_SERIES_AXES = ("n", "process", "preset")
+_SERIES_AXES = ("n", "process", "preset", "engine")
 
 
 def load_cells(
@@ -39,8 +39,16 @@ def load_cells(
     ns: Sequence[int],
     processes: Sequence[str] = ("poisson",),
     presets: Sequence[str] = ("default",),
+    engines: Sequence[str] = ("object",),
 ) -> List[Dict[str, object]]:
-    """The E20 matrix: arrival rate x n x preset x process."""
+    """The E20 matrix: arrival rate x n x preset x process (x engine).
+
+    ``engine`` is a first-class series axis: ``"array"`` cells run the
+    vectorized :mod:`repro.fastcore` kernel (needs the ``repro[fast]``
+    extra), so the knee hunt scales to system sizes the object engine
+    cannot sweep.  The admission layer is engine-independent — matching
+    knees across engines is itself a statistical-parity check.
+    """
     from repro.analysis.sweeps import grid
 
     return grid(
@@ -48,6 +56,7 @@ def load_cells(
         rate=[float(r) for r in rates],
         n=[int(n) for n in ns],
         preset=[str(p) for p in presets],
+        engine=[str(e) for e in engines],
     )
 
 
@@ -170,12 +179,13 @@ def _knees(entries: List[Dict[str, object]]) -> List[Dict[str, object]]:
             if entry["shed_rate"] == 0.0 and entry["qod_satisfied"]:
                 knee = entry
         saturated = [e for e in ordered if e["shed_rate"] > 0.0]
-        n, process, preset = key
+        n, process, preset, engine = key
         knees.append(
             {
                 "n": n,
                 "process": process,
                 "preset": preset,
+                "engine": engine if engine is not None else "object",
                 "rates": [e["cell"]["rate"] for e in ordered],
                 "knee_rate": knee["cell"]["rate"] if knee else None,
                 "ceiling_admitted_per_round": (

@@ -354,3 +354,114 @@ register_case(
         tags=("end_to_end",),
     )
 )
+
+
+# ----------------------------------------------------------------------
+# Array-engine kernels (repro.fastcore) — registered only when the
+# repro[fast] extra's numpy is importable, so the registry (and tier-1)
+# stays intact without it.
+# ----------------------------------------------------------------------
+
+_BITSET_ROUNDS = 64
+_SPLIT_ROUNDS = 32
+_FANOUT_ROUNDS = 32
+
+
+def _setup_fastcore_bitset_membership() -> Operation:
+    import numpy as np
+
+    from repro.fastcore import bitset
+
+    n = 4096
+    rng = np.random.default_rng(7)
+    members = bitset.from_indices(rng.choice(n, size=n // 3, replace=False), n)
+    other = bitset.from_indices(rng.choice(n, size=n // 3, replace=False), n)
+    probes = rng.integers(0, n, size=n)
+
+    def op() -> object:
+        total = 0
+        for _ in range(_BITSET_ROUNDS):
+            total += int(bitset.test_bits(members, probes).sum())
+            total += bitset.popcount(bitset.andnot(members, other))
+            total += int(bitset.is_subset(other, members))
+        return total
+
+    return op
+
+
+def _setup_fastcore_fragment_xor() -> Operation:
+    import numpy as np
+
+    from repro.fastcore.kernels import merge_shares, split_shares
+
+    rng = np.random.default_rng(11)
+    data = bytes(range(256)) * 4  # 1 KiB payload, 16 partitions x 2 groups
+
+    def op() -> object:
+        merged = b""
+        for _ in range(_SPLIT_ROUNDS):
+            shares = split_shares(data, 16, 2, rng)
+            merged = merge_shares(shares[0])
+        assert merged == data
+        return merged
+
+    return op
+
+
+def _setup_fastcore_fanout_sampling() -> Operation:
+    import numpy as np
+
+    from repro.fastcore.kernels import sample_targets_excluding_self
+
+    rng = np.random.default_rng(13)
+    scope = np.arange(256, dtype=np.int64)
+    senders = np.arange(256, dtype=np.int64)
+
+    def op() -> object:
+        last = None
+        for _ in range(_FANOUT_ROUNDS):
+            last = sample_targets_excluding_self(rng, scope, senders, 6)
+        return last
+
+    return op
+
+
+def _register_fastcore_cases() -> None:
+    from repro.fastcore import numpy_available
+
+    if not numpy_available():
+        return
+    register_case(
+        PerfCase(
+            key="fastcore_bitset_membership",
+            title="fastcore bitset membership (n=4096, {} sweeps)".format(
+                _BITSET_ROUNDS
+            ),
+            setup=_setup_fastcore_bitset_membership,
+            ops=_BITSET_ROUNDS,
+            tags=("fastcore", "micro"),
+        )
+    )
+    register_case(
+        PerfCase(
+            key="fastcore_fragment_xor",
+            title="fastcore batched fragment XOR (1 KiB x 16 partitions x "
+            "{} splits)".format(_SPLIT_ROUNDS),
+            setup=_setup_fastcore_fragment_xor,
+            ops=_SPLIT_ROUNDS,
+            tags=("fastcore", "micro"),
+        )
+    )
+    register_case(
+        PerfCase(
+            key="fastcore_fanout_sampling",
+            title="fastcore fanout sampling (256 senders x k=6 x "
+            "{} rounds)".format(_FANOUT_ROUNDS),
+            setup=_setup_fastcore_fanout_sampling,
+            ops=_FANOUT_ROUNDS * 256,
+            tags=("fastcore", "micro"),
+        )
+    )
+
+
+_register_fastcore_cases()

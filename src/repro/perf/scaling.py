@@ -8,6 +8,15 @@ produces bit-identical results), and reports speedups against
 :data:`PRE_PR_BASELINE` — wall-clock numbers measured on the same
 machine immediately before the hot-path overhaul landed.
 
+The bench has an **engine axis**: every row carries the round kernel it
+ran on (``"object"`` or the vectorized ``"array"`` engine from
+:mod:`repro.fastcore`), and when one artifact holds both engines at the
+same ``n`` the payload's ``engine_speedup`` section records the
+array-vs-object ratio measured in the same invocation.  Array-engine
+digests are *not* comparable to object-engine digests — the array
+engine's contract is statistical parity (DESIGN.md §11), gated by
+:mod:`repro.fastcore.parity`, not bit identity.
+
 E17b closes ROADMAP item 2: the E15 chaos matrix was only ever run at
 n=16, leaving open whether the drop=0.5 QoD cliff is a small-n artifact.
 ``run_chaos_scaling`` re-runs the drop axis at larger ``n`` and
@@ -56,7 +65,9 @@ CHAOS_NS: Tuple[int, ...] = (64, 256)
 CHAOS_DROPS: Tuple[float, ...] = (0.0, 0.15, 0.3, 0.5)
 
 
-def scaling_spec(n: int, rounds: int = 120, deadline: int = 64) -> RunSpec:
+def scaling_spec(
+    n: int, rounds: int = 120, deadline: int = 64, engine: str = "object"
+) -> RunSpec:
     """The canonical E17 cell: steady workload, lean params, seed 0."""
     return RunSpec.make(
         "steady",
@@ -67,6 +78,7 @@ def scaling_spec(n: int, rounds: int = 120, deadline: int = 64) -> RunSpec:
         rate=1,
         period=4,
         params=CongosParams.lean(),
+        engine=engine,
     )
 
 
@@ -80,17 +92,21 @@ def run_engine_scaling(
     rounds: int = 120,
     deadline: int = 64,
     repeats: int = 1,
+    engine: str = "object",
     progress: Optional[Progress] = None,
 ) -> List[Dict[str, object]]:
     """Time the canonical steady cell at each ``n``, in-process.
 
     Runs single-process on purpose: E17 measures per-run engine cost, not
     pool throughput.  ``repeats`` > 1 keeps the best wall time (same
-    spec => identical record, so only timing varies).
+    spec => identical record, so only timing varies).  ``engine`` selects
+    the round kernel; pass rows from several engines to
+    :func:`engine_scaling_payload` together and it computes the
+    array-vs-object speedup at every shared ``n``.
     """
     rows: List[Dict[str, object]] = []
     for n in ns:
-        spec = scaling_spec(n, rounds=rounds, deadline=deadline)
+        spec = scaling_spec(n, rounds=rounds, deadline=deadline, engine=engine)
         record = None
         wall = None
         for _ in range(max(1, repeats)):
@@ -99,11 +115,15 @@ def run_engine_scaling(
             elapsed = time.perf_counter() - start
             if wall is None or elapsed < wall:
                 wall = elapsed
+        # The pinned pre-overhaul baseline is object-engine history; it is
+        # the "before" column for every engine (for the array engine it is
+        # the headline before-any-optimization speedup).
         baseline = PRE_PR_BASELINE.get(n)
         wall = round(wall, 3)
         rows.append(
             {
                 "n": n,
+                "engine": engine,
                 "rounds": rounds,
                 "deadline": deadline,
                 "spec_key": spec.key,
@@ -135,9 +155,10 @@ def engine_scaling_payload(rows: Iterable[Mapping[str, object]]) -> Dict[str, ob
     rows = list(rows)
     runs = [
         {
-            key: row[key]
+            key: row.get(key, "object" if key == "engine" else None)
             for key in (
                 "n",
+                "engine",
                 "rounds",
                 "deadline",
                 "spec_key",
@@ -153,20 +174,38 @@ def engine_scaling_payload(rows: Iterable[Mapping[str, object]]) -> Dict[str, ob
     timing = [
         {
             "n": row["n"],
+            "engine": row.get("engine", "object"),
             "wall_s": row["wall_s"],
             "baseline_s": row["baseline_s"],
             "speedup": row["speedup"],
         }
         for row in rows
     ]
+    # Array-vs-object speedup at every n both engines covered in THIS
+    # artifact (same machine, same invocation — unlike the pinned
+    # historical baseline above).
+    wall_by_engine: Dict[str, Dict[int, float]] = {}
+    for entry in timing:
+        wall_by_engine.setdefault(entry["engine"], {})[entry["n"]] = entry[
+            "wall_s"
+        ]
+    object_wall = wall_by_engine.get("object", {})
+    array_wall = wall_by_engine.get("array", {})
+    engine_speedup = {
+        str(n): round(object_wall[n] / array_wall[n], 2)
+        for n in sorted(set(object_wall) & set(array_wall))
+        if array_wall[n] > 0
+    }
     return {
         "scenario": "steady",
+        "engines": sorted({entry["engine"] for entry in timing}),
         "runs": runs,
         "baseline": {
             "commit": "29cc6bd",
             "wall_s": {str(n): PRE_PR_BASELINE[n] for n in sorted(PRE_PR_BASELINE)},
         },
         "timing": timing,
+        "engine_speedup": engine_speedup,
     }
 
 

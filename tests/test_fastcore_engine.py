@@ -1,0 +1,110 @@
+"""Behavior of the array round kernel behind the Engine surfaces.
+
+Needs the ``repro[fast]`` extra (skips without numpy).  Statistical
+parity with the object engine is gated separately in
+test_fastcore_parity.py; this file covers the hard invariants — same
+delivered pairs, clean audit, spec plumbing, scope rejection.
+"""
+
+import dataclasses
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.core.config import CongosParams
+from repro.exec.tasks import RunSpec
+from repro.fastcore.engine import UnsupportedScenario
+from repro.harness.runner import run_congos_scenario
+from repro.harness.scenarios import steady_scenario
+from repro.obs.instrument import Telemetry
+
+
+def _cell(n=16, rounds=96, seed=0):
+    return steady_scenario(
+        n=n,
+        rounds=rounds,
+        seed=seed,
+        deadline=64,
+        rate=1,
+        period=4,
+        params=CongosParams.lean(),
+        name="fastcore-test-n{}-s{}".format(n, seed),
+    )
+
+
+def _array(scenario):
+    return dataclasses.replace(scenario, engine="array")
+
+
+class TestArrayRun:
+    def test_small_steady_delivers_clean(self):
+        result = run_congos_scenario(_array(_cell()))
+        assert result.scenario.engine == "array"
+        assert result.stats.total > 0
+        assert len(result.delivery.deliveries) > 0
+        assert result.qod.satisfied
+        assert result.confidentiality.is_clean()
+        assert not any(result.confidentiality.summary()["violations"].values())
+
+    def test_delivered_pairs_match_object_engine(self):
+        scenario = _cell()
+        reference = run_congos_scenario(scenario)
+        candidate = run_congos_scenario(_array(scenario))
+        assert set(candidate.delivery.deliveries) == set(
+            reference.delivery.deliveries
+        )
+        assert (
+            candidate.delivery.injection_rounds
+            == reference.delivery.injection_rounds
+        )
+
+    def test_api_engine_kwarg(self):
+        from repro.api import run_scenario
+
+        result = run_scenario(_cell(), engine="array")
+        assert result.scenario.engine == "array"
+        assert result.qod.satisfied
+
+
+class TestScope:
+    def test_engine_field_validated(self):
+        with pytest.raises(ValueError, match="engine"):
+            dataclasses.replace(_cell(), engine="warp")
+
+    def test_unsupported_params_rejected(self):
+        scenario = _cell()
+        reliable = dataclasses.replace(
+            scenario,
+            engine="array",
+            params=dataclasses.replace(scenario.params, gossip_reliable=True),
+        )
+        with pytest.raises(UnsupportedScenario, match="use the object engine"):
+            run_congos_scenario(reliable)
+
+    def test_chaos_plane_rejected(self):
+        from repro.harness.scenarios import BUILDERS
+
+        chaos = BUILDERS["chaos"](seed=0, n=8, rounds=40, drop=0.2)
+        with pytest.raises(UnsupportedScenario, match="chaos fault plane"):
+            run_congos_scenario(dataclasses.replace(chaos, engine="array"))
+
+    def test_telemetry_rejected(self):
+        with pytest.raises(ValueError, match="telemetry"):
+            run_congos_scenario(_array(_cell()), telemetry=Telemetry())
+
+
+class TestRunSpecPlumbing:
+    def test_default_engine_excluded_from_key(self):
+        base = RunSpec.make("steady", seed=0, n=8, rounds=32)
+        explicit = RunSpec.make("steady", seed=0, n=8, rounds=32, engine="object")
+        assert base.key == explicit.key
+        assert "engine" not in base.to_dict()
+
+    def test_array_engine_changes_key_and_roundtrips(self):
+        base = RunSpec.make("steady", seed=0, n=8, rounds=32)
+        fast = RunSpec.make("steady", seed=0, n=8, rounds=32, engine="array")
+        assert fast.key != base.key
+        assert fast.to_dict()["engine"] == "array"
+        assert RunSpec.from_dict(fast.to_dict()) == fast
+        assert fast.to_scenario().engine == "array"

@@ -1,0 +1,136 @@
+"""Unit tests for the array engine's bitset and batch kernels.
+
+The whole file needs the ``repro[fast]`` extra; without numpy it skips
+cleanly (tier-1 must pass either way — see test_fastcore_optional.py).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.fastcore import bitset
+from repro.fastcore.kernels import (
+    _EXACT_POOL_LIMIT,
+    merge_shares,
+    sample_rows,
+    sample_targets_excluding_self,
+    split_shares,
+)
+
+
+class TestBitset:
+    def test_empty_and_full(self):
+        for n in (1, 63, 64, 65, 200):
+            assert bitset.popcount(bitset.empty(n)) == 0
+            assert bitset.popcount(bitset.full(n)) == n
+            assert list(bitset.to_indices(bitset.full(n), n)) == list(range(n))
+
+    def test_from_to_indices_roundtrip(self):
+        rng = np.random.default_rng(3)
+        for n in (70, 130, 1024):
+            members = np.sort(rng.choice(n, size=n // 3, replace=False))
+            bits = bitset.from_indices(members, n)
+            assert bitset.popcount(bits) == len(members)
+            assert np.array_equal(bitset.to_indices(bits, n), members)
+
+    def test_test_bits_membership(self):
+        bits = bitset.from_indices([0, 5, 63, 64, 100], 128)
+        probes = np.array([0, 1, 5, 63, 64, 99, 100, 127])
+        got = bitset.test_bits(bits, probes)
+        assert list(got) == [True, False, True, True, True, False, True, False]
+
+    def test_set_algebra(self):
+        n = 150
+        a = bitset.from_indices([1, 2, 3, 70, 149], n)
+        b = bitset.from_indices([2, 3, 4, 70], n)
+        assert list(bitset.to_indices(bitset.intersect(a, b), n)) == [2, 3, 70]
+        assert list(bitset.to_indices(bitset.andnot(a, b), n)) == [1, 149]
+        assert bitset.is_subset(b, bitset.union_into(a.copy(), b))
+        assert not bitset.is_subset(a, b)
+        assert bitset.any_common(a, b)
+        assert not bitset.any_common(a, bitset.from_indices([5, 90], n))
+
+    def test_union_into_is_in_place(self):
+        n = 64
+        target = bitset.from_indices([1], n)
+        out = bitset.union_into(target, bitset.from_indices([2], n))
+        assert out is target
+        assert list(bitset.to_indices(target, n)) == [1, 2]
+
+
+class TestSplitShares:
+    def test_shares_xor_back_to_payload(self):
+        rng = np.random.default_rng(5)
+        data = bytes(range(64))
+        shares = split_shares(data, partitions=6, groups=3, rng=rng)
+        assert shares.shape == (6, 3, 64)
+        for p in range(6):
+            assert merge_shares(shares[p]) == data
+
+    def test_fresh_randomness_per_partition(self):
+        rng = np.random.default_rng(5)
+        shares = split_shares(b"\x00" * 32, partitions=4, groups=2, rng=rng)
+        # With independent randomness, two partitions sharing the same
+        # first-share bytes is astronomically unlikely.
+        assert not np.array_equal(shares[0, 0], shares[1, 0])
+
+    def test_single_group_rejected(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError, match="at least 2"):
+            split_shares(b"xy", partitions=2, groups=1, rng=rng)
+
+
+class TestSampling:
+    def test_sample_rows_distinct_small_pool(self):
+        rng = np.random.default_rng(9)
+        pool = np.arange(20, dtype=np.int64)
+        rows = sample_rows(rng, pool, rows=200, k=6)
+        assert rows.shape == (200, 6)
+        for row in rows:
+            assert len(set(row.tolist())) == 6
+            assert set(row.tolist()) <= set(pool.tolist())
+
+    def test_sample_rows_whole_pool_degenerate(self):
+        rng = np.random.default_rng(9)
+        pool = np.arange(4, dtype=np.int64)
+        rows = sample_rows(rng, pool, rows=3, k=10)
+        assert rows.shape == (3, 4)
+        assert np.array_equal(rows[0], pool)
+
+    def test_exclude_self_small_scope(self):
+        rng = np.random.default_rng(11)
+        scope = np.arange(32, dtype=np.int64)
+        senders = np.arange(32, dtype=np.int64)
+        picks = sample_targets_excluding_self(rng, scope, senders, 5)
+        assert picks.shape == (32, 5)
+        for pos, row in enumerate(picks):
+            assert pos not in set(row.tolist())
+            assert len(set(row.tolist())) == 5
+
+    def test_exclude_self_large_scope(self):
+        rng = np.random.default_rng(11)
+        m = _EXACT_POOL_LIMIT + 64
+        scope = np.arange(m, dtype=np.int64)
+        senders = np.arange(m, dtype=np.int64)
+        picks = sample_targets_excluding_self(rng, scope, senders, 6)
+        assert picks.shape == (m, 6)
+        for pos, row in enumerate(picks):
+            assert pos not in set(row.tolist())
+            assert max(row.tolist()) < m
+
+
+class TestPerfRegistry:
+    def test_fastcore_cases_registered_with_numpy(self):
+        from repro.perf import case_keys, get_case
+
+        keys = case_keys()
+        for key in (
+            "fastcore_bitset_membership",
+            "fastcore_fragment_xor",
+            "fastcore_fanout_sampling",
+        ):
+            assert key in keys
+            case = get_case(key)
+            assert "fastcore" in case.tags
+            # Each setup must build a runnable op.
+            assert case.setup()() is not None
